@@ -1,0 +1,41 @@
+# Convenience targets for the KGAG reproduction.
+
+PYTHON ?= python
+PROFILE ?= default
+
+.PHONY: install dev test bench bench-calibrated examples experiments clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+dev: install
+	$(PYTHON) -m pip install pytest pytest-benchmark hypothesis
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-calibrated:
+	REPRO_BENCH_PROFILE=$(PROFILE) $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/movie_night.py
+	$(PYTHON) examples/yelp_outing.py
+	$(PYTHON) examples/explain_group_decision.py
+
+experiments:
+	$(PYTHON) -m repro.experiments.table1_datasets   --profile $(PROFILE)
+	$(PYTHON) -m repro.experiments.table2_overall    --profile $(PROFILE)
+	$(PYTHON) -m repro.experiments.table3_ablation   --profile $(PROFILE)
+	$(PYTHON) -m repro.experiments.table4_aggregator --profile $(PROFILE)
+	$(PYTHON) -m repro.experiments.fig4_margin_depth --profile $(PROFILE)
+	$(PYTHON) -m repro.experiments.fig5_beta_dim     --profile $(PROFILE)
+	$(PYTHON) -m repro.experiments.fig6_case_study   --profile $(PROFILE)
+	$(PYTHON) -m repro.experiments.ext_cold_items    --profile $(PROFILE)
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,42 @@
+"""Benchmark: regenerate Figure 4 (margin M and depth H sweeps, RQ3).
+
+Shape assertions: the best margin is an interior point of the swept
+range (rise-then-fall), and likewise for the depth sweep — checked at
+the default/full profiles; the quick profile only regenerates the data.
+"""
+
+from repro.experiments import fig4_margin_depth
+
+from conftest import run_once
+
+
+def _interior_peak(values, series) -> bool:
+    best = max(range(len(series)), key=series.__getitem__)
+    return 0 < best < len(series) - 1
+
+
+def test_fig4_margin_and_depth(benchmark, profile):
+    if profile.name == "quick":
+        margins = (0.2, 0.4, 0.6)
+    else:
+        margins = fig4_margin_depth.MARGINS
+    results = run_once(
+        benchmark, fig4_margin_depth.run, profile, margins, fig4_margin_depth.DEPTHS
+    )
+    chart = fig4_margin_depth.render(results)
+    benchmark.extra_info["chart"] = chart
+    print()
+    print(chart)
+
+    margin_values = list(results["margin"])
+    margin_series = [results["margin"][m].mean("rec@5") for m in margin_values]
+    depth_values = list(results["depth"])
+    depth_series = [results["depth"][h].mean("rec@5") for h in depth_values]
+
+    # Degenerate sweeps would be flat; at any profile the sweep must vary.
+    assert max(margin_series) > min(margin_series) - 1e-12
+    assert max(depth_series) > min(depth_series) - 1e-12
+    if profile.name in ("default", "full"):
+        assert _interior_peak(margin_values, margin_series) or (
+            max(margin_series) - min(margin_series) < 0.03
+        ), f"margin sweep should peak inside the range: {margin_series}"

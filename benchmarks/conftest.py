@@ -1,0 +1,30 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper table/figure through the same code
+path as ``python -m repro.experiments.<module>``.  The profile defaults
+to ``quick`` so the whole suite finishes in minutes on a laptop; set
+``REPRO_BENCH_PROFILE=default`` (or ``full``) to regenerate the numbers
+recorded in EXPERIMENTS.md.
+
+Long-running workloads run exactly once per benchmark
+(``benchmark.pedantic(rounds=1)``) — the interesting output is the
+regenerated table (stored in ``extra_info``) rather than the timing
+distribution.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import get_profile
+
+
+@pytest.fixture(scope="session")
+def profile():
+    name = os.environ.get("REPRO_BENCH_PROFILE", "quick")
+    return get_profile(name)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a heavyweight benchmark exactly once and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Interpretability deep-dive: reproduce the paper's Fig. 6 case study.
+
+Trains KGAG, then dissects *one* group decision: for each member, the
+self-persistence score (how much she likes the candidate), the peer
+influence score (how much her peers back her), and the resulting
+attention weight.  Also contrasts the attention profile across two
+different candidate items, showing that influence is item-dependent —
+the property MoSAN lacks and KGAG's SP term provides.
+
+Run: ``python examples/explain_group_decision.py``
+"""
+
+import numpy as np
+
+from repro import (
+    GroupRecommender,
+    KGAG,
+    KGAGConfig,
+    KGAGTrainer,
+    MovieLensLikeConfig,
+    movielens_like,
+    split_interactions,
+)
+from repro.experiments.reporting import format_attention_bars
+
+
+def main() -> None:
+    dataset = movielens_like(
+        "simi", MovieLensLikeConfig(num_users=60, num_items=80, num_groups=30, seed=13)
+    )
+    split = split_interactions(dataset.group_item, rng=np.random.default_rng(13))
+
+    print("training KGAG ...")
+    model = KGAG(
+        dataset.kg,
+        dataset.num_users,
+        dataset.num_items,
+        dataset.user_item.pairs,
+        dataset.groups,
+        KGAGConfig(
+            embedding_dim=16, num_layers=2, num_neighbors=4, epochs=12,
+            batch_size=128, patience=4, seed=13,
+        ),
+    )
+    KGAGTrainer(model, split.train, dataset.user_item, split.validation).fit()
+    recommender = GroupRecommender(model, split.train)
+
+    group = int(split.test.pairs[0, 0])
+    top_two = recommender.recommend(group, k=2)
+
+    print(f"\ncase study: group {group}, members {dataset.groups[group].tolist()}\n")
+    for rec in top_two:
+        explanation = recommender.explain(group, rec.item)
+        print(f"candidate item {rec.item} (prediction {rec.probability:.4f}):")
+        print(
+            format_attention_bars(
+                [m.user for m in explanation.influences],
+                [m.attention for m in explanation.influences],
+                [m.self_persistence for m in explanation.influences],
+                [m.peer_influence for m in explanation.influences],
+            )
+        )
+        print(f"  {explanation.summary()}\n")
+
+    # Influence is item-dependent: the attention profile changes with the
+    # candidate (the SP term reacts to each member's affinity for it).
+    first = recommender.explain(group, top_two[0].item)
+    second = recommender.explain(group, top_two[1].item)
+    delta = np.abs(
+        np.array([m.attention for m in first.influences])
+        - np.array([m.attention for m in second.influences])
+    ).max()
+    print(
+        f"largest per-member attention shift between the two candidates: "
+        f"{delta:.4f} (> 0: influence adapts to the item under discussion)"
+    )
+
+
+if __name__ == "__main__":
+    main()

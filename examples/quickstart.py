@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Quickstart: train KGAG on a MovieLens-like dataset and recommend.
+
+Walks the full pipeline in ~1 minute on a laptop CPU:
+
+1. generate a synthetic MovieLens-like dataset (ratings + knowledge
+   graph + random groups of 8),
+2. split the group-item interactions 60/20/20,
+3. train KGAG with the paper's combined loss,
+4. evaluate hit@5 / rec@5 on the test split,
+5. produce top-5 recommendations with attention explanations for one group.
+
+Run: ``python examples/quickstart.py``
+"""
+
+import numpy as np
+
+from repro import (
+    GroupRecommender,
+    KGAG,
+    KGAGConfig,
+    KGAGTrainer,
+    MovieLensLikeConfig,
+    movielens_like,
+    split_interactions,
+)
+
+
+def main() -> None:
+    print("1) generating a MovieLens-like dataset ...")
+    dataset = movielens_like(
+        "rand", MovieLensLikeConfig(num_users=60, num_items=80, num_groups=30, seed=7)
+    )
+    for key, value in dataset.stats().items():
+        print(f"     {key}: {value}")
+
+    print("2) splitting group-item interactions 60/20/20 ...")
+    split = split_interactions(dataset.group_item, rng=np.random.default_rng(7))
+    print(f"     train/val/test interactions: {split.sizes}")
+
+    print("3) training KGAG (margin loss + user log loss, Adam) ...")
+    config = KGAGConfig(
+        embedding_dim=16,
+        num_layers=2,
+        num_neighbors=4,
+        epochs=12,
+        batch_size=128,
+        patience=4,
+        seed=7,
+    )
+    model = KGAG(
+        dataset.kg,
+        dataset.num_users,
+        dataset.num_items,
+        dataset.user_item.pairs,
+        dataset.groups,
+        config,
+    )
+    trainer = KGAGTrainer(model, split.train, dataset.user_item, split.validation)
+    trainer.fit(verbose=True)
+
+    print("4) test metrics ...")
+    metrics = trainer.evaluate(split.test)
+    print(f"     hit@5 = {metrics['hit@5']:.4f}   rec@5 = {metrics['rec@5']:.4f}")
+
+    print("5) recommendations with explanations for group 0:")
+    recommender = GroupRecommender(model, split.train)
+    for rec, explanation in recommender.recommend_with_explanations(0, k=3):
+        print(f"     item {rec.item}  (p = {rec.probability:.3f})")
+        print(f"       {explanation.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Yelp outing: recommend one restaurant to an occasional friend group.
+
+The second scenario from the paper's evaluation: small groups of friends
+(size 3) who co-visit businesses, with exactly one group interaction
+each — the extreme sparsity regime where individual preferences and the
+business knowledge graph must carry the recommendation.
+
+This example also demonstrates the serving API: ranking a slate of
+candidate restaurants for a brand-new outing and explaining who in the
+group drove the pick.
+
+Run: ``python examples/yelp_outing.py``
+"""
+
+import numpy as np
+
+from repro import (
+    GroupRecommender,
+    KGAG,
+    KGAGConfig,
+    KGAGTrainer,
+    YelpLikeConfig,
+    split_interactions,
+    yelp_like,
+)
+
+
+def main() -> None:
+    print("building the Yelp-like dataset (friend co-visit groups of 3) ...")
+    dataset = yelp_like(
+        YelpLikeConfig(num_users=60, num_items=50, num_groups=35, seed=5)
+    )
+    stats = dataset.stats()
+    print(
+        f"  {stats['total_groups']:.0f} groups, "
+        f"{stats['interactions_per_group']:.2f} interaction(s) each "
+        f"(rec@5 == hit@5 in this regime)"
+    )
+    split = split_interactions(dataset.group_item, rng=np.random.default_rng(5))
+
+    print("training KGAG on the business knowledge graph ...")
+    config = KGAGConfig(
+        embedding_dim=16,
+        num_layers=2,
+        num_neighbors=4,
+        epochs=15,
+        batch_size=64,
+        patience=5,
+        seed=5,
+    )
+    model = KGAG(
+        dataset.kg,
+        dataset.num_users,
+        dataset.num_items,
+        dataset.user_item.pairs,
+        dataset.groups,
+        config,
+    )
+    trainer = KGAGTrainer(model, split.train, dataset.user_item, split.validation)
+    trainer.fit()
+    metrics = trainer.evaluate(split.test)
+    print(f"  test hit@5 = {metrics['hit@5']:.4f}  rec@5 = {metrics['rec@5']:.4f}")
+    assert abs(metrics["hit@5"] - metrics["rec@5"]) < 1e-12  # one positive/group
+
+    group = int(split.test.pairs[0, 0])
+    members = dataset.groups[group].tolist()
+    print(f"\nplanning an outing for group {group} (friends {members}):")
+    recommender = GroupRecommender(model, split.train)
+    for rank, rec in enumerate(recommender.recommend(group, k=5), start=1):
+        categories = [
+            dataset.kg.entity_name(t)
+            for r, t in dataset.kg.neighbors(rec.item)
+            if dataset.kg.relation_name(r) == "has_category"
+        ]
+        print(
+            f"  #{rank}: business {rec.item} (p = {rec.probability:.3f}) "
+            f"categories = {categories}"
+        )
+
+    top = recommender.recommend(group, k=1)[0]
+    explanation = recommender.explain(group, top.item)
+    print("\nwho drives this pick?")
+    for influence in sorted(explanation.influences, key=lambda m: -m.attention):
+        print(
+            f"  user {influence.user}: attention {influence.attention:.3f} "
+            f"(self-persistence {influence.self_persistence:+.3f}, "
+            f"peer influence {influence.peer_influence:+.3f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

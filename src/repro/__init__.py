@@ -1,0 +1,66 @@
+"""KGAG — Knowledge-Aware Group Representation Learning for Group Recommendation.
+
+A from-scratch, pure-Python reproduction of Deng et al., ICDE 2021,
+including every substrate the paper depends on:
+
+* :mod:`repro.nn` — numpy reverse-mode autograd, layers, Adam, losses;
+* :mod:`repro.kg` — knowledge graph store, collaborative KG, sampling,
+  synthetic KG generators;
+* :mod:`repro.data` — interactions, group construction protocols,
+  synthetic MovieLens-like / Yelp-like datasets, splits, loaders;
+* :mod:`repro.core` — the KGAG model (propagation + SP/PI attention +
+  margin loss), trainer, and explainable recommender;
+* :mod:`repro.baselines` — CF(MF), KGCN, MoSAN, AVG/LM/MP aggregation;
+* :mod:`repro.eval` — hit@k / rec@k and the ranking protocol;
+* :mod:`repro.experiments` — one harness per paper table and figure.
+
+Quickstart
+----------
+>>> from repro import movielens_like, split_interactions, KGAG, KGAGConfig
+>>> from repro import KGAGTrainer, GroupRecommender
+>>> dataset = movielens_like("rand")
+>>> split = split_interactions(dataset.group_item)
+>>> model = KGAG(dataset.kg, dataset.num_users, dataset.num_items,
+...              dataset.user_item.pairs, dataset.groups, KGAGConfig(epochs=5))
+>>> trainer = KGAGTrainer(model, split.train, dataset.user_item, split.validation)
+>>> _ = trainer.fit()
+>>> recommender = GroupRecommender(model, split.train)
+>>> recommendations = recommender.recommend(group_id=0, k=5)
+"""
+
+from .core import (
+    KGAG,
+    KGAGConfig,
+    KGAGTrainer,
+    GroupRecommender,
+    Explanation,
+    Recommendation,
+)
+from .data import (
+    GroupRecommendationDataset,
+    MovieLensLikeConfig,
+    YelpLikeConfig,
+    movielens_like,
+    yelp_like,
+    split_interactions,
+)
+from .eval import evaluate_group_recommender
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KGAG",
+    "KGAGConfig",
+    "KGAGTrainer",
+    "GroupRecommender",
+    "Explanation",
+    "Recommendation",
+    "GroupRecommendationDataset",
+    "MovieLensLikeConfig",
+    "YelpLikeConfig",
+    "movielens_like",
+    "yelp_like",
+    "split_interactions",
+    "evaluate_group_recommender",
+    "__version__",
+]

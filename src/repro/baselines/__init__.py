@@ -1,0 +1,30 @@
+"""``repro.baselines`` — every comparison method of the paper's Table II.
+
+* :class:`MatrixFactorization` — the CF individual recommender,
+* :class:`KGCN` — knowledge graph convolutional networks,
+* :class:`MoSAN` — medley of sub-attention networks (KG-aware variant,
+  per the paper's fair-comparison protocol),
+* :class:`AggregatedGroupRecommender` + AVG/LM/MP strategies — the
+  score-aggregation wrappers producing CF+X and KGCN+X,
+* :class:`PopularityRecommender` — a non-learned sanity floor (extra).
+"""
+
+from .aggregation import (
+    AGGREGATION_STRATEGIES,
+    AggregatedGroupRecommender,
+    aggregate_scores,
+)
+from .mf import MatrixFactorization
+from .kgcn import KGCN
+from .mosan import MoSAN
+from .popularity import PopularityRecommender
+
+__all__ = [
+    "AGGREGATION_STRATEGIES",
+    "AggregatedGroupRecommender",
+    "aggregate_scores",
+    "MatrixFactorization",
+    "KGCN",
+    "MoSAN",
+    "PopularityRecommender",
+]

@@ -1,0 +1,104 @@
+"""Predefined score-aggregation strategies and the baseline wrapper.
+
+The memory-based baselines of Sec. IV-D combine an *individual*
+recommender with a static aggregation of member scores:
+
+* **AVG** — average satisfaction (Baltrunas et al. [4]),
+* **LM**  — least misery: the group is only as happy as its unhappiest
+  member (Amer-Yahia et al. [5]),
+* **MP**  — maximum pleasure: the most enthusiastic member decides [4].
+
+:class:`AggregatedGroupRecommender` lifts any individual scorer into a
+group recommender by applying one of these strategies over the member
+score matrix; it exposes the same scoring protocol as KGAG, so the
+shared trainer and evaluator run unchanged (the paper's fair-comparison
+protocol trains the baselines with the same combined loss, Eq. 20).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from ..data.groups import GroupSet
+from ..nn import Module, Tensor
+
+__all__ = ["AGGREGATION_STRATEGIES", "aggregate_scores", "AggregatedGroupRecommender"]
+
+AGGREGATION_STRATEGIES = ("avg", "lm", "mp")
+
+
+def aggregate_scores(member_scores: Tensor, strategy: str) -> Tensor:
+    """Reduce a ``(batch, group_size)`` member-score matrix to ``(batch,)``.
+
+    All three reductions are differentiable, so the aggregation can sit
+    inside the training loss exactly as the evaluation protocol applies
+    it at inference time.
+    """
+    if strategy == "avg":
+        return member_scores.mean(axis=1)
+    if strategy == "lm":
+        return member_scores.min(axis=1)
+    if strategy == "mp":
+        return member_scores.max(axis=1)
+    raise ValueError(
+        f"unknown aggregation strategy {strategy!r}; choices: {AGGREGATION_STRATEGIES}"
+    )
+
+
+class IndividualScorer(Protocol):
+    """An individual recommender usable under aggregation."""
+
+    def user_item_scores(self, user_ids, item_ids) -> Tensor: ...
+
+
+class AggregatedGroupRecommender(Module):
+    """Individual recommender + static aggregation = group recommender.
+
+    Parameters
+    ----------
+    base:
+        The individual model (MF or KGCN).  Must be a Module exposing
+        ``user_item_scores`` and carrying a ``config`` attribute.
+    groups:
+        Group membership table.
+    strategy:
+        ``"avg"``, ``"lm"`` or ``"mp"``.
+    """
+
+    def __init__(self, base: Module, groups: GroupSet, strategy: str):
+        super().__init__()
+        if strategy not in AGGREGATION_STRATEGIES:
+            raise ValueError(
+                f"unknown aggregation strategy {strategy!r}; "
+                f"choices: {AGGREGATION_STRATEGIES}"
+            )
+        self.base = base
+        self.groups = groups
+        self.strategy = strategy
+        self.config = base.config
+
+    @property
+    def name(self) -> str:
+        return f"{getattr(self.base, 'name', type(self.base).__name__)}+{self.strategy.upper()}"
+
+    def user_item_scores(self, user_ids, item_ids) -> Tensor:
+        """Delegate to the individual model (Eq. 19 analogue)."""
+        return self.base.user_item_scores(user_ids, item_ids)
+
+    def group_item_scores(self, group_ids, item_ids) -> Tensor:
+        """Score each member individually, then apply the strategy."""
+        group_ids = np.asarray(group_ids, dtype=np.int64)
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        if group_ids.shape != item_ids.shape or group_ids.ndim != 1:
+            raise ValueError("group_ids and item_ids must be aligned 1-D arrays")
+        members = self.groups.members_of(group_ids)  # (B, S)
+        batch, size = members.shape
+        flat_users = members.reshape(-1)
+        flat_items = np.repeat(item_ids, size)
+        member_scores = self.base.user_item_scores(flat_users, flat_items)
+        return aggregate_scores(member_scores.reshape(batch, size), self.strategy)
+
+    def forward(self, group_ids, item_ids) -> Tensor:
+        return self.group_item_scores(group_ids, item_ids)

@@ -1,0 +1,89 @@
+"""KGCN — knowledge graph convolutional networks (Wang et al., WWW 2019).
+
+The state-of-the-art KG-based *individual* recommender the paper
+compares against (Sec. IV-D).  Items are propagated through the item
+knowledge graph with fixed-K sampled neighborhoods; the relation
+attention query is the **user embedding** (this is where KGCN differs
+from KGAG's interaction-object query, and KGCN has no user nodes in the
+graph, no group attention, and no margin loss of its own).
+
+For the Table II rows KGCN+AVG / KGCN+LM / KGCN+MP, wrap it with
+:class:`~repro.baselines.aggregation.AggregatedGroupRecommender` — the
+fair-comparison protocol then trains it with the combined loss (Eq. 20).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import KGAGConfig
+from ..core.propagation import InformationPropagation
+from ..kg.graph import KnowledgeGraph
+from ..kg.sampling import NeighborSampler
+from ..nn import Embedding, Module, Tensor
+
+__all__ = ["KGCN"]
+
+
+class KGCN(Module):
+    """KGCN individual recommender over an item knowledge graph.
+
+    Parameters
+    ----------
+    kg:
+        Item KG with items occupying entities ``[0, num_items)``.
+    num_users / num_items:
+        Vocabulary sizes.
+    config:
+        Shared experiment config (``embedding_dim``, ``num_layers``,
+        ``num_neighbors``, ``aggregator`` and the training fields apply).
+    """
+
+    name = "KGCN"
+
+    def __init__(
+        self,
+        kg: KnowledgeGraph,
+        num_users: int,
+        num_items: int,
+        config: KGAGConfig | None = None,
+    ):
+        super().__init__()
+        self.config = config or KGAGConfig()
+        if num_items > kg.num_entities:
+            raise ValueError("num_items exceeds the KG entity vocabulary")
+        rng = np.random.default_rng(self.config.seed)
+        self.num_users = int(num_users)
+        self.num_items = int(num_items)
+        self.sampler = NeighborSampler(kg, self.config.num_neighbors, rng=rng)
+        self.user_embedding = Embedding(
+            num_users, self.config.embedding_dim, rng=rng
+        )
+        self.propagation = InformationPropagation(
+            num_entities=kg.num_entities,
+            num_relation_slots=self.sampler.num_relation_slots,
+            dim=self.config.embedding_dim,
+            num_layers=self.config.num_layers,
+            aggregator=self.config.aggregator,
+            rng=rng,
+        )
+
+    def item_representations(self, item_ids, user_ids) -> Tensor:
+        """Propagated item vectors with the user embedding as query."""
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        queries = self.user_embedding(user_ids)
+        return self.propagation(item_ids, queries, self.sampler)
+
+    def user_item_scores(self, user_ids, item_ids) -> Tensor:
+        """ŷ_{u,v} = u · item_repr(v | u)."""
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        if user_ids.shape != item_ids.shape or user_ids.ndim != 1:
+            raise ValueError("user_ids and item_ids must be aligned 1-D arrays")
+        users = self.user_embedding(user_ids)
+        items = self.item_representations(item_ids, user_ids)
+        return (users * items).sum(axis=-1)
+
+    def forward(self, user_ids, item_ids) -> Tensor:
+        return self.user_item_scores(user_ids, item_ids)

@@ -1,0 +1,69 @@
+"""Matrix factorization — the CF baseline of Sec. IV-D.
+
+Koren et al.'s latent-factor model: users and items are embedding rows,
+the prediction is their inner product (plus optional bias terms).  For
+the Table II rows CF+AVG / CF+LM / CF+MP, wrap it with
+:class:`~repro.baselines.aggregation.AggregatedGroupRecommender`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import KGAGConfig
+from ..nn import Embedding, Module, Parameter, Tensor
+
+__all__ = ["MatrixFactorization"]
+
+
+class MatrixFactorization(Module):
+    """Plain MF with inner-product scoring.
+
+    Parameters
+    ----------
+    num_users / num_items:
+        Vocabulary sizes.
+    config:
+        Shared experiment config; only ``embedding_dim``, the training
+        fields and ``seed`` apply (KG fields are ignored).
+    use_bias:
+        Adds per-user and per-item scalar biases.
+    """
+
+    name = "CF"
+
+    def __init__(
+        self,
+        num_users: int,
+        num_items: int,
+        config: KGAGConfig | None = None,
+        use_bias: bool = True,
+    ):
+        super().__init__()
+        self.config = config or KGAGConfig()
+        rng = np.random.default_rng(self.config.seed)
+        self.num_users = int(num_users)
+        self.num_items = int(num_items)
+        dim = self.config.embedding_dim
+        self.user_embedding = Embedding(num_users, dim, rng=rng)
+        self.item_embedding = Embedding(num_items, dim, rng=rng)
+        self.use_bias = use_bias
+        if use_bias:
+            self.user_bias = Parameter(np.zeros(num_users), name="user_bias")
+            self.item_bias = Parameter(np.zeros(num_items), name="item_bias")
+
+    def user_item_scores(self, user_ids, item_ids) -> Tensor:
+        """ŷ_{u,v} = u · v (+ b_u + b_v)."""
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        if user_ids.shape != item_ids.shape or user_ids.ndim != 1:
+            raise ValueError("user_ids and item_ids must be aligned 1-D arrays")
+        users = self.user_embedding(user_ids)
+        items = self.item_embedding(item_ids)
+        scores = (users * items).sum(axis=-1)
+        if self.use_bias:
+            scores = scores + self.user_bias[user_ids] + self.item_bias[item_ids]
+        return scores
+
+    def forward(self, user_ids, item_ids) -> Tensor:
+        return self.user_item_scores(user_ids, item_ids)

@@ -1,0 +1,55 @@
+"""Popularity baseline — a non-learned sanity floor.
+
+Not part of the paper's Table II, but standard practice: any learned
+model should beat ranking items by global popularity.  Used by the test
+suite as a calibration point and by the examples as a contrast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.interactions import InteractionTable
+
+__all__ = ["PopularityRecommender"]
+
+
+class PopularityRecommender:
+    """Scores every (group, item) pair by the item's training popularity.
+
+    Parameters
+    ----------
+    user_train:
+        User-item training interactions (the popularity source).
+    group_train:
+        Optional group-item training interactions, added with a weight of
+        ``group_weight`` each (a group choosing an item is stronger
+        evidence than one user).
+    """
+
+    name = "Popularity"
+
+    def __init__(
+        self,
+        user_train: InteractionTable,
+        group_train: InteractionTable | None = None,
+        group_weight: float = 3.0,
+    ):
+        counts = np.zeros(user_train.num_cols, dtype=np.float64)
+        if user_train.num_interactions:
+            uniq, freq = np.unique(user_train.pairs[:, 1], return_counts=True)
+            counts[uniq] += freq
+        if group_train is not None and group_train.num_interactions:
+            uniq, freq = np.unique(group_train.pairs[:, 1], return_counts=True)
+            counts[uniq] += group_weight * freq
+        self.scores = counts
+
+    def group_item_scores(self, group_ids, item_ids) -> np.ndarray:
+        """Popularity of each item, regardless of the group."""
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        return self.scores[item_ids]
+
+    def user_item_scores(self, user_ids, item_ids) -> np.ndarray:
+        """Same popularity scores for individuals."""
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        return self.scores[item_ids]

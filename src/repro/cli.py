@@ -1,0 +1,291 @@
+"""Command-line interface: the full pipeline without writing Python.
+
+Subcommands
+-----------
+``dataset``   generate / inspect datasets::
+
+    python -m repro dataset generate --kind rand --out data/rand
+    python -m repro dataset stats --path data/rand
+
+``train``     train KGAG (or a baseline) and write a checkpoint::
+
+    python -m repro train --data data/rand --out models/kgag.npz --epochs 20
+
+``evaluate``  score a checkpoint on the test split::
+
+    python -m repro evaluate --data data/rand --checkpoint models/kgag.npz
+
+``recommend`` top-k items (optionally explained) for one group::
+
+    python -m repro recommend --data data/rand --checkpoint models/kgag.npz \
+        --group 0 -k 5 --explain
+
+``experiment`` regenerate a paper table/figure::
+
+    python -m repro experiment table2 --profile quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .core import KGAG, KGAGConfig, KGAGTrainer, GroupRecommender
+from .data import (
+    MovieLensLikeConfig,
+    YelpLikeConfig,
+    movielens_like,
+    split_interactions,
+    yelp_like,
+)
+from .data.io import load_dataset, save_dataset
+from .nn.serialization import load_checkpoint, save_checkpoint
+
+__all__ = ["main", "build_parser"]
+
+EXPERIMENT_MODULES = {
+    "table1": "repro.experiments.table1_datasets",
+    "table2": "repro.experiments.table2_overall",
+    "table3": "repro.experiments.table3_ablation",
+    "table4": "repro.experiments.table4_aggregator",
+    "fig4": "repro.experiments.fig4_margin_depth",
+    "fig5": "repro.experiments.fig5_beta_dim",
+    "fig6": "repro.experiments.fig6_case_study",
+    "cold-items": "repro.experiments.ext_cold_items",
+}
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="KGAG reproduction command line"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    # dataset ---------------------------------------------------------------
+    dataset = subparsers.add_parser("dataset", help="generate / inspect datasets")
+    dataset_sub = dataset.add_subparsers(dest="dataset_command", required=True)
+
+    generate = dataset_sub.add_parser("generate", help="generate a synthetic dataset")
+    generate.add_argument("--kind", choices=("rand", "simi", "yelp"), required=True)
+    generate.add_argument("--out", required=True, help="output directory")
+    generate.add_argument("--users", type=int, default=None)
+    generate.add_argument("--items", type=int, default=None)
+    generate.add_argument("--groups", type=int, default=None)
+    generate.add_argument("--seed", type=int, default=0)
+
+    stats = dataset_sub.add_parser("stats", help="print Table I statistics")
+    stats.add_argument("--path", required=True, help="dataset directory")
+
+    # train ------------------------------------------------------------------
+    train = subparsers.add_parser("train", help="train KGAG and save a checkpoint")
+    train.add_argument("--data", required=True, help="dataset directory")
+    train.add_argument("--out", required=True, help="checkpoint path (.npz)")
+    train.add_argument("--dim", type=int, default=32)
+    train.add_argument("--layers", type=int, default=2)
+    train.add_argument("--neighbors", type=int, default=4)
+    train.add_argument("--epochs", type=int, default=20)
+    train.add_argument("--batch-size", type=int, default=128)
+    train.add_argument("--lr", type=float, default=0.005)
+    train.add_argument("--margin", type=float, default=0.4)
+    train.add_argument("--beta", type=float, default=0.7)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--quiet", action="store_true")
+
+    # evaluate ----------------------------------------------------------------
+    evaluate = subparsers.add_parser("evaluate", help="evaluate a checkpoint")
+    evaluate.add_argument("--data", required=True)
+    evaluate.add_argument("--checkpoint", required=True)
+    evaluate.add_argument("-k", type=int, default=5)
+    evaluate.add_argument("--seed", type=int, default=0, help="split seed")
+
+    # recommend ----------------------------------------------------------------
+    recommend = subparsers.add_parser("recommend", help="top-k for one group")
+    recommend.add_argument("--data", required=True)
+    recommend.add_argument("--checkpoint", required=True)
+    recommend.add_argument("--group", type=int, required=True)
+    recommend.add_argument("-k", type=int, default=5)
+    recommend.add_argument("--explain", action="store_true")
+    recommend.add_argument("--seed", type=int, default=0, help="split seed")
+
+    # experiment ----------------------------------------------------------------
+    experiment = subparsers.add_parser("experiment", help="regenerate a paper result")
+    experiment.add_argument("name", choices=sorted(EXPERIMENT_MODULES))
+    experiment.add_argument("--profile", default="default")
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# command implementations
+# ---------------------------------------------------------------------------
+def _cmd_dataset_generate(args) -> int:
+    if args.kind in ("rand", "simi"):
+        config = MovieLensLikeConfig(seed=args.seed)
+        if args.users:
+            config.num_users = args.users
+        if args.items:
+            config.num_items = args.items
+        if args.groups:
+            config.num_groups = args.groups
+        dataset = movielens_like(args.kind, config)
+    else:
+        config = YelpLikeConfig(seed=args.seed)
+        if args.users:
+            config.num_users = args.users
+        if args.items:
+            config.num_items = args.items
+        if args.groups:
+            config.num_groups = args.groups
+        dataset = yelp_like(config)
+    path = save_dataset(dataset, args.out)
+    print(f"wrote {dataset.name} to {path}")
+    print(json.dumps(dataset.stats(), indent=2))
+    return 0
+
+
+def _cmd_dataset_stats(args) -> int:
+    dataset = load_dataset(args.path)
+    print(f"dataset: {dataset.name}")
+    print(json.dumps(dataset.stats(), indent=2))
+    print(f"kg: {json.dumps(dataset.kg.describe(), indent=2)}")
+    return 0
+
+
+def _load_with_split(path: str, seed: int):
+    dataset = load_dataset(path)
+    split = split_interactions(dataset.group_item, rng=np.random.default_rng(seed))
+    return dataset, split
+
+
+def _build_model(dataset, config: KGAGConfig) -> KGAG:
+    return KGAG(
+        dataset.kg,
+        dataset.num_users,
+        dataset.num_items,
+        dataset.user_item.pairs,
+        dataset.groups,
+        config,
+    )
+
+
+def _cmd_train(args) -> int:
+    dataset, split = _load_with_split(args.data, args.seed)
+    config = KGAGConfig(
+        embedding_dim=args.dim,
+        num_layers=args.layers,
+        num_neighbors=args.neighbors,
+        epochs=args.epochs,
+        batch_size=args.batch_size,
+        learning_rate=args.lr,
+        margin=args.margin,
+        beta=args.beta,
+        seed=args.seed,
+    )
+    model = _build_model(dataset, config)
+    trainer = KGAGTrainer(model, split.train, dataset.user_item, split.validation)
+    history = trainer.fit(verbose=not args.quiet)
+    metrics = trainer.evaluate(split.test)
+    path = save_checkpoint(model, args.out, config=config)
+    print(f"checkpoint written to {path}")
+    print(
+        f"test hit@5 {metrics['hit@5']:.4f}  rec@5 {metrics['rec@5']:.4f}  "
+        f"(best epoch {history.best_epoch})"
+    )
+    return 0
+
+
+def _restore(args):
+    """Rebuild the model from a checkpoint's stored config and load weights."""
+    dataset, split = _load_with_split(args.data, args.seed)
+    with np.load(_checkpoint_path(args.checkpoint)) as archive:
+        metadata = json.loads(
+            bytes(archive["__checkpoint_metadata__"].tobytes()).decode("utf-8")
+        )
+    config_dict = metadata.get("config") or {}
+    valid = {f for f in KGAGConfig.__dataclass_fields__}
+    config = KGAGConfig(**{k: v for k, v in config_dict.items() if k in valid})
+    model = _build_model(dataset, config)
+    load_checkpoint(model, args.checkpoint)
+    return dataset, split, model
+
+
+def _checkpoint_path(path: str) -> Path:
+    candidate = Path(path)
+    if candidate.exists():
+        return candidate
+    with_suffix = candidate.with_suffix(candidate.suffix + ".npz")
+    if with_suffix.exists():
+        return with_suffix
+    raise FileNotFoundError(path)
+
+
+def _cmd_evaluate(args) -> int:
+    from .eval import evaluate_group_recommender
+    from .nn import no_grad
+
+    dataset, split, model = _restore(args)
+    model.eval()
+    with no_grad():
+        metrics = evaluate_group_recommender(
+            lambda g, v: model.group_item_scores(g, v).numpy(),
+            split.test,
+            k=args.k,
+            train_interactions=split.train,
+        )
+    print(json.dumps(metrics, indent=2))
+    return 0
+
+
+def _cmd_recommend(args) -> int:
+    dataset, split, model = _restore(args)
+    recommender = GroupRecommender(model, split.train)
+    members = dataset.groups[args.group].tolist()
+    print(f"group {args.group} (members {members}):")
+    for rank, rec in enumerate(recommender.recommend(args.group, k=args.k), start=1):
+        print(f"  #{rank}: item {rec.item}  p={rec.probability:.4f}")
+        if args.explain:
+            explanation = recommender.explain(args.group, rec.item)
+            for influence in sorted(explanation.influences, key=lambda m: -m.attention):
+                print(
+                    f"       user {influence.user}: attention {influence.attention:.3f} "
+                    f"(SP {influence.self_persistence:+.3f}, "
+                    f"PI {influence.peer_influence:+.3f})"
+                )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    import importlib
+
+    module = importlib.import_module(EXPERIMENT_MODULES[args.name])
+    module.main(["--profile", args.profile])
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "dataset":
+        if args.dataset_command == "generate":
+            return _cmd_dataset_generate(args)
+        return _cmd_dataset_stats(args)
+    if args.command == "train":
+        return _cmd_train(args)
+    if args.command == "evaluate":
+        return _cmd_evaluate(args)
+    if args.command == "recommend":
+        return _cmd_recommend(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

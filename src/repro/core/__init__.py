@@ -1,0 +1,36 @@
+"""``repro.core`` — the KGAG model, the paper's primary contribution.
+
+* :class:`KGAGConfig` — hyper-parameters and ablation switches,
+* :class:`InformationPropagation` — relation-attentive GCN (Sec. III-C),
+* :class:`PreferenceAggregation` — SP+PI attention (Sec. III-D),
+* :func:`combined_loss` — margin + log loss objective (Sec. III-E),
+* :class:`KGAG` — the end-to-end model,
+* :class:`KGAGTrainer` — Adam mini-batch training with early stopping,
+* :class:`GroupRecommender` — serving API with attention explanations.
+"""
+
+from .config import KGAGConfig
+from .propagation import GCNAggregator, GraphSageAggregator, InformationPropagation
+from .attention import AttentionBreakdown, PreferenceAggregation
+from .losses import group_ranking_loss, combined_loss
+from .model import KGAG
+from .trainer import KGAGTrainer, TrainingHistory
+from .predict import Explanation, GroupRecommender, MemberInfluence, Recommendation
+
+__all__ = [
+    "KGAGConfig",
+    "GCNAggregator",
+    "GraphSageAggregator",
+    "InformationPropagation",
+    "AttentionBreakdown",
+    "PreferenceAggregation",
+    "group_ranking_loss",
+    "combined_loss",
+    "KGAG",
+    "KGAGTrainer",
+    "TrainingHistory",
+    "Explanation",
+    "GroupRecommender",
+    "MemberInfluence",
+    "Recommendation",
+]

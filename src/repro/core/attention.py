@@ -1,0 +1,217 @@
+"""Preference aggregation block (Sec. III-D).
+
+Aggregates group members' knowledge-aware representations into one group
+representation, weighting each member by a two-part attention:
+
+* **SP (self persistence)** — Eq. 9: α_SP(g, i, v) = u_i · v.  The more a
+  member likes the candidate item, the more she sticks to her opinion.
+* **PI (peer influence)** — Eq. 10:
+  α_PI(g, i) = v_c^T ReLU(W_c1 u_i + W_c2 CONCAT(peers) + b).
+* combined and softmax-normalized (Eqs. 11-12), producing the group
+  representation g = Σ α̃ u_i (Eq. 13).
+
+The attention weights double as the paper's interpretability device
+(Sec. IV-H); :meth:`PreferenceAggregation.attention_breakdown` returns
+the SP/PI/total decomposition for the case-study harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn import Module, Parameter, Tensor, init, softmax
+
+__all__ = ["AttentionBreakdown", "PreferenceAggregation"]
+
+
+@dataclass
+class AttentionBreakdown:
+    """Per-member attention decomposition for one (group, item) pair."""
+
+    sp: np.ndarray  # (group_size,) raw self-persistence scores
+    pi: np.ndarray  # (group_size,) raw peer-influence scores
+    combined: np.ndarray  # (group_size,) α = sp + pi
+    normalized: np.ndarray  # (group_size,) α̃ after softmax
+
+
+class PreferenceAggregation(Module):
+    """Attentive member-preference aggregation for fixed-size groups.
+
+    Parameters
+    ----------
+    dim:
+        Representation dimensionality d.
+    group_size:
+        Members per group S.  The PI weight matrix W_c2 has width
+        d*(S-1) (Eq. 10), so the group size is structural.
+    use_sp / use_pi:
+        Ablation switches (KGAG-SP / KGAG-PI).  With both disabled the
+        attention degenerates to uniform weights — plain averaging.
+    pi_pooling:
+        ``"concat"`` is the paper's Eq. 10 (W_c2 over the concatenated,
+        ordered peer set — ties the module to one group size).
+        ``"mean"`` is a size-agnostic extension: peers are mean-pooled
+        before W_c2 (now d x d), cutting parameters by a factor of S-1
+        and supporting variable group sizes; its accuracy cost is
+        measured in ``benchmarks/bench_ablation_extras.py``.
+    rng:
+        Seeded generator for parameter init.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        group_size: int,
+        use_sp: bool = True,
+        use_pi: bool = True,
+        pi_pooling: str = "concat",
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if group_size < 2:
+            raise ValueError("group_size must be at least 2")
+        if pi_pooling not in ("concat", "mean"):
+            raise ValueError(f"pi_pooling must be 'concat' or 'mean', got {pi_pooling!r}")
+        rng = rng or np.random.default_rng()
+        self.dim = dim
+        self.group_size = group_size
+        self.use_sp = use_sp
+        self.use_pi = use_pi
+        self.pi_pooling = pi_pooling
+
+        peers = group_size - 1
+        peer_width = dim * peers if pi_pooling == "concat" else dim
+        self.w_member = Parameter(
+            init.xavier_uniform((dim, dim), rng), name="w_member"
+        )  # W_c1
+        self.w_peers = Parameter(
+            init.xavier_uniform((dim, peer_width), rng), name="w_peers"
+        )  # W_c2
+        self.bias = Parameter(np.zeros(dim), name="bias")  # b
+        self.context = Parameter(init.xavier_uniform((dim,), rng), name="context")  # v_c
+
+        # peer_index[i] lists the member slots that form member i's peer set.
+        self.peer_index = np.stack(
+            [
+                np.array([j for j in range(group_size) if j != i], dtype=np.int64)
+                for i in range(group_size)
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    def forward(self, member_vectors: Tensor, item_vectors: Tensor) -> Tensor:
+        """Aggregate members into group representations.
+
+        Parameters
+        ----------
+        member_vectors:
+            ``(batch, S, d)`` knowledge-aware member representations.
+        item_vectors:
+            ``(batch, d)`` candidate item representations.
+
+        Returns
+        -------
+        Tensor
+            ``(batch, d)`` group representations g (Eq. 13).
+        """
+        weights = self._normalized_attention(member_vectors, item_vectors)
+        return (weights * member_vectors).sum(axis=1)
+
+    def attention_weights(
+        self, member_vectors: Tensor, item_vectors: Tensor
+    ) -> Tensor:
+        """α̃ of Eq. 12 with shape ``(batch, S, 1)``."""
+        return self._normalized_attention(member_vectors, item_vectors)
+
+    # ------------------------------------------------------------------
+    def _validate(self, member_vectors: Tensor, item_vectors: Tensor) -> None:
+        if member_vectors.ndim != 3 or member_vectors.shape[1:] != (
+            self.group_size,
+            self.dim,
+        ):
+            raise ValueError(
+                f"member_vectors must be (batch, {self.group_size}, {self.dim}), "
+                f"got {member_vectors.shape}"
+            )
+        if item_vectors.shape != (member_vectors.shape[0], self.dim):
+            raise ValueError(
+                f"item_vectors must be (batch, {self.dim}), got {item_vectors.shape}"
+            )
+
+    def _sp_scores(self, member_vectors: Tensor, item_vectors: Tensor) -> Tensor:
+        """Eq. 9: per-member inner product with the candidate item.
+
+        Scaled by 1/sqrt(d) (Vaswani et al.'s temperature): raw inner
+        products grow with d and would saturate the member softmax of
+        Eq. 12 into a one-hot, collapsing the group onto a single member.
+        """
+        batch = member_vectors.shape[0]
+        item = item_vectors.reshape(batch, 1, self.dim)
+        return (member_vectors * item).sum(axis=-1) * (1.0 / np.sqrt(self.dim))
+
+    def _pi_scores(self, member_vectors: Tensor) -> Tensor:
+        """Eq. 10: peer-influence score per member."""
+        batch = member_vectors.shape[0]
+        peers = self.group_size - 1
+        # Gather each member's ordered peer set: (batch, S, S-1, d).
+        peer_vectors = member_vectors[:, self.peer_index.reshape(-1), :].reshape(
+            batch, self.group_size, peers, self.dim
+        )
+        if self.pi_pooling == "concat":
+            peer_input = peer_vectors.reshape(batch, self.group_size, peers * self.dim)
+        else:  # mean pooling (size-agnostic extension)
+            peer_input = peer_vectors.mean(axis=2)
+        hidden = (
+            member_vectors @ self.w_member.T
+            + peer_input @ self.w_peers.T
+            + self.bias
+        ).relu()  # (batch, S, d)
+        return hidden @ self.context  # (batch, S)
+
+    def _raw_attention(
+        self, member_vectors: Tensor, item_vectors: Tensor
+    ) -> tuple[Tensor | None, Tensor | None, Tensor]:
+        """(sp, pi, combined) raw scores; Eq. 11."""
+        self._validate(member_vectors, item_vectors)
+        batch = member_vectors.shape[0]
+        sp = self._sp_scores(member_vectors, item_vectors) if self.use_sp else None
+        pi = self._pi_scores(member_vectors) if self.use_pi else None
+        if sp is not None and pi is not None:
+            combined = sp + pi
+        elif sp is not None:
+            combined = sp
+        elif pi is not None:
+            combined = pi
+        else:
+            combined = Tensor(np.zeros((batch, self.group_size)))
+        return sp, pi, combined
+
+    def _normalized_attention(
+        self, member_vectors: Tensor, item_vectors: Tensor
+    ) -> Tensor:
+        __, __, combined = self._raw_attention(member_vectors, item_vectors)
+        weights = softmax(combined, axis=-1)  # Eq. 12
+        return weights.reshape(weights.shape[0], self.group_size, 1)
+
+    # ------------------------------------------------------------------
+    def attention_breakdown(
+        self, member_vectors: Tensor, item_vectors: Tensor
+    ) -> list[AttentionBreakdown]:
+        """Per-instance SP/PI/total decomposition (the Fig. 6 case study)."""
+        sp, pi, combined = self._raw_attention(member_vectors, item_vectors)
+        weights = softmax(combined, axis=-1)
+        batch = member_vectors.shape[0]
+        zeros = np.zeros((batch, self.group_size))
+        sp_data = sp.data if sp is not None else zeros
+        pi_data = pi.data if pi is not None else zeros
+        return [
+            AttentionBreakdown(
+                sp=sp_data[i].copy(),
+                pi=pi_data[i].copy(),
+                combined=combined.data[i].copy(),
+                normalized=weights.data[i].copy(),
+            )
+            for i in range(batch)
+        ]

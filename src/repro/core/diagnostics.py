@@ -1,0 +1,121 @@
+"""Training diagnostics: the quantities you watch when a run misbehaves.
+
+KGAG's failure modes at small data scales are specific and measurable:
+
+* **attention collapse** — the member softmax saturates onto one member
+  (entropy → 0) before representations are learned;
+* **embedding blow-up** — margin losses push scores apart by inflating
+  norms instead of separating directions;
+* **dead propagation** — gradient mass never reaches the relation
+  embeddings, leaving the π weights at their random init.
+
+:class:`DiagnosticsRecorder` snapshots all three per epoch; the test
+suite uses it to pin the SP 1/sqrt(d) scaling fix, and it is available
+to users chasing their own divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn import no_grad
+from .model import KGAG
+
+__all__ = ["EpochDiagnostics", "DiagnosticsRecorder", "attention_entropy"]
+
+
+def attention_entropy(weights: np.ndarray) -> float:
+    """Mean Shannon entropy of attention rows, normalized to [0, 1].
+
+    1.0 = uniform attention, 0.0 = fully collapsed (one-hot).  Rows are
+    ``(batch, S)`` or ``(batch, S, 1)``.
+    """
+    weights = np.asarray(weights)
+    if weights.ndim == 3:
+        weights = weights[..., 0]
+    size = weights.shape[-1]
+    if size <= 1:
+        return 0.0
+    safe = np.clip(weights, 1e-12, 1.0)
+    entropy = -(safe * np.log(safe)).sum(axis=-1)
+    return float(entropy.mean() / np.log(size))
+
+
+@dataclass
+class EpochDiagnostics:
+    """One epoch's health snapshot."""
+
+    attention_entropy: float
+    entity_norm_mean: float
+    entity_norm_max: float
+    relation_grad_norm: float | None
+    parameter_grad_norm: float | None
+
+
+@dataclass
+class DiagnosticsRecorder:
+    """Collects :class:`EpochDiagnostics` for a KGAG model during training.
+
+    Usage::
+
+        recorder = DiagnosticsRecorder(model, probe_groups, probe_items)
+        for epoch in range(...):
+            train_epoch(...)
+            recorder.record()
+        print(recorder.history[-1].attention_entropy)
+    """
+
+    model: KGAG
+    probe_groups: np.ndarray
+    probe_items: np.ndarray
+    history: list[EpochDiagnostics] = field(default_factory=list)
+
+    def snapshot(self) -> EpochDiagnostics:
+        """Measure the current model state (no recording)."""
+        model = self.model
+        with no_grad():
+            groups = np.asarray(self.probe_groups, dtype=np.int64)
+            items = np.asarray(self.probe_items, dtype=np.int64)
+            members = model.groups.members_of(groups)
+            member_entities = model.ckg.user_entities(members)
+            item_entities = model.ckg.item_entities(items)
+            member_vectors = model._member_representations(
+                member_entities, item_entities
+            )
+            item_vectors = model._item_representations(item_entities, member_entities)
+            weights = model.aggregation.attention_weights(member_vectors, item_vectors)
+            entropy = attention_entropy(weights.data)
+
+        entity_norms = np.linalg.norm(
+            model.propagation.entity_embedding.weight.data, axis=1
+        )
+        relation_grad = model.propagation.relation_embedding.weight.grad
+        total_grad = 0.0
+        any_grad = False
+        for parameter in model.parameters():
+            if parameter.grad is not None:
+                total_grad += float((parameter.grad**2).sum())
+                any_grad = True
+        return EpochDiagnostics(
+            attention_entropy=entropy,
+            entity_norm_mean=float(entity_norms.mean()),
+            entity_norm_max=float(entity_norms.max()),
+            relation_grad_norm=(
+                float(np.linalg.norm(relation_grad)) if relation_grad is not None else None
+            ),
+            parameter_grad_norm=np.sqrt(total_grad) if any_grad else None,
+        )
+
+    def record(self) -> EpochDiagnostics:
+        """Snapshot and append to :attr:`history`."""
+        snapshot = self.snapshot()
+        self.history.append(snapshot)
+        return snapshot
+
+    def collapsed(self, threshold: float = 0.1) -> bool:
+        """Whether the latest snapshot shows attention collapse."""
+        if not self.history:
+            raise ValueError("no snapshots recorded yet")
+        return self.history[-1].attention_entropy < threshold

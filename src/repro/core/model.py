@@ -1,0 +1,205 @@
+"""The KGAG model (Sec. III): propagation + preference aggregation + scoring.
+
+End-to-end wiring of the three blocks over a collaborative knowledge
+graph:
+
+1. build the collaborative KG (item KG + user Interact edges, Sec. III-A);
+2. learn knowledge-aware representations with the information
+   propagation block (Sec. III-C), where each seed's relation-attention
+   query i_e is its *interaction object* — the candidate item for a user
+   seed, the mean member zero-order embedding for an item seed (Eq. 2);
+3. aggregate member preferences with SP+PI attention (Sec. III-D);
+4. score with inner products (Eqs. 14/15/19).
+
+Ablation switches live in :class:`~repro.core.config.KGAGConfig`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.groups import GroupSet
+from ..kg.collaborative import ItemEntityMap, build_collaborative_graph
+from ..kg.graph import KnowledgeGraph
+from ..kg.sampling import NeighborSampler
+from ..nn import Module, Tensor
+from .attention import AttentionBreakdown, PreferenceAggregation
+from .config import KGAGConfig
+from .propagation import InformationPropagation
+
+__all__ = ["KGAG"]
+
+
+class KGAG(Module):
+    """Knowledge graph-based attentive group recommendation.
+
+    Parameters
+    ----------
+    kg:
+        Item knowledge graph with items occupying entities
+        ``[0, num_items)`` (the identity f: V -> E map; pass ``item_map``
+        for a different layout).
+    num_users / num_items:
+        Population sizes.
+    user_item_pairs:
+        Observed Y^U = 1 pairs; they become Interact edges of the
+        collaborative KG *and* the log-loss training signal.
+    groups:
+        Fixed-size group memberships.
+    config:
+        Hyper-parameters and ablation switches.
+    item_map:
+        Optional non-identity item->entity mapping.
+    """
+
+    def __init__(
+        self,
+        kg: KnowledgeGraph,
+        num_users: int,
+        num_items: int,
+        user_item_pairs: np.ndarray,
+        groups: GroupSet,
+        config: KGAGConfig | None = None,
+        item_map: ItemEntityMap | None = None,
+    ):
+        super().__init__()
+        self.config = config or KGAGConfig()
+        if num_items > kg.num_entities:
+            raise ValueError("num_items exceeds the KG entity vocabulary")
+        rng = np.random.default_rng(self.config.seed)
+
+        self.groups = groups
+        self.num_users = int(num_users)
+        self.num_items = int(num_items)
+        if item_map is None:
+            item_map = ItemEntityMap.identity(num_items)
+        self.ckg = build_collaborative_graph(
+            kg, num_users, np.asarray(user_item_pairs), item_map
+        )
+        self.sampler = NeighborSampler(
+            self.ckg, self.config.num_neighbors, rng=rng
+        )
+        depth = self.config.num_layers if self.config.use_kg else 0
+        self.propagation = InformationPropagation(
+            num_entities=self.ckg.num_entities,
+            num_relation_slots=self.sampler.num_relation_slots,
+            dim=self.config.embedding_dim,
+            num_layers=depth,
+            aggregator=self.config.aggregator,
+            uniform_weights=self.config.uniform_neighbor_weights,
+            rng=rng,
+        )
+        self.aggregation = PreferenceAggregation(
+            dim=self.config.embedding_dim,
+            group_size=groups.group_size,
+            use_sp=self.config.use_sp,
+            use_pi=self.config.use_pi,
+            pi_pooling=self.config.pi_pooling,
+            rng=rng,
+        )
+
+    # ------------------------------------------------------------------
+    # representation helpers
+    # ------------------------------------------------------------------
+    def _member_representations(
+        self, member_entities: np.ndarray, item_entities: np.ndarray
+    ) -> Tensor:
+        """Propagate group members with the candidate item as query.
+
+        ``member_entities`` is ``(batch, S)``; ``item_entities`` is
+        ``(batch,)``.  Returns ``(batch, S, d)``.
+        """
+        batch, size = member_entities.shape
+        dim = self.config.embedding_dim
+        flat_members = member_entities.reshape(-1)
+        # i_e for a user seed = the candidate item of her group (Eq. 2).
+        item_queries = self.propagation.zero_order(item_entities)  # (batch, d)
+        flat_queries = (
+            item_queries.reshape(batch, 1, dim)
+            * Tensor(np.ones((1, size, 1)))
+        ).reshape(batch * size, dim)
+        flat = self.propagation(flat_members, flat_queries, self.sampler)
+        return flat.reshape(batch, size, dim)
+
+    def _item_representations(
+        self, item_entities: np.ndarray, member_entities: np.ndarray
+    ) -> Tensor:
+        """Propagate items with the mean member embedding as query.
+
+        ``item_entities`` is ``(batch,)``; ``member_entities`` is
+        ``(batch, S)``.  Returns ``(batch, d)``.
+        """
+        member_zero = self.propagation.zero_order(member_entities)  # (B, S, d)
+        queries = member_zero.mean(axis=1)  # equal-weight average (Eq. 2)
+        return self.propagation(item_entities, queries, self.sampler)
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+    def group_item_scores(self, group_ids, item_ids) -> Tensor:
+        """ŷ_{g,v} = g · v (Eq. 14) for aligned id arrays."""
+        group_ids = np.asarray(group_ids, dtype=np.int64)
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        if group_ids.shape != item_ids.shape or group_ids.ndim != 1:
+            raise ValueError("group_ids and item_ids must be aligned 1-D arrays")
+        members = self.groups.members_of(group_ids)  # (B, S)
+        member_entities = self.ckg.user_entities(members)
+        item_entities = self.ckg.item_entities(item_ids)
+
+        member_vectors = self._member_representations(member_entities, item_entities)
+        item_vectors = self._item_representations(item_entities, member_entities)
+        group_vectors = self.aggregation(member_vectors, item_vectors)
+        return (group_vectors * item_vectors).sum(axis=-1)
+
+    def user_item_scores(self, user_ids, item_ids) -> Tensor:
+        """ŷ^U_{u,v} = u · v (Eq. 19) for aligned id arrays."""
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        if user_ids.shape != item_ids.shape or user_ids.ndim != 1:
+            raise ValueError("user_ids and item_ids must be aligned 1-D arrays")
+        user_entities = self.ckg.user_entities(user_ids)
+        item_entities = self.ckg.item_entities(item_ids)
+        # Mutual interaction-object queries (Eq. 2).
+        user_queries = self.propagation.zero_order(item_entities)
+        item_queries = self.propagation.zero_order(user_entities)
+        user_vectors = self.propagation(user_entities, user_queries, self.sampler)
+        item_vectors = self.propagation(item_entities, item_queries, self.sampler)
+        return (user_vectors * item_vectors).sum(axis=-1)
+
+    def forward(self, group_ids, item_ids) -> Tensor:
+        """Alias for :meth:`group_item_scores` (the primary task)."""
+        return self.group_item_scores(group_ids, item_ids)
+
+    # ------------------------------------------------------------------
+    # interpretability (Sec. IV-H)
+    # ------------------------------------------------------------------
+    def explain(self, group_id: int, item_id: int) -> dict:
+        """Attention decomposition for one (group, item) pair.
+
+        Returns a dict with the member ids, the SP / PI / combined /
+        normalized attention values, and the prediction score — the data
+        behind the paper's Fig. 6 case study.
+        """
+        group_ids = np.array([int(group_id)])
+        item_ids = np.array([int(item_id)])
+        members = self.groups.members_of(group_ids)
+        member_entities = self.ckg.user_entities(members)
+        item_entities = self.ckg.item_entities(item_ids)
+        member_vectors = self._member_representations(member_entities, item_entities)
+        item_vectors = self._item_representations(item_entities, member_entities)
+        breakdown: AttentionBreakdown = self.aggregation.attention_breakdown(
+            member_vectors, item_vectors
+        )[0]
+        group_vector = self.aggregation(member_vectors, item_vectors)
+        score = float((group_vector * item_vectors).sum(axis=-1).item())
+        return {
+            "group": int(group_id),
+            "item": int(item_id),
+            "members": members[0].tolist(),
+            "sp": breakdown.sp,
+            "pi": breakdown.pi,
+            "combined": breakdown.combined,
+            "attention": breakdown.normalized,
+            "score": score,
+            "probability": float(1.0 / (1.0 + np.exp(-score))),
+        }

@@ -1,0 +1,60 @@
+"""``repro.data`` — interaction data, group construction, synthetic datasets.
+
+Implements the data side of the paper's Sec. III-A / IV-B: user-item and
+group-item interaction tables, explicit ratings, the three group
+construction protocols (random, PCC-similarity, friend co-visit), the
+60/20/20 split, negative sampling, mixed mini-batch loading, and the
+latent-topic synthetic generators replacing MovieLens-20M and Yelp.
+"""
+
+from .interactions import InteractionTable, RatingsTable
+from .similarity import pearson_correlation, pairwise_pearson, mean_group_similarity
+from .groups import (
+    GroupSet,
+    random_groups,
+    similarity_groups,
+    covisit_groups,
+    group_positive_items,
+)
+from .splits import Split, split_interactions
+from .negative import NegativeSampler
+from .loader import MixedBatch, MixedBatchLoader, iterate_minibatches
+from .synthetic import (
+    LatentWorld,
+    WorldConfig,
+    sample_world,
+    sample_ratings,
+    GroupRecommendationDataset,
+    MovieLensLikeConfig,
+    movielens_like,
+    YelpLikeConfig,
+    yelp_like,
+)
+
+__all__ = [
+    "InteractionTable",
+    "RatingsTable",
+    "pearson_correlation",
+    "pairwise_pearson",
+    "mean_group_similarity",
+    "GroupSet",
+    "random_groups",
+    "similarity_groups",
+    "covisit_groups",
+    "group_positive_items",
+    "Split",
+    "split_interactions",
+    "NegativeSampler",
+    "MixedBatch",
+    "MixedBatchLoader",
+    "iterate_minibatches",
+    "LatentWorld",
+    "WorldConfig",
+    "sample_world",
+    "sample_ratings",
+    "GroupRecommendationDataset",
+    "MovieLensLikeConfig",
+    "movielens_like",
+    "YelpLikeConfig",
+    "yelp_like",
+]

@@ -1,0 +1,182 @@
+"""Interaction tables: the Y^U and Y^G matrices of Sec. III-A.
+
+Implicit-feedback interactions are stored sparsely as ``(row, col)`` pairs
+(a user-item or group-item edge list).  Explicit 1-5 star ratings — which
+the group-construction protocol needs — live in :class:`RatingsTable`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+__all__ = ["InteractionTable", "RatingsTable"]
+
+
+class InteractionTable:
+    """Sparse binary interaction matrix as an edge list.
+
+    Parameters
+    ----------
+    num_rows, num_cols:
+        Matrix dimensions (users x items, or groups x items).
+    pairs:
+        ``(n, 2)`` array-like of ``(row, col)`` indices with implicit
+        feedback ``y = 1``.  Duplicates are removed.
+    """
+
+    def __init__(self, num_rows: int, num_cols: int, pairs):
+        if num_rows <= 0 or num_cols <= 0:
+            raise ValueError("matrix dimensions must be positive")
+        self.num_rows = int(num_rows)
+        self.num_cols = int(num_cols)
+        array = np.asarray(pairs, dtype=np.int64)
+        if array.size == 0:
+            array = np.zeros((0, 2), dtype=np.int64)
+        if array.ndim != 2 or array.shape[1] != 2:
+            raise ValueError("pairs must have shape (n, 2)")
+        if len(array):
+            if array[:, 0].min() < 0 or array[:, 0].max() >= num_rows:
+                raise ValueError("row index out of range")
+            if array[:, 1].min() < 0 or array[:, 1].max() >= num_cols:
+                raise ValueError("col index out of range")
+        self._pairs = np.unique(array, axis=0)
+        self._by_row: dict[int, np.ndarray] | None = None
+
+    # -- views -----------------------------------------------------------
+    @property
+    def pairs(self) -> np.ndarray:
+        """Deduplicated ``(n, 2)`` edge list, lexicographically sorted."""
+        return self._pairs
+
+    @property
+    def num_interactions(self) -> int:
+        return len(self._pairs)
+
+    def __len__(self) -> int:
+        return self.num_interactions
+
+    def __contains__(self, pair) -> bool:
+        row, col = int(pair[0]), int(pair[1])
+        return col in set(self.items_of(row))
+
+    def items_of(self, row: int) -> np.ndarray:
+        """Columns interacted-with by ``row`` (a user's or group's items)."""
+        if self._by_row is None:
+            index: dict[int, list[int]] = {}
+            for r, c in self._pairs:
+                index.setdefault(int(r), []).append(int(c))
+            self._by_row = {r: np.array(sorted(cs), dtype=np.int64) for r, cs in index.items()}
+        return self._by_row.get(int(row), np.zeros(0, dtype=np.int64))
+
+    def rows_of(self, col: int) -> np.ndarray:
+        """Rows that interacted with ``col``."""
+        mask = self._pairs[:, 1] == int(col)
+        return np.unique(self._pairs[mask, 0])
+
+    def row_counts(self) -> np.ndarray:
+        """Number of interactions per row."""
+        counts = np.zeros(self.num_rows, dtype=np.int64)
+        if len(self._pairs):
+            uniq, freq = np.unique(self._pairs[:, 0], return_counts=True)
+            counts[uniq] = freq
+        return counts
+
+    def density(self) -> float:
+        """Fraction of filled cells — the sparsity the paper battles."""
+        return self.num_interactions / (self.num_rows * self.num_cols)
+
+    # -- conversions -------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        """Dense 0/1 matrix (small datasets / tests only)."""
+        matrix = np.zeros((self.num_rows, self.num_cols))
+        if len(self._pairs):
+            matrix[self._pairs[:, 0], self._pairs[:, 1]] = 1.0
+        return matrix
+
+    def to_csr(self) -> sparse.csr_matrix:
+        """scipy CSR view of the binary matrix."""
+        data = np.ones(len(self._pairs))
+        return sparse.csr_matrix(
+            (data, (self._pairs[:, 0], self._pairs[:, 1])),
+            shape=(self.num_rows, self.num_cols),
+        )
+
+    # -- manipulation ----------------------------------------------------
+    def subset(self, pair_indices) -> "InteractionTable":
+        """New table containing only the chosen pair rows."""
+        return InteractionTable(
+            self.num_rows, self.num_cols, self._pairs[np.asarray(pair_indices)]
+        )
+
+    def union(self, other: "InteractionTable") -> "InteractionTable":
+        """Union of two tables with identical dimensions."""
+        if (self.num_rows, self.num_cols) != (other.num_rows, other.num_cols):
+            raise ValueError("cannot union tables of different shapes")
+        return InteractionTable(
+            self.num_rows,
+            self.num_cols,
+            np.concatenate([self._pairs, other._pairs], axis=0),
+        )
+
+
+class RatingsTable:
+    """Explicit star ratings on a 1-5 scale (MovieLens-style).
+
+    Stored as parallel arrays ``(users, items, values)``.  Provides the
+    derived views the reproduction pipeline needs: a dense matrix with NaN
+    for missing entries (for Pearson similarity) and thresholded implicit
+    feedback (rating >= 4 counts as positive, per Sec. IV-B).
+    """
+
+    POSITIVE_THRESHOLD = 4.0
+
+    def __init__(self, num_users: int, num_items: int, users, items, values):
+        if num_users <= 0 or num_items <= 0:
+            raise ValueError("matrix dimensions must be positive")
+        self.num_users = int(num_users)
+        self.num_items = int(num_items)
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if not (len(users) == len(items) == len(values)):
+            raise ValueError("users/items/values must align")
+        if len(users):
+            if users.min() < 0 or users.max() >= num_users:
+                raise ValueError("user index out of range")
+            if items.min() < 0 or items.max() >= num_items:
+                raise ValueError("item index out of range")
+            if values.min() < 1.0 or values.max() > 5.0:
+                raise ValueError("ratings must lie in [1, 5]")
+        self.users = users
+        self.items = items
+        self.values = values
+
+    @property
+    def num_ratings(self) -> int:
+        return len(self.values)
+
+    def __len__(self) -> int:
+        return self.num_ratings
+
+    def to_dense(self, fill=np.nan) -> np.ndarray:
+        """Dense ratings matrix with ``fill`` in unrated cells.
+
+        When the same (user, item) appears multiple times the last rating
+        wins, matching "latest rating" semantics.
+        """
+        matrix = np.full((self.num_users, self.num_items), fill, dtype=np.float64)
+        matrix[self.users, self.items] = self.values
+        return matrix
+
+    def implicit_positives(self, threshold: float | None = None) -> InteractionTable:
+        """User-item pairs with rating >= threshold (default 4.0)."""
+        threshold = self.POSITIVE_THRESHOLD if threshold is None else threshold
+        keep = self.values >= threshold
+        pairs = np.stack([self.users[keep], self.items[keep]], axis=1)
+        return InteractionTable(self.num_users, self.num_items, pairs)
+
+    def ratings_of(self, user: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(items, values)`` rated by ``user``."""
+        mask = self.users == int(user)
+        return self.items[mask], self.values[mask]

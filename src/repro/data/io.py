@@ -1,0 +1,115 @@
+"""Dataset persistence: save/load a GroupRecommendationDataset to disk.
+
+Synthetic datasets are cheap to regenerate, but persisted bundles make
+experiments bit-for-bit repeatable across machines and let users plug in
+*real* data: anything serialized in this format (a directory of ``.npz``
+arrays plus a JSON manifest) loads into the same pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..kg.graph import KnowledgeGraph
+from .groups import GroupSet
+from .interactions import InteractionTable, RatingsTable
+from .synthetic import GroupRecommendationDataset
+
+__all__ = ["save_dataset", "load_dataset"]
+
+_MANIFEST = "manifest.json"
+_ARRAYS = "arrays.npz"
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: GroupRecommendationDataset, directory: str | Path) -> Path:
+    """Serialize ``dataset`` into ``directory`` (created if needed).
+
+    The latent world (diagnostics-only ground truth) is *not* persisted —
+    a loaded dataset is exactly what a real-data pipeline would see.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    arrays: dict[str, np.ndarray] = {
+        "group_members": dataset.groups.members,
+        "user_item_pairs": dataset.user_item.pairs,
+        "group_item_pairs": dataset.group_item.pairs,
+        "kg_triples": dataset.kg.triples,
+    }
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "name": dataset.name,
+        "num_users": dataset.num_users,
+        "num_items": dataset.num_items,
+        "kg_num_entities": dataset.kg.num_entities,
+        "kg_num_relations": dataset.kg.num_relations,
+        "kg_bidirectional": dataset.kg.bidirectional,
+        "kg_entity_names": {str(k): v for k, v in dataset.kg.entity_names.items()},
+        "kg_relation_names": {str(k): v for k, v in dataset.kg.relation_names.items()},
+        "has_ratings": dataset.ratings is not None,
+    }
+    if dataset.ratings is not None:
+        arrays["rating_users"] = dataset.ratings.users
+        arrays["rating_items"] = dataset.ratings.items
+        arrays["rating_values"] = dataset.ratings.values
+
+    np.savez(directory / _ARRAYS, **arrays)
+    with open(directory / _MANIFEST, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+    return directory
+
+
+def load_dataset(directory: str | Path) -> GroupRecommendationDataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no dataset manifest at {manifest_path}")
+    with open(manifest_path, encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if manifest.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported dataset format version {manifest.get('format_version')!r}"
+        )
+    with np.load(directory / _ARRAYS) as archive:
+        arrays = {name: archive[name] for name in archive.files}
+
+    kg = KnowledgeGraph(
+        num_entities=manifest["kg_num_entities"],
+        num_relations=manifest["kg_num_relations"],
+        triples=arrays["kg_triples"],
+        entity_names={int(k): v for k, v in manifest["kg_entity_names"].items()},
+        relation_names={int(k): v for k, v in manifest["kg_relation_names"].items()},
+        bidirectional=manifest["kg_bidirectional"],
+    )
+    groups = GroupSet(arrays["group_members"], num_users=manifest["num_users"])
+    user_item = InteractionTable(
+        manifest["num_users"], manifest["num_items"], arrays["user_item_pairs"]
+    )
+    group_item = InteractionTable(
+        groups.num_groups, manifest["num_items"], arrays["group_item_pairs"]
+    )
+    ratings = None
+    if manifest["has_ratings"]:
+        ratings = RatingsTable(
+            manifest["num_users"],
+            manifest["num_items"],
+            arrays["rating_users"],
+            arrays["rating_items"],
+            arrays["rating_values"],
+        )
+    return GroupRecommendationDataset(
+        name=manifest["name"],
+        num_users=manifest["num_users"],
+        num_items=manifest["num_items"],
+        groups=groups,
+        user_item=user_item,
+        group_item=group_item,
+        kg=kg,
+        ratings=ratings,
+        world=None,
+    )

@@ -1,0 +1,120 @@
+"""Mini-batch loading.
+
+The paper performs mini-batch training "where each mini-batch contains
+both user-item and group-item interactions" (Sec. III-E).
+:class:`MixedBatchLoader` yields exactly that: group triplets for the
+margin loss and labelled user pairs for the log loss, proportionally
+interleaved so both heads see data every step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from .interactions import InteractionTable
+from .negative import NegativeSampler
+
+__all__ = ["MixedBatch", "MixedBatchLoader", "iterate_minibatches"]
+
+
+@dataclass
+class MixedBatch:
+    """One training step's data.
+
+    Attributes
+    ----------
+    group_triplets:
+        ``(b_g, 3)`` rows of ``(group, positive_item, negative_item)``.
+    user_pairs:
+        ``(b_u, 3)`` rows of ``(user, item, label)``.
+    """
+
+    group_triplets: np.ndarray
+    user_pairs: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return len(self.group_triplets) + len(self.user_pairs)
+
+
+def iterate_minibatches(
+    array: np.ndarray, batch_size: int, rng: np.random.Generator
+) -> Iterator[np.ndarray]:
+    """Shuffle rows and yield consecutive chunks."""
+    order = rng.permutation(len(array))
+    for start in range(0, len(array), batch_size):
+        yield array[order[start : start + batch_size]]
+
+
+class MixedBatchLoader:
+    """Iterates epochs of mixed group+user mini-batches.
+
+    Parameters
+    ----------
+    group_train:
+        Group-item training positives.
+    user_train:
+        User-item training positives.
+    batch_size:
+        Number of *group* triplets per batch; user pairs are attached
+        proportionally so one epoch covers both tables once.
+    negatives_per_positive:
+        Negatives per user positive for the log-loss head.
+    rng:
+        Seeded generator (shuffling + negative sampling).
+    """
+
+    def __init__(
+        self,
+        group_train: InteractionTable,
+        user_train: InteractionTable,
+        batch_size: int = 128,
+        negatives_per_positive: int = 1,
+        rng: np.random.Generator | None = None,
+    ):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if group_train.num_interactions == 0:
+            raise ValueError("group training table is empty")
+        self.group_train = group_train
+        self.user_train = user_train
+        self.batch_size = batch_size
+        self.rng = rng or np.random.default_rng()
+        self.group_negatives = NegativeSampler(group_train, rng=self.rng)
+        self.user_negatives = NegativeSampler(user_train, rng=self.rng)
+        self.negatives_per_positive = negatives_per_positive
+        # User rows per group row so one epoch covers both tables.
+        self._user_ratio = (
+            user_train.num_interactions / group_train.num_interactions
+            if user_train.num_interactions
+            else 0.0
+        )
+
+    def num_batches(self) -> int:
+        """Batches per epoch."""
+        return int(np.ceil(self.group_train.num_interactions / self.batch_size))
+
+    def epoch(self) -> Iterator[MixedBatch]:
+        """Yield one epoch of mixed batches."""
+        group_pairs = self.group_train.pairs
+        user_pairs = self.user_train.pairs
+        user_batch_size = max(1, int(round(self.batch_size * self._user_ratio)))
+
+        user_iter = (
+            iterate_minibatches(user_pairs, user_batch_size, self.rng)
+            if len(user_pairs)
+            else iter(())
+        )
+        for group_chunk in iterate_minibatches(group_pairs, self.batch_size, self.rng):
+            triplets = self.group_negatives.sample_triplets(group_chunk)
+            user_chunk = next(user_iter, None)
+            if user_chunk is None or len(user_chunk) == 0:
+                labelled = np.zeros((0, 3), dtype=np.int64)
+            else:
+                labelled = self.user_negatives.labelled_pairs(
+                    user_chunk, self.negatives_per_positive
+                )
+            yield MixedBatch(group_triplets=triplets, user_pairs=labelled)

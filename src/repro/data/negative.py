@@ -1,0 +1,86 @@
+"""Negative sampling for pairwise training.
+
+The group margin loss (Eq. 17) consumes triplets ``(g, v_pos, v_neg)``
+where ``v_neg`` was *not* selected by ``g``; the user log loss (Eq. 18)
+consumes labelled pairs with sampled negatives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .interactions import InteractionTable
+
+__all__ = ["NegativeSampler"]
+
+
+class NegativeSampler:
+    """Uniform negative item sampler that avoids observed positives.
+
+    Parameters
+    ----------
+    table:
+        Observed positives (train split — evaluation positives must *not*
+        be excluded, otherwise the sampler leaks test information).
+    rng:
+        Seeded generator.
+    max_resamples:
+        Rejection-sampling budget per draw; rows that have consumed the
+        whole item vocabulary fall back to uniform sampling.
+    """
+
+    def __init__(
+        self,
+        table: InteractionTable,
+        rng: np.random.Generator | None = None,
+        max_resamples: int = 100,
+    ):
+        self.table = table
+        self.num_items = table.num_cols
+        self.rng = rng or np.random.default_rng()
+        self.max_resamples = max_resamples
+        self._positives = {
+            int(row): set(table.items_of(row).tolist())
+            for row in np.unique(table.pairs[:, 0])
+        } if table.num_interactions else {}
+
+    def sample_for_rows(self, rows) -> np.ndarray:
+        """One negative item per row id (vectorized rejection sampling)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        negatives = self.rng.integers(0, self.num_items, size=len(rows))
+        for attempt in range(self.max_resamples):
+            collisions = np.array(
+                [
+                    item in self._positives.get(int(row), ())
+                    for row, item in zip(rows, negatives)
+                ]
+            )
+            if not collisions.any():
+                break
+            negatives[collisions] = self.rng.integers(
+                0, self.num_items, size=int(collisions.sum())
+            )
+        return negatives
+
+    def sample_triplets(self, pairs) -> np.ndarray:
+        """Turn ``(row, pos_item)`` pairs into ``(row, pos, neg)`` triplets."""
+        pairs = np.asarray(pairs, dtype=np.int64)
+        negatives = self.sample_for_rows(pairs[:, 0])
+        return np.concatenate([pairs, negatives[:, None]], axis=1)
+
+    def labelled_pairs(self, pairs, negatives_per_positive: int = 1) -> np.ndarray:
+        """``(row, item, label)`` rows: observed positives plus sampled 0s."""
+        pairs = np.asarray(pairs, dtype=np.int64)
+        positives = np.concatenate(
+            [pairs, np.ones((len(pairs), 1), dtype=np.int64)], axis=1
+        )
+        blocks = [positives]
+        for _ in range(negatives_per_positive):
+            negatives = self.sample_for_rows(pairs[:, 0])
+            blocks.append(
+                np.stack(
+                    [pairs[:, 0], negatives, np.zeros(len(pairs), dtype=np.int64)],
+                    axis=1,
+                )
+            )
+        return np.concatenate(blocks, axis=0)

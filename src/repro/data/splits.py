@@ -1,0 +1,67 @@
+"""Train/validation/test splitting.
+
+The paper randomly splits each dataset 60/20/20 (Sec. IV-B).  The split is
+over *group-item* interactions; user-item interactions always stay in the
+training signal (they exist only to alleviate sparsity via Eq. 18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .interactions import InteractionTable
+
+__all__ = ["Split", "split_interactions"]
+
+
+@dataclass(frozen=True)
+class Split:
+    """Train / validation / test interaction tables."""
+
+    train: InteractionTable
+    validation: InteractionTable
+    test: InteractionTable
+
+    @property
+    def sizes(self) -> tuple[int, int, int]:
+        return (
+            self.train.num_interactions,
+            self.validation.num_interactions,
+            self.test.num_interactions,
+        )
+
+
+def split_interactions(
+    table: InteractionTable,
+    ratios: tuple[float, float, float] = (0.6, 0.2, 0.2),
+    rng: np.random.Generator | None = None,
+) -> Split:
+    """Randomly partition interaction pairs by ``ratios``.
+
+    Ratios must sum to 1.  Rounding assigns leftover pairs to the training
+    partition so no interaction is lost.
+    """
+    if len(ratios) != 3:
+        raise ValueError("ratios must be (train, validation, test)")
+    if abs(sum(ratios) - 1.0) > 1e-9:
+        raise ValueError(f"ratios must sum to 1, got {sum(ratios)}")
+    if min(ratios) < 0:
+        raise ValueError("ratios must be non-negative")
+    rng = rng or np.random.default_rng()
+
+    count = table.num_interactions
+    order = rng.permutation(count)
+    n_validation = int(count * ratios[1])
+    n_test = int(count * ratios[2])
+    n_train = count - n_validation - n_test
+
+    train_idx = order[:n_train]
+    validation_idx = order[n_train : n_train + n_validation]
+    test_idx = order[n_train + n_validation :]
+    return Split(
+        train=table.subset(train_idx),
+        validation=table.subset(validation_idx),
+        test=table.subset(test_idx),
+    )

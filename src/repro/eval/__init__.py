@@ -1,0 +1,27 @@
+"""``repro.eval`` — ranking metrics and the paper's evaluation protocol."""
+
+from .metrics import (
+    top_k_items,
+    hit_at_k,
+    recall_at_k,
+    precision_at_k,
+    ndcg_at_k,
+    evaluate_rankings,
+)
+from .evaluator import GroupScorer, score_all_items, evaluate_group_recommender
+from .significance import BootstrapResult, paired_bootstrap, per_group_metrics
+
+__all__ = [
+    "BootstrapResult",
+    "paired_bootstrap",
+    "per_group_metrics",
+    "top_k_items",
+    "hit_at_k",
+    "recall_at_k",
+    "precision_at_k",
+    "ndcg_at_k",
+    "evaluate_rankings",
+    "GroupScorer",
+    "score_all_items",
+    "evaluate_group_recommender",
+]

@@ -1,0 +1,89 @@
+"""The paper's ranking evaluation protocol (Sec. IV-C).
+
+For every group that has at least one positive in the evaluation split,
+score *all* items, rank them, and compute hit@k / rec@k.  A
+:class:`GroupScorer` is any callable mapping aligned ``(group_ids,
+item_ids)`` arrays to a score array — both KGAG and every baseline
+expose that interface, so one evaluator serves the whole Table II.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from ..data.interactions import InteractionTable
+from .metrics import evaluate_rankings
+
+__all__ = ["GroupScorer", "score_all_items", "evaluate_group_recommender"]
+
+
+class GroupScorer(Protocol):
+    """Anything that scores aligned (group, item) id arrays."""
+
+    def __call__(self, group_ids: np.ndarray, item_ids: np.ndarray) -> np.ndarray: ...
+
+
+def score_all_items(
+    scorer: GroupScorer,
+    group_ids: np.ndarray,
+    num_items: int,
+    chunk_size: int = 4096,
+) -> dict[int, np.ndarray]:
+    """Score every item for every group, chunked to bound memory.
+
+    Returns ``{group_id: (num_items,) score vector}``.
+    """
+    group_ids = np.unique(np.asarray(group_ids, dtype=np.int64))
+    all_items = np.arange(num_items, dtype=np.int64)
+    results: dict[int, np.ndarray] = {}
+    pending_groups = np.repeat(group_ids, num_items)
+    pending_items = np.tile(all_items, len(group_ids))
+    scores = np.empty(len(pending_groups), dtype=np.float64)
+    for start in range(0, len(pending_groups), chunk_size):
+        stop = start + chunk_size
+        scores[start:stop] = np.asarray(
+            scorer(pending_groups[start:stop], pending_items[start:stop])
+        )
+    for index, group in enumerate(group_ids):
+        results[int(group)] = scores[index * num_items : (index + 1) * num_items]
+    return results
+
+
+def evaluate_group_recommender(
+    scorer: GroupScorer,
+    test_interactions: InteractionTable,
+    k: int = 5,
+    train_interactions: InteractionTable | None = None,
+    chunk_size: int = 4096,
+) -> dict[str, float]:
+    """hit@k / rec@k of a scorer on a test split.
+
+    Parameters
+    ----------
+    scorer:
+        Score function (see :class:`GroupScorer`).
+    test_interactions:
+        Ground-truth group-item positives of the evaluation split.
+    train_interactions:
+        If given, items the group already interacted with in training are
+        masked to -inf before ranking (standard protocol: do not
+        re-recommend known positives).
+    """
+    if test_interactions.num_interactions == 0:
+        raise ValueError("test split is empty")
+    groups = np.unique(test_interactions.pairs[:, 0])
+    scores_by_group = score_all_items(
+        scorer, groups, test_interactions.num_cols, chunk_size=chunk_size
+    )
+    if train_interactions is not None:
+        for group in groups:
+            seen = train_interactions.items_of(int(group))
+            if len(seen):
+                scores_by_group[int(group)] = scores_by_group[int(group)].copy()
+                scores_by_group[int(group)][seen] = -np.inf
+    positives_by_group = {
+        int(group): test_interactions.items_of(int(group)).tolist() for group in groups
+    }
+    return evaluate_rankings(scores_by_group, positives_by_group, k=k)

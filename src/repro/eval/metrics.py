@@ -1,0 +1,116 @@
+"""Ranking metrics (Sec. IV-C).
+
+* ``hit@k`` (Eq. 21): fraction of groups with at least one test positive
+  in their top-k list.
+* ``rec@k``: per-group fraction of test positives recovered in top-k,
+  averaged over groups.
+* ``ndcg@k`` and ``precision@k`` are provided as supplementary metrics
+  (not reported in the paper's tables but standard in follow-up work).
+
+All metrics consume a score vector over the candidate items and the set
+of ground-truth positive items for one group, or operate in aggregate
+via :func:`evaluate_rankings`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "top_k_items",
+    "hit_at_k",
+    "recall_at_k",
+    "precision_at_k",
+    "ndcg_at_k",
+    "evaluate_rankings",
+]
+
+
+def top_k_items(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the k highest-scoring items, best first.
+
+    Ties break deterministically by item id (stable argsort on -scores).
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    scores = np.asarray(scores, dtype=np.float64)
+    order = np.argsort(-scores, kind="stable")
+    return order[:k]
+
+
+def hit_at_k(scores: np.ndarray, positives: set[int] | Sequence[int], k: int) -> float:
+    """1.0 if any positive appears in the top-k, else 0.0."""
+    positives = set(int(p) for p in positives)
+    if not positives:
+        return 0.0
+    top = top_k_items(scores, k)
+    return 1.0 if any(int(item) in positives for item in top) else 0.0
+
+
+def recall_at_k(scores: np.ndarray, positives: set[int] | Sequence[int], k: int) -> float:
+    """Fraction of the positives recovered in the top-k."""
+    positives = set(int(p) for p in positives)
+    if not positives:
+        return 0.0
+    top = top_k_items(scores, k)
+    recovered = sum(1 for item in top if int(item) in positives)
+    return recovered / len(positives)
+
+
+def precision_at_k(scores: np.ndarray, positives: set[int] | Sequence[int], k: int) -> float:
+    """Fraction of the top-k that are positives."""
+    positives = set(int(p) for p in positives)
+    top = top_k_items(scores, k)
+    if len(top) == 0:
+        return 0.0
+    recovered = sum(1 for item in top if int(item) in positives)
+    return recovered / len(top)
+
+
+def ndcg_at_k(scores: np.ndarray, positives: set[int] | Sequence[int], k: int) -> float:
+    """Normalized discounted cumulative gain with binary relevance."""
+    positives = set(int(p) for p in positives)
+    if not positives:
+        return 0.0
+    top = top_k_items(scores, k)
+    dcg = sum(
+        1.0 / np.log2(rank + 2.0)
+        for rank, item in enumerate(top)
+        if int(item) in positives
+    )
+    ideal_hits = min(len(positives), k)
+    idcg = sum(1.0 / np.log2(rank + 2.0) for rank in range(ideal_hits))
+    return float(dcg / idcg)
+
+
+def evaluate_rankings(
+    scores_by_group: Mapping[int, np.ndarray],
+    positives_by_group: Mapping[int, Sequence[int]],
+    k: int = 5,
+) -> dict[str, float]:
+    """Aggregate hit@k / rec@k / precision@k / ndcg@k over groups.
+
+    Only groups present in ``positives_by_group`` with at least one
+    positive are counted (the paper evaluates over test-set groups).
+    """
+    hits, recalls, precisions, ndcgs = [], [], [], []
+    for group, positives in positives_by_group.items():
+        positives = set(int(p) for p in positives)
+        if not positives:
+            continue
+        scores = scores_by_group[group]
+        hits.append(hit_at_k(scores, positives, k))
+        recalls.append(recall_at_k(scores, positives, k))
+        precisions.append(precision_at_k(scores, positives, k))
+        ndcgs.append(ndcg_at_k(scores, positives, k))
+    if not hits:
+        raise ValueError("no group had test positives to evaluate")
+    return {
+        f"hit@{k}": float(np.mean(hits)),
+        f"rec@{k}": float(np.mean(recalls)),
+        f"precision@{k}": float(np.mean(precisions)),
+        f"ndcg@{k}": float(np.mean(ndcgs)),
+        "num_groups": len(hits),
+    }

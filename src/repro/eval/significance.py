@@ -1,0 +1,97 @@
+"""Statistical comparison of two recommenders.
+
+Seed-averaged tables hide run-to-run variance; these utilities quantify
+it.  :func:`paired_bootstrap` resamples the *groups* of a test split and
+reports how often model A beats model B on the resampled metric — the
+standard paired-bootstrap significance test for ranking systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .metrics import hit_at_k, recall_at_k
+
+__all__ = ["BootstrapResult", "paired_bootstrap", "per_group_metrics"]
+
+
+@dataclass
+class BootstrapResult:
+    """Outcome of a paired bootstrap comparison."""
+
+    metric: str
+    mean_a: float
+    mean_b: float
+    mean_difference: float
+    p_win: float  # fraction of resamples where A > B
+    p_value: float  # two-sided: P(|diff| as extreme under sign-null)
+    num_groups: int
+    num_resamples: int
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Whether the difference is significant at level ``alpha``."""
+        return self.p_value < alpha
+
+
+def per_group_metrics(
+    scores_by_group: Mapping[int, np.ndarray],
+    positives_by_group: Mapping[int, Sequence[int]],
+    k: int = 5,
+    metric: str = "rec",
+) -> dict[int, float]:
+    """Per-group hit@k or rec@k values (the bootstrap's unit of resampling)."""
+    fn = {"rec": recall_at_k, "hit": hit_at_k}.get(metric)
+    if fn is None:
+        raise ValueError(f"metric must be 'rec' or 'hit', got {metric!r}")
+    out = {}
+    for group, positives in positives_by_group.items():
+        if len(positives) == 0:
+            continue
+        out[group] = fn(scores_by_group[group], positives, k)
+    return out
+
+
+def paired_bootstrap(
+    per_group_a: Mapping[int, float],
+    per_group_b: Mapping[int, float],
+    num_resamples: int = 2000,
+    rng: np.random.Generator | None = None,
+    metric: str = "rec@5",
+) -> BootstrapResult:
+    """Paired bootstrap over groups for two models' per-group metrics.
+
+    Both mappings must cover the same groups (the pairing).  Returns the
+    observed means, the win rate of A over resamples, and a two-sided
+    p-value for the mean difference.
+    """
+    common = sorted(set(per_group_a) & set(per_group_b))
+    if len(common) != len(per_group_a) or len(common) != len(per_group_b):
+        raise ValueError("paired bootstrap requires identical group sets")
+    if not common:
+        raise ValueError("no groups to compare")
+    rng = rng or np.random.default_rng()
+    a = np.array([per_group_a[g] for g in common])
+    b = np.array([per_group_b[g] for g in common])
+    observed = float((a - b).mean())
+
+    n = len(common)
+    indices = rng.integers(0, n, size=(num_resamples, n))
+    resampled_diff = (a[indices] - b[indices]).mean(axis=1)
+    p_win = float((resampled_diff > 0).mean())
+    # Two-sided p-value: how often the zero-centered resampled difference
+    # is at least as extreme as the observed one.
+    centered = resampled_diff - resampled_diff.mean()
+    p_value = float((np.abs(centered) >= abs(observed)).mean())
+    return BootstrapResult(
+        metric=metric,
+        mean_a=float(a.mean()),
+        mean_b=float(b.mean()),
+        mean_difference=observed,
+        p_win=p_win,
+        p_value=p_value,
+        num_groups=n,
+        num_resamples=num_resamples,
+    )

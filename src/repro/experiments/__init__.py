@@ -1,0 +1,38 @@
+"""``repro.experiments`` — one runnable harness per paper table/figure.
+
+* :mod:`table1_datasets` — Table I, dataset statistics,
+* :mod:`table2_overall` — Table II, overall comparison (RQ1),
+* :mod:`table3_ablation` — Table III, component ablations (RQ2),
+* :mod:`table4_aggregator` — Table IV, GCN vs GraphSage (RQ3),
+* :mod:`fig4_margin_depth` — Figure 4, margin / depth sweeps (RQ3),
+* :mod:`fig5_beta_dim` — Figure 5, β / dimension sweeps (RQ3),
+* :mod:`fig6_case_study` — Figure 6, attention explanation (RQ4),
+* :mod:`ext_cold_items` — extension: cold-item groups (not in the
+  paper; the sharpest test of the knowledge-graph thesis).
+
+Shared machinery lives in :mod:`profiles` (compute budgets),
+:mod:`runner` (model factory + seed-averaged train/eval) and
+:mod:`reporting` (paper-style text tables).
+"""
+
+from .profiles import ExperimentProfile, get_profile, PROFILES
+from .runner import (
+    TABLE2_MODELS,
+    SeedAveraged,
+    build_dataset,
+    build_model,
+    run_seed_averaged,
+    train_and_evaluate,
+)
+
+__all__ = [
+    "ExperimentProfile",
+    "get_profile",
+    "PROFILES",
+    "TABLE2_MODELS",
+    "SeedAveraged",
+    "build_dataset",
+    "build_model",
+    "run_seed_averaged",
+    "train_and_evaluate",
+]

@@ -1,0 +1,86 @@
+"""Figure 4 — influence of the margin M and the propagation depth H (RQ3).
+
+Sweeps the sigmoid-margin loss margin M over {0.2, 0.3, 0.4, 0.5, 0.6}
+and the number of propagation layers H over {1, 2, 3} on the -Simi
+dataset, reporting seed-averaged rec@5 / hit@5 per value.
+
+Shape target: both curves rise then fall — an interior optimum, because
+a tiny margin under-separates positives from negatives while a huge one
+prevents convergence, and depth 1 under-propagates while depth 3 drowns
+the signal in noise (Sec. IV-G).
+
+Run: ``python -m repro.experiments.fig4_margin_depth [--profile quick]``
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .profiles import ExperimentProfile, get_profile
+from .reporting import format_sweep
+from .runner import SeedAveraged, run_seed_averaged
+
+__all__ = ["MARGINS", "DEPTHS", "run", "render", "main"]
+
+MARGINS = (0.2, 0.3, 0.4, 0.5, 0.6)
+DEPTHS = (1, 2, 3)
+DATASET = "movielens-simi"
+
+
+def run(
+    profile: ExperimentProfile,
+    margins=MARGINS,
+    depths=DEPTHS,
+    progress=None,
+) -> dict[str, dict]:
+    """Run both sweeps; returns {"margin": {value: SeedAveraged}, "depth": ...}."""
+    margin_results: dict[float, SeedAveraged] = {}
+    for margin in margins:
+        config = profile.model.with_overrides(margin=margin)
+        margin_results[margin] = run_seed_averaged(
+            "KGAG", DATASET, profile, config=config, progress=progress
+        )
+    depth_results: dict[int, SeedAveraged] = {}
+    for depth in depths:
+        config = profile.model.with_overrides(num_layers=depth)
+        depth_results[depth] = run_seed_averaged(
+            "KGAG", DATASET, profile, config=config, progress=progress
+        )
+    return {"margin": margin_results, "depth": depth_results}
+
+
+def render(results: dict[str, dict], k: int = 5) -> str:
+    parts = []
+    for parameter, sweep in (("M", results["margin"]), ("H", results["depth"])):
+        values = list(sweep)
+        metrics = {
+            f"rec@{k}": [sweep[v].mean(f"rec@{k}") for v in values],
+            f"hit@{k}": [sweep[v].mean(f"hit@{k}") for v in values],
+        }
+        parts.append(
+            format_sweep(
+                parameter,
+                values,
+                metrics,
+                title=f"Figure 4: influence of {parameter} on {DATASET}",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="default", help="quick | default | full")
+    args = parser.parse_args(argv)
+    profile = get_profile(args.profile)
+
+    def progress(model, dataset, seed, metrics):
+        print(f"  [seed {seed}] rec@5 {metrics['rec@5']:.4f}", flush=True)
+
+    results = run(profile, progress=progress)
+    print()
+    print(render(results))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Figure 5 — influence of the group-loss weight β and the dimension d (RQ3).
+
+Sweeps β over {0.5, 0.6, 0.7, 0.8, 0.9} and the representation dimension
+d over {16, 32, 64} on the -Simi dataset.
+
+Shape target: rise-then-fall for both — a small β wastes the user-item
+signal that alleviates sparsity, a large one ignores it; a small d lacks
+capacity, a large one overfits the sparse group interactions (Sec. IV-G).
+
+Run: ``python -m repro.experiments.fig5_beta_dim [--profile quick]``
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .profiles import ExperimentProfile, get_profile
+from .reporting import format_sweep
+from .runner import SeedAveraged, run_seed_averaged
+
+__all__ = ["BETAS", "DIMENSIONS", "run", "render", "main"]
+
+BETAS = (0.5, 0.6, 0.7, 0.8, 0.9)
+DIMENSIONS = (16, 32, 64)
+DATASET = "movielens-simi"
+
+
+def run(
+    profile: ExperimentProfile,
+    betas=BETAS,
+    dimensions=DIMENSIONS,
+    progress=None,
+) -> dict[str, dict]:
+    """Run both sweeps; returns {"beta": {...}, "dimension": {...}}."""
+    beta_results: dict[float, SeedAveraged] = {}
+    for beta in betas:
+        config = profile.model.with_overrides(beta=beta)
+        beta_results[beta] = run_seed_averaged(
+            "KGAG", DATASET, profile, config=config, progress=progress
+        )
+    dim_results: dict[int, SeedAveraged] = {}
+    for dim in dimensions:
+        config = profile.model.with_overrides(embedding_dim=dim)
+        dim_results[dim] = run_seed_averaged(
+            "KGAG", DATASET, profile, config=config, progress=progress
+        )
+    return {"beta": beta_results, "dimension": dim_results}
+
+
+def render(results: dict[str, dict], k: int = 5) -> str:
+    parts = []
+    for parameter, sweep in (("beta", results["beta"]), ("d", results["dimension"])):
+        values = list(sweep)
+        metrics = {
+            f"rec@{k}": [sweep[v].mean(f"rec@{k}") for v in values],
+            f"hit@{k}": [sweep[v].mean(f"hit@{k}") for v in values],
+        }
+        parts.append(
+            format_sweep(
+                parameter,
+                values,
+                metrics,
+                title=f"Figure 5: influence of {parameter} on {DATASET}",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="default", help="quick | default | full")
+    args = parser.parse_args(argv)
+    profile = get_profile(args.profile)
+
+    def progress(model, dataset, seed, metrics):
+        print(f"  [seed {seed}] rec@5 {metrics['rec@5']:.4f}", flush=True)
+
+    results = run(profile, progress=progress)
+    print()
+    print(render(results))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Figure 6 — case study: attention as explanation (RQ4).
+
+Trains KGAG on the -Simi dataset, recommends an item to one test group,
+and prints each member's attention weight decomposed into SP (self
+persistence: does she like this item?) and PI (peer influence: do her
+peers back her?).
+
+Shape target: the attention mass concentrates on one or two members —
+"a few people influence group decision making and others just follow"
+(Sec. IV-H) — and the SP/PI columns explain *why* those members lead.
+
+Run: ``python -m repro.experiments.fig6_case_study [--profile quick]``
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import GroupRecommender, KGAGTrainer
+from ..data import split_interactions
+from ..nn import no_grad
+from .profiles import ExperimentProfile, get_profile
+from .reporting import format_attention_bars
+from .runner import build_dataset, build_model
+
+__all__ = ["CaseStudy", "run", "render", "main"]
+
+DATASET = "movielens-simi"
+
+
+@dataclass
+class CaseStudy:
+    """One explained recommendation."""
+
+    group: int
+    item: int
+    score: float
+    probability: float
+    members: list[int]
+    attention: np.ndarray
+    sp: np.ndarray
+    pi: np.ndarray
+
+
+def run(profile: ExperimentProfile, group: int | None = None) -> CaseStudy:
+    """Train KGAG on -Simi and explain its top recommendation for a group."""
+    seed = profile.seeds[0]
+    dataset = build_dataset(DATASET, profile, seed)
+    split = split_interactions(dataset.group_item, rng=np.random.default_rng(seed))
+    model = build_model("KGAG", dataset, profile.model_for_seed(seed))
+    KGAGTrainer(model, split.train, dataset.user_item, split.validation).fit()
+
+    recommender = GroupRecommender(model, split.train)
+    if group is None:
+        group = int(split.test.pairs[0, 0])
+    with no_grad():
+        top = recommender.recommend(group, k=1)[0]
+        explanation = recommender.explain(group, top.item)
+    return CaseStudy(
+        group=group,
+        item=top.item,
+        score=top.score,
+        probability=top.probability,
+        members=[m.user for m in explanation.influences],
+        attention=np.array([m.attention for m in explanation.influences]),
+        sp=np.array([m.self_persistence for m in explanation.influences]),
+        pi=np.array([m.peer_influence for m in explanation.influences]),
+    )
+
+
+def render(case: CaseStudy) -> str:
+    lines = [
+        f"Figure 6: case study on {DATASET}",
+        f"Group g_{case.group} -> item v_{case.item} "
+        f"(prediction score {case.probability:.4f})",
+        "",
+        format_attention_bars(case.members, case.attention, case.sp, case.pi),
+        "",
+    ]
+    order = np.argsort(-case.attention)
+    lead = case.members[order[0]]
+    runner_up = case.members[order[1]]
+    lines.append(
+        f"Explanation: the recommendation follows u_{lead}'s preference "
+        f"(largest influence), seconded by u_{runner_up}; the remaining "
+        f"members follow."
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="default", help="quick | default | full")
+    parser.add_argument("--group", type=int, default=None, help="test group id")
+    args = parser.parse_args(argv)
+    print(render(run(get_profile(args.profile), group=args.group)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""Experiment profiles: how much compute a harness run spends.
+
+The paper's experiments train 8 models x 3 datasets (plus sweeps) on a
+GPU; this CPU reproduction exposes three profiles:
+
+* ``quick``   — smallest datasets / few epochs / 1 seed.  Smoke-level:
+  every harness runs in seconds-to-a-minute; orderings are noisy.
+* ``default`` — the calibrated reproduction scale: datasets big enough
+  that the paper's orderings hold on seed-averages, still CPU-friendly.
+* ``full``    — larger datasets and more seeds for tighter error bars
+  (expect roughly an hour for Table II).
+
+Every experiment module accepts a profile name on its CLI
+(``python -m repro.experiments.table2_overall --profile quick``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..core.config import KGAGConfig
+from ..data.synthetic import MovieLensLikeConfig, YelpLikeConfig
+
+__all__ = ["ExperimentProfile", "get_profile", "PROFILES"]
+
+
+@dataclass
+class ExperimentProfile:
+    """Datasets + model budget + seeds for one harness run."""
+
+    name: str
+    movielens: MovieLensLikeConfig
+    yelp: YelpLikeConfig
+    model: KGAGConfig
+    seeds: tuple[int, ...] = (0, 1, 2)
+    k: int = 5
+
+    def movielens_for_seed(self, seed: int) -> MovieLensLikeConfig:
+        return replace(self.movielens, seed=seed)
+
+    def yelp_for_seed(self, seed: int) -> YelpLikeConfig:
+        return replace(self.yelp, seed=seed)
+
+    def model_for_seed(self, seed: int) -> KGAGConfig:
+        return self.model.with_overrides(seed=seed)
+
+
+def _quick() -> ExperimentProfile:
+    return ExperimentProfile(
+        name="quick",
+        movielens=MovieLensLikeConfig(num_users=60, num_items=60, num_groups=30),
+        yelp=YelpLikeConfig(num_users=40, num_items=30, num_groups=20),
+        model=KGAGConfig(
+            embedding_dim=16,
+            num_layers=1,
+            num_neighbors=4,
+            epochs=6,
+            batch_size=128,
+            patience=0,
+            learning_rate=0.01,
+        ),
+        seeds=(0,),
+    )
+
+
+def _default() -> ExperimentProfile:
+    return ExperimentProfile(
+        name="default",
+        movielens=MovieLensLikeConfig(),
+        yelp=YelpLikeConfig(),
+        model=KGAGConfig(
+            embedding_dim=32,
+            num_layers=2,
+            num_neighbors=4,
+            epochs=40,
+            batch_size=128,
+            patience=8,
+            learning_rate=0.005,
+        ),
+        seeds=(0, 1, 2),
+    )
+
+
+def _full() -> ExperimentProfile:
+    return ExperimentProfile(
+        name="full",
+        movielens=MovieLensLikeConfig(num_users=150, num_items=150, num_groups=120),
+        yelp=YelpLikeConfig(num_users=120, num_items=90, num_groups=80),
+        model=KGAGConfig(
+            embedding_dim=32,
+            num_layers=2,
+            num_neighbors=4,
+            epochs=40,
+            batch_size=256,
+            patience=8,
+            learning_rate=0.005,
+        ),
+        seeds=(0, 1, 2, 3, 4),
+    )
+
+
+PROFILES = {"quick": _quick, "default": _default, "full": _full}
+
+
+def get_profile(name: str) -> ExperimentProfile:
+    """Look up a profile by name."""
+    if name not in PROFILES:
+        raise ValueError(f"unknown profile {name!r}; choices: {sorted(PROFILES)}")
+    return PROFILES[name]()

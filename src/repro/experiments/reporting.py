@@ -1,0 +1,88 @@
+"""Plain-text reporting: paper-style tables and ASCII sweep charts.
+
+Every experiment harness prints its result in the same row/column layout
+as the corresponding paper table or figure, so EXPERIMENTS.md can be
+updated by copy-paste.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_sweep", "format_attention_bars"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render a monospace table; floats formatted to 4 decimals like the paper."""
+    rendered_rows = [
+        [
+            float_format.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rendered_rows)) if rendered_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_sweep(
+    parameter: str,
+    values: Sequence,
+    metrics: Mapping[str, Sequence[float]],
+    title: str | None = None,
+    width: int = 40,
+) -> str:
+    """Render a sweep as aligned rows plus an ASCII bar per metric value.
+
+    Mirrors the paper's figures: one line per parameter value per metric,
+    bar length proportional to the metric.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    for metric_name, series in metrics.items():
+        lines.append(f"  {metric_name}:")
+        top = max(series) if series else 1.0
+        for value, measurement in zip(values, series):
+            bar = "#" * int(round(width * (measurement / top))) if top > 0 else ""
+            marker = "  <- best" if measurement == top else ""
+            lines.append(
+                f"    {parameter}={value!s:<6} {measurement:.4f} |{bar}{marker}"
+            )
+    return "\n".join(lines)
+
+
+def format_attention_bars(
+    members: Sequence[int],
+    attention: Sequence[float],
+    sp: Sequence[float],
+    pi: Sequence[float],
+    width: int = 40,
+) -> str:
+    """Render the Fig. 6 case study: one attention bar per group member."""
+    lines = ["member        attention  SP       PI       "]
+    lines.append("-" * len(lines[0]))
+    top = max(attention) if len(attention) else 1.0
+    for user, weight, sp_value, pi_value in zip(members, attention, sp, pi):
+        bar = "#" * int(round(width * (weight / top))) if top > 0 else ""
+        lines.append(
+            f"user {user:<7d} {weight:.4f}    {sp_value:+.3f}   {pi_value:+.3f}   |{bar}"
+        )
+    return "\n".join(lines)

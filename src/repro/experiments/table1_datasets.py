@@ -1,0 +1,67 @@
+"""Table I — dataset statistics.
+
+Regenerates the paper's dataset statistics table for the three synthetic
+datasets.  Absolute counts are scaled down (DESIGN.md §1); the *shape*
+targets are:
+
+* -Rand: largest groups (size 8), moderate interactions per group;
+* -Simi: smaller groups (size 5), the most interactions per group;
+* Yelp: small groups (size 3) and exactly 1.00 interactions per group.
+
+Run: ``python -m repro.experiments.table1_datasets [--profile default]``
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .profiles import ExperimentProfile, get_profile
+from .reporting import format_table
+from .runner import build_dataset
+
+__all__ = ["run", "main"]
+
+DATASETS = ("movielens-rand", "movielens-simi", "yelp")
+ROW_LABELS = {
+    "total_groups": "Total groups",
+    "total_items": "Total items",
+    "total_users": "Total users",
+    "group_size": "Group size",
+    "interactions": "Interactions",
+    "interactions_per_group": "Inter./group",
+}
+
+
+def run(profile: ExperimentProfile) -> dict[str, dict[str, float]]:
+    """Generate the three datasets and return their Table I statistics."""
+    return {
+        kind: build_dataset(kind, profile, profile.seeds[0]).stats()
+        for kind in DATASETS
+    }
+
+
+def render(stats: dict[str, dict[str, float]]) -> str:
+    """Format the statistics in the paper's row layout."""
+    rows = []
+    for key, label in ROW_LABELS.items():
+        row = [label]
+        for kind in DATASETS:
+            value = stats[kind][key]
+            row.append(f"{value:.2f}" if key == "interactions_per_group" else f"{value:.0f}")
+        rows.append(row)
+    return format_table(
+        ["", "MovieLens-like-Rand", "MovieLens-like-Simi", "Yelp-like"],
+        rows,
+        title="Table I: dataset statistics (synthetic, scaled — see DESIGN.md)",
+    )
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="default", help="quick | default | full")
+    args = parser.parse_args(argv)
+    print(render(run(get_profile(args.profile))))
+
+
+if __name__ == "__main__":
+    main()

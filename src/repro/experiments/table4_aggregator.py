@@ -1,0 +1,71 @@
+"""Table IV — influence of the aggregation function (RQ3).
+
+Compares the GCN aggregator (Eq. 5) with the GraphSage aggregator
+(Eq. 6) inside KGAG on the two MovieLens-like datasets.
+
+Shape target: GCN >= GraphSage on both datasets (the paper credits the
+GCN aggregator's explicit e + e_N interaction).
+
+Run: ``python -m repro.experiments.table4_aggregator [--profile quick]``
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .profiles import ExperimentProfile, get_profile
+from .reporting import format_table
+from .runner import SeedAveraged, run_seed_averaged
+
+__all__ = ["run", "render", "main"]
+
+AGGREGATORS = ("gcn", "graphsage")
+DATASETS = ("movielens-rand", "movielens-simi")
+
+
+def run(
+    profile: ExperimentProfile, progress=None
+) -> dict[tuple[str, str], SeedAveraged]:
+    """Train KGAG with each aggregator on both MovieLens-like datasets."""
+    results: dict[tuple[str, str], SeedAveraged] = {}
+    for aggregator in AGGREGATORS:
+        config = profile.model.with_overrides(aggregator=aggregator)
+        for dataset_kind in DATASETS:
+            results[(aggregator, dataset_kind)] = run_seed_averaged(
+                "KGAG", dataset_kind, profile, config=config, progress=progress
+            )
+    return results
+
+
+def render(results: dict[tuple[str, str], SeedAveraged], k: int = 5) -> str:
+    headers = [""]
+    for dataset_kind in DATASETS:
+        headers += [f"{dataset_kind} rec@{k}", f"{dataset_kind} hit@{k}"]
+    rows = []
+    for aggregator in AGGREGATORS:
+        row = [aggregator.upper() if aggregator == "gcn" else "GraphSage"]
+        for dataset_kind in DATASETS:
+            cell = results[(aggregator, dataset_kind)]
+            row += [cell.mean(f"rec@{k}"), cell.mean(f"hit@{k}")]
+        rows.append(row)
+    return format_table(
+        headers, rows, title="Table IV: influence of the aggregation function"
+    )
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="default", help="quick | default | full")
+    args = parser.parse_args(argv)
+    profile = get_profile(args.profile)
+
+    def progress(model, dataset, seed, metrics):
+        print(f"  [{dataset} seed {seed}] rec@5 {metrics['rec@5']:.4f}", flush=True)
+
+    results = run(profile, progress=progress)
+    print()
+    print(render(results))
+
+
+if __name__ == "__main__":
+    main()

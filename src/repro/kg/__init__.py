@@ -1,0 +1,32 @@
+"""``repro.kg`` — knowledge graph substrate.
+
+Provides the triple store (:class:`KnowledgeGraph`), the collaborative KG
+construction of Sec. III-A (:class:`CollaborativeKnowledgeGraph`), fixed-K
+neighbor sampling for dense batched propagation (:class:`NeighborSampler`),
+and synthetic KG generators replacing Microsoft Satori / the Yelp business
+graph (see DESIGN.md §1).
+"""
+
+from .graph import KnowledgeGraph, Triple
+from .collaborative import (
+    CollaborativeKnowledgeGraph,
+    ItemEntityMap,
+    build_collaborative_graph,
+)
+from .sampling import NeighborSampler, ReceptiveField
+from .generators import TopicalKGConfig, topical_kg, random_kg, chain_kg, star_kg
+
+__all__ = [
+    "KnowledgeGraph",
+    "Triple",
+    "CollaborativeKnowledgeGraph",
+    "ItemEntityMap",
+    "build_collaborative_graph",
+    "NeighborSampler",
+    "ReceptiveField",
+    "TopicalKGConfig",
+    "topical_kg",
+    "random_kg",
+    "chain_kg",
+    "star_kg",
+]

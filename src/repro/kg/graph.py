@@ -1,0 +1,241 @@
+"""Knowledge graph triple store.
+
+The paper represents a knowledge graph as a set of (head, relation, tail)
+triples over integer-identified entities and relations (Sec. III-A).
+:class:`KnowledgeGraph` stores the triples in numpy arrays and maintains an
+adjacency index for the GCN propagation code.
+
+Following KGCN/KGAT practice, the graph is treated as *bidirectional* for
+message passing: for every stored triple ``(h, r, t)`` the adjacency also
+contains the reverse edge ``t --r--> h`` (with the same relation id), so
+information can flow both ways along a fact.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+__all__ = ["Triple", "KnowledgeGraph"]
+
+
+@dataclass(frozen=True)
+class Triple:
+    """One (head, relation, tail) fact."""
+
+    head: int
+    relation: int
+    tail: int
+
+    def reversed(self) -> "Triple":
+        """The same fact read in the opposite direction."""
+        return Triple(self.tail, self.relation, self.head)
+
+
+class KnowledgeGraph:
+    """Immutable triple store with an adjacency index.
+
+    Parameters
+    ----------
+    num_entities:
+        Size of the entity vocabulary; entity ids are ``[0, num_entities)``.
+    num_relations:
+        Size of the relation vocabulary; relation ids are
+        ``[0, num_relations)``.
+    triples:
+        Iterable of ``(head, relation, tail)`` tuples (or :class:`Triple`).
+    entity_names / relation_names:
+        Optional human-readable labels used by explanations and examples.
+    bidirectional:
+        If True (default) the adjacency index includes reverse edges.
+        The stored triple list is unaffected.
+
+    Examples
+    --------
+    >>> kg = KnowledgeGraph(3, 1, [(0, 0, 1), (1, 0, 2)])
+    >>> sorted(t for _, t in kg.neighbors(1))
+    [0, 2]
+    """
+
+    def __init__(
+        self,
+        num_entities: int,
+        num_relations: int,
+        triples: Iterable[tuple[int, int, int] | Triple],
+        entity_names: Mapping[int, str] | None = None,
+        relation_names: Mapping[int, str] | None = None,
+        bidirectional: bool = True,
+    ):
+        if num_entities <= 0:
+            raise ValueError("num_entities must be positive")
+        if num_relations <= 0:
+            raise ValueError("num_relations must be positive")
+        self.num_entities = int(num_entities)
+        self.num_relations = int(num_relations)
+        self.bidirectional = bool(bidirectional)
+        self.entity_names = dict(entity_names or {})
+        self.relation_names = dict(relation_names or {})
+
+        rows = []
+        for triple in triples:
+            if isinstance(triple, Triple):
+                head, relation, tail = triple.head, triple.relation, triple.tail
+            else:
+                head, relation, tail = triple
+            rows.append((int(head), int(relation), int(tail)))
+        if rows:
+            array = np.array(rows, dtype=np.int64)
+        else:
+            array = np.zeros((0, 3), dtype=np.int64)
+        self._validate(array)
+        # Deduplicate to keep adjacency weights unbiased.
+        self._triples = np.unique(array, axis=0) if len(array) else array
+
+        adjacency: dict[int, list[tuple[int, int]]] = defaultdict(list)
+        for head, relation, tail in self._triples:
+            adjacency[int(head)].append((int(relation), int(tail)))
+            if self.bidirectional and head != tail:
+                adjacency[int(tail)].append((int(relation), int(head)))
+        self._adjacency = {k: tuple(v) for k, v in adjacency.items()}
+
+    def _validate(self, array: np.ndarray) -> None:
+        if len(array) == 0:
+            return
+        heads, relations, tails = array[:, 0], array[:, 1], array[:, 2]
+        if heads.min() < 0 or heads.max() >= self.num_entities:
+            raise ValueError("triple head out of entity range")
+        if tails.min() < 0 or tails.max() >= self.num_entities:
+            raise ValueError("triple tail out of entity range")
+        if relations.min() < 0 or relations.max() >= self.num_relations:
+            raise ValueError("triple relation out of relation range")
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def triples(self) -> np.ndarray:
+        """``(num_triples, 3)`` int array of unique stored triples."""
+        return self._triples
+
+    @property
+    def num_triples(self) -> int:
+        return len(self._triples)
+
+    def __len__(self) -> int:
+        return self.num_triples
+
+    def __iter__(self) -> Iterator[Triple]:
+        for head, relation, tail in self._triples:
+            yield Triple(int(head), int(relation), int(tail))
+
+    def __contains__(self, triple) -> bool:
+        if isinstance(triple, Triple):
+            key = (triple.head, triple.relation, triple.tail)
+        else:
+            key = tuple(int(x) for x in triple)
+        if self.num_triples == 0:
+            return False
+        matches = (self._triples == np.array(key, dtype=np.int64)).all(axis=1)
+        return bool(matches.any())
+
+    def neighbors(self, entity: int) -> tuple[tuple[int, int], ...]:
+        """All ``(relation, neighbor)`` pairs of ``entity`` (N_e in Eq. 1)."""
+        return self._adjacency.get(int(entity), ())
+
+    def degree(self, entity: int) -> int:
+        """Number of adjacency edges incident to ``entity``."""
+        return len(self.neighbors(entity))
+
+    def degrees(self) -> np.ndarray:
+        """Degree of every entity, shape ``(num_entities,)``."""
+        out = np.zeros(self.num_entities, dtype=np.int64)
+        for entity, edges in self._adjacency.items():
+            out[entity] = len(edges)
+        return out
+
+    def entity_name(self, entity: int) -> str:
+        """Readable label for ``entity`` (falls back to ``entity:<id>``)."""
+        return self.entity_names.get(int(entity), f"entity:{int(entity)}")
+
+    def relation_name(self, relation: int) -> str:
+        """Readable label for ``relation`` (falls back to ``relation:<id>``)."""
+        return self.relation_names.get(int(relation), f"relation:{int(relation)}")
+
+    # ------------------------------------------------------------------
+    # analysis helpers (used by generators, experiments and tests)
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Export as a ``networkx.MultiDiGraph`` with relation edge labels."""
+        import networkx as nx
+
+        graph = nx.MultiDiGraph()
+        graph.add_nodes_from(range(self.num_entities))
+        for head, relation, tail in self._triples:
+            graph.add_edge(int(head), int(tail), relation=int(relation))
+        return graph
+
+    def bfs_distances(self, source: int, max_hops: int | None = None) -> dict[int, int]:
+        """Hop distance from ``source`` to every reachable entity.
+
+        Uses the (possibly bidirectional) adjacency index — i.e. the same
+        connectivity the GCN propagation sees.
+        """
+        distances = {int(source): 0}
+        frontier = [int(source)]
+        hops = 0
+        while frontier and (max_hops is None or hops < max_hops):
+            hops += 1
+            next_frontier = []
+            for entity in frontier:
+                for _, neighbor in self.neighbors(entity):
+                    if neighbor not in distances:
+                        distances[neighbor] = hops
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        return distances
+
+    def connected_within(self, a: int, b: int, max_hops: int) -> bool:
+        """Whether ``b`` is reachable from ``a`` in at most ``max_hops`` steps."""
+        return int(b) in self.bfs_distances(a, max_hops=max_hops)
+
+    def relation_histogram(self) -> np.ndarray:
+        """Triple count per relation id."""
+        counts = np.zeros(self.num_relations, dtype=np.int64)
+        if self.num_triples:
+            uniq, freq = np.unique(self._triples[:, 1], return_counts=True)
+            counts[uniq] = freq
+        return counts
+
+    def describe(self) -> dict[str, float]:
+        """Summary statistics (used by the Table I harness)."""
+        degrees = self.degrees()
+        return {
+            "num_entities": self.num_entities,
+            "num_relations": self.num_relations,
+            "num_triples": self.num_triples,
+            "mean_degree": float(degrees.mean()) if self.num_entities else 0.0,
+            "max_degree": int(degrees.max()) if self.num_entities else 0,
+            "isolated_entities": int((degrees == 0).sum()),
+        }
+
+    def merge(self, other: "KnowledgeGraph") -> "KnowledgeGraph":
+        """Union of two graphs over the same vocabularies."""
+        if (self.num_entities, self.num_relations) != (
+            other.num_entities,
+            other.num_relations,
+        ):
+            raise ValueError("cannot merge graphs with different vocabularies")
+        combined = np.concatenate([self._triples, other._triples], axis=0)
+        names = {**other.entity_names, **self.entity_names}
+        rel_names = {**other.relation_names, **self.relation_names}
+        return KnowledgeGraph(
+            self.num_entities,
+            self.num_relations,
+            combined,
+            entity_names=names,
+            relation_names=rel_names,
+            bidirectional=self.bidirectional,
+        )

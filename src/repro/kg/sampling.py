@@ -1,0 +1,180 @@
+"""Fixed-size neighbor sampling and receptive-field construction.
+
+The propagation block (Sec. III-C) aggregates each entity's neighborhood
+recursively for ``H`` layers.  Real KG degree distributions are heavy
+tailed, so — exactly as KGCN does — we sample a *fixed* number ``K`` of
+neighbors per entity (with replacement when the degree is below ``K``).
+Fixed K makes the H-hop receptive field a dense integer tensor of shape
+``(batch, K^h)`` per hop, which lets the whole propagation run as batched
+numpy matmuls instead of per-node Python loops.
+
+Entities with no neighbors at all receive a self-loop with a dedicated
+``self_relation`` id so that propagation is well-defined everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import KnowledgeGraph
+
+__all__ = ["NeighborSampler", "ReceptiveField"]
+
+
+class ReceptiveField:
+    """The H-hop sampled neighborhood of a batch of entities.
+
+    Attributes
+    ----------
+    entities:
+        ``entities[h]`` has shape ``(batch, K**h)``; ``entities[0]`` is the
+        seed batch itself.
+    relations:
+        ``relations[h]`` has shape ``(batch, K**h)`` and holds the relation
+        connecting each hop-``h`` entity to its hop-``h-1`` parent
+        (``relations[0]`` is unused and absent: list starts at hop 1).
+    """
+
+    def __init__(self, entities: list[np.ndarray], relations: list[np.ndarray]):
+        if len(entities) != len(relations) + 1:
+            raise ValueError("need exactly one relation level per expansion")
+        self.entities = entities
+        self.relations = relations
+
+    @property
+    def depth(self) -> int:
+        """Number of hops H."""
+        return len(self.relations)
+
+    @property
+    def batch_size(self) -> int:
+        return self.entities[0].shape[0]
+
+
+class NeighborSampler:
+    """Pre-materialized fixed-K neighbor tables for a knowledge graph.
+
+    Parameters
+    ----------
+    kg:
+        The (collaborative) knowledge graph.
+    num_neighbors:
+        K — neighbors sampled per entity per hop.
+    rng:
+        Seeded generator; the sampled tables are fixed at construction
+        (KGCN resamples per epoch; a fixed table is deterministic and in
+        practice indistinguishable at these K — the ablation bench
+        ``bench_ablation_extras`` quantifies the effect of K itself).
+    self_relation:
+        Relation id used for padding self-loops on isolated entities.
+        Defaults to a fresh id equal to ``kg.num_relations`` (embedding
+        tables must therefore allocate ``kg.num_relations + 1`` rows;
+        :attr:`num_relation_slots` exposes that count).
+    stratify_by_relation:
+        If True, the K slots are spread round-robin across the entity's
+        *relation types* before sampling within each type.  The paper's
+        Eq. 1 aggregates the full neighborhood, where the attention can
+        reweight rare relations; plain uniform sampling starves rare
+        relations on hub entities (e.g. an item with many Interact edges
+        but few attribute edges), so stratification is the closer
+        approximation of full-neighborhood attention.  The effect is
+        quantified in ``benchmarks/bench_ablation_extras.py``.
+    """
+
+    def __init__(
+        self,
+        kg: KnowledgeGraph,
+        num_neighbors: int,
+        rng: np.random.Generator | None = None,
+        self_relation: int | None = None,
+        stratify_by_relation: bool = True,
+    ):
+        if num_neighbors <= 0:
+            raise ValueError("num_neighbors must be positive")
+        rng = rng or np.random.default_rng()
+        self.kg = kg
+        self.num_neighbors = int(num_neighbors)
+        self.stratify_by_relation = bool(stratify_by_relation)
+        self.self_relation = (
+            kg.num_relations if self_relation is None else int(self_relation)
+        )
+
+        count = kg.num_entities
+        k = self.num_neighbors
+        self._neighbor_entities = np.empty((count, k), dtype=np.int64)
+        self._neighbor_relations = np.empty((count, k), dtype=np.int64)
+        for entity in range(count):
+            edges = kg.neighbors(entity)
+            if not edges:
+                self._neighbor_entities[entity] = entity
+                self._neighbor_relations[entity] = self.self_relation
+                continue
+            chosen = self._choose_edges(edges, k, rng)
+            for slot, edge_index in enumerate(chosen):
+                relation, neighbor = edges[edge_index]
+                self._neighbor_entities[entity, slot] = neighbor
+                self._neighbor_relations[entity, slot] = relation
+
+    def _choose_edges(self, edges, k: int, rng: np.random.Generator) -> list[int]:
+        """Pick k edge indices, optionally stratified by relation type."""
+        degree = len(edges)
+        if not self.stratify_by_relation:
+            if degree >= k:
+                return list(rng.choice(degree, size=k, replace=False))
+            return list(rng.choice(degree, size=k, replace=True))
+        by_relation: dict[int, list[int]] = {}
+        for index, (relation, _) in enumerate(edges):
+            by_relation.setdefault(relation, []).append(index)
+        pools = [rng.permutation(indices).tolist() for indices in by_relation.values()]
+        rng.shuffle(pools)
+        chosen: list[int] = []
+        # Round-robin across relation types until k slots are filled;
+        # exhausted pools are refilled (sampling with replacement).
+        while len(chosen) < k:
+            progressed = False
+            for pool in pools:
+                if len(chosen) == k:
+                    break
+                if not pool:
+                    continue
+                chosen.append(pool.pop())
+                progressed = True
+            if not progressed:
+                # Every pool exhausted: resample with replacement.
+                chosen.append(int(rng.integers(degree)))
+        return chosen
+
+    @property
+    def num_relation_slots(self) -> int:
+        """Rows a relation embedding table needs (relations + self-loop)."""
+        return max(self.kg.num_relations, self.self_relation) + 1
+
+    def sampled_neighbors(self, entities) -> tuple[np.ndarray, np.ndarray]:
+        """``(neighbor_entities, neighbor_relations)`` for an id array.
+
+        Both outputs have shape ``entities.shape + (K,)``.
+        """
+        entities = np.asarray(entities, dtype=np.int64)
+        return self._neighbor_entities[entities], self._neighbor_relations[entities]
+
+    def receptive_field(self, seed_entities, depth: int) -> ReceptiveField:
+        """Expand a seed batch ``depth`` hops outward.
+
+        Returns a :class:`ReceptiveField` whose level ``h`` arrays have
+        shape ``(batch, K**h)``.
+        """
+        if depth < 0:
+            raise ValueError("depth must be non-negative")
+        seeds = np.asarray(seed_entities, dtype=np.int64)
+        if seeds.ndim != 1:
+            raise ValueError("seed_entities must be a 1-D id array")
+        entities = [seeds]
+        relations: list[np.ndarray] = []
+        k = self.num_neighbors
+        for hop in range(depth):
+            current = entities[-1]
+            neighbor_e, neighbor_r = self.sampled_neighbors(current)
+            batch = current.shape[0]
+            entities.append(neighbor_e.reshape(batch, -1))
+            relations.append(neighbor_r.reshape(batch, -1))
+        return ReceptiveField(entities, relations)

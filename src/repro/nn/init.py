@@ -1,0 +1,66 @@
+"""Weight initialization schemes.
+
+All functions take an explicit ``numpy.random.Generator`` so that every
+experiment in the reproduction is seedable end-to-end (the paper's results
+tables are averages of seeded runs in this repo).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "xavier_uniform",
+    "xavier_normal",
+    "he_normal",
+    "normal",
+    "uniform",
+    "zeros",
+]
+
+
+def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("initializer needs at least a 1-D shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[1:]))
+    fan_out = shape[0]
+    return fan_in, fan_out
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot normal: N(0, 2 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fan_in_out(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def he_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He normal: N(0, 2 / fan_in); suited to ReLU layers."""
+    fan_in, _ = _fan_in_out(shape)
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+def normal(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.1) -> np.ndarray:
+    """Plain N(0, std^2) — the usual embedding-table initializer."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def uniform(
+    shape: tuple[int, ...], rng: np.random.Generator, low: float = -0.1, high: float = 0.1
+) -> np.ndarray:
+    """Plain U(low, high)."""
+    return rng.uniform(low, high, size=shape)
+
+
+def zeros(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
+    """All-zero array (bias initializer)."""
+    return np.zeros(shape)

@@ -1,0 +1,229 @@
+"""Functional operations on :class:`~repro.nn.tensor.Tensor`.
+
+These are the composite / multi-input operations that do not fit naturally
+as ``Tensor`` methods: concatenation, stacking, stable softmax, pairwise
+maximum, masked selection, and the embedding-style gather used throughout
+the KGAG propagation code.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor, unbroadcast
+
+__all__ = [
+    "concat",
+    "stack",
+    "where",
+    "maximum",
+    "minimum",
+    "softmax",
+    "log_softmax",
+    "masked_softmax",
+    "exp",
+    "log",
+    "sigmoid",
+    "tanh",
+    "relu",
+    "leaky_relu",
+    "dot",
+    "batched_dot",
+    "gather_rows",
+    "outer_ones",
+]
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` (differentiable)."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(start, stop)
+                tensor._accumulate(grad[tuple(index)])
+
+    return Tensor._make(out_data, tensors, backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` (differentiable)."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        slices = np.moveaxis(grad, axis, 0)
+        for tensor, piece in zip(tensors, slices):
+            if tensor.requires_grad:
+                tensor._accumulate(piece)
+
+    return Tensor._make(out_data, tensors, backward)
+
+
+def where(condition, a, b) -> Tensor:
+    """Elementwise select: ``condition ? a : b``.
+
+    ``condition`` is treated as a constant (no gradient flows through it).
+    """
+    cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
+    a = as_tensor(a)
+    b = as_tensor(b)
+    out_data = np.where(cond, a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(unbroadcast(grad * cond, a.shape))
+        if b.requires_grad:
+            b._accumulate(unbroadcast(grad * (~cond if cond.dtype == bool else 1 - cond), b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def maximum(a, b) -> Tensor:
+    """Elementwise maximum of two tensors (ties send gradient to ``a``)."""
+    a = as_tensor(a)
+    b = as_tensor(b)
+    out_data = np.maximum(a.data, b.data)
+    a_wins = a.data >= b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(unbroadcast(grad * a_wins, a.shape))
+        if b.requires_grad:
+            b._accumulate(unbroadcast(grad * ~a_wins, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def minimum(a, b) -> Tensor:
+    """Elementwise minimum of two tensors."""
+    return -maximum(-as_tensor(a), -as_tensor(b))
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    out_data = exps / exps.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        # d softmax: s * (grad - sum(grad * s))
+        inner = (grad * out_data).sum(axis=axis, keepdims=True)
+        x._accumulate(out_data * (grad - inner))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_norm
+    soft = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def masked_softmax(x: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
+    """Softmax restricted to positions where ``mask`` is truthy.
+
+    Masked-out positions receive probability exactly 0.  Rows whose mask is
+    entirely false produce a zero row (not NaN), which downstream weighted
+    sums treat as "no contribution".  Used for variable-size groups and
+    variable-degree KG neighborhoods.
+    """
+    x = as_tensor(x)
+    mask = np.asarray(mask, dtype=bool)
+    neg_inf = np.finfo(x.data.dtype).min / 4
+    masked = np.where(mask, x.data, neg_inf)
+    shifted = masked - masked.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted) * mask
+    denom = exps.sum(axis=axis, keepdims=True)
+    safe_denom = np.where(denom == 0, 1.0, denom)
+    out_data = exps / safe_denom
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        inner = (grad * out_data).sum(axis=axis, keepdims=True)
+        x._accumulate(out_data * (grad - inner))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def exp(x) -> Tensor:
+    return as_tensor(x).exp()
+
+
+def log(x) -> Tensor:
+    return as_tensor(x).log()
+
+
+def sigmoid(x) -> Tensor:
+    return as_tensor(x).sigmoid()
+
+
+def tanh(x) -> Tensor:
+    return as_tensor(x).tanh()
+
+
+def relu(x) -> Tensor:
+    return as_tensor(x).relu()
+
+
+def leaky_relu(x, negative_slope: float = 0.01) -> Tensor:
+    """Leaky rectified linear unit."""
+    x = as_tensor(x)
+    out_data = np.where(x.data > 0, x.data, negative_slope * x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * np.where(x.data > 0, 1.0, negative_slope))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def dot(a: Tensor, b: Tensor) -> Tensor:
+    """Row-wise inner product of two ``(batch, d)`` tensors -> ``(batch,)``.
+
+    This is the prediction-score primitive of the paper (Eqs. 14/15/19).
+    """
+    return (as_tensor(a) * as_tensor(b)).sum(axis=-1)
+
+
+def batched_dot(a: Tensor, b: Tensor) -> Tensor:
+    """Inner product along the last axis with broadcasting on the rest."""
+    return (as_tensor(a) * as_tensor(b)).sum(axis=-1)
+
+
+def gather_rows(table: Tensor, indices: np.ndarray) -> Tensor:
+    """Look up rows of a 2-D ``table`` by an integer index array.
+
+    Result shape is ``indices.shape + (d,)``.  Backward scatter-adds, so
+    repeated indices accumulate — the behaviour an ``Embedding`` needs.
+    """
+    indices = np.asarray(indices)
+    if indices.dtype.kind not in "iu":
+        raise TypeError("gather_rows requires integer indices")
+    return table[indices]
+
+
+def outer_ones(shape: tuple[int, ...]) -> Tensor:
+    """Constant tensor of ones — occasionally useful as a mask seed."""
+    return Tensor(np.ones(shape))

@@ -1,0 +1,97 @@
+"""Checkpointing: save/load Module state to ``.npz`` files.
+
+The trainer snapshots best-on-validation parameters in memory; this
+module persists them to disk so a trained recommender can be shipped
+and served without retraining.
+
+A checkpoint stores the flat ``state_dict`` arrays plus a JSON metadata
+blob (model class name, config dict, library version) used to catch
+mismatched loads early.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint", "CheckpointError"]
+
+_METADATA_KEY = "__checkpoint_metadata__"
+
+
+class CheckpointError(RuntimeError):
+    """Raised when a checkpoint cannot be loaded into the given module."""
+
+
+def _config_to_dict(config) -> dict | None:
+    if config is None:
+        return None
+    if dataclasses.is_dataclass(config):
+        return dataclasses.asdict(config)
+    if isinstance(config, dict):
+        return config
+    return {"repr": repr(config)}
+
+
+def save_checkpoint(module: Module, path: str | Path, config=None) -> Path:
+    """Write ``module``'s parameters (and optional config) to ``path``.
+
+    Returns the resolved path (``.npz`` is appended if missing).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    state = module.state_dict()
+    if _METADATA_KEY in state:
+        raise ValueError(f"parameter name {_METADATA_KEY!r} is reserved")
+    metadata = {
+        "model_class": type(module).__name__,
+        "config": _config_to_dict(config if config is not None else getattr(module, "config", None)),
+        "parameters": sorted(state),
+    }
+    arrays = dict(state)
+    arrays[_METADATA_KEY] = np.frombuffer(
+        json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **arrays)
+    return path
+
+
+def load_checkpoint(
+    module: Module, path: str | Path, strict_class: bool = True
+) -> dict:
+    """Load parameters from ``path`` into ``module``; returns the metadata.
+
+    Parameters
+    ----------
+    strict_class:
+        If True (default), refuse to load a checkpoint written by a
+        different model class.
+    """
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    if not path.exists():
+        raise FileNotFoundError(path)
+    with np.load(path) as archive:
+        if _METADATA_KEY not in archive:
+            raise CheckpointError(f"{path} is not a repro checkpoint (no metadata)")
+        metadata = json.loads(bytes(archive[_METADATA_KEY].tobytes()).decode("utf-8"))
+        state = {name: archive[name] for name in archive.files if name != _METADATA_KEY}
+    if strict_class and metadata.get("model_class") != type(module).__name__:
+        raise CheckpointError(
+            f"checkpoint was written by {metadata.get('model_class')!r}, "
+            f"refusing to load into {type(module).__name__!r} "
+            f"(pass strict_class=False to override)"
+        )
+    try:
+        module.load_state_dict(state)
+    except (KeyError, ValueError) as error:
+        raise CheckpointError(f"incompatible checkpoint {path}: {error}") from error
+    return metadata

@@ -1,0 +1,276 @@
+"""Unit and integration tests for the Table II baseline methods."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AGGREGATION_STRATEGIES,
+    AggregatedGroupRecommender,
+    KGCN,
+    MatrixFactorization,
+    MoSAN,
+    PopularityRecommender,
+    aggregate_scores,
+)
+from repro.core import KGAGConfig, KGAGTrainer
+from repro.data import (
+    GroupSet,
+    InteractionTable,
+    MovieLensLikeConfig,
+    movielens_like,
+    split_interactions,
+)
+from repro.nn import Tensor
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return movielens_like(
+        "rand", MovieLensLikeConfig(num_users=40, num_items=50, num_groups=15, seed=3)
+    )
+
+
+@pytest.fixture(scope="module")
+def split(dataset):
+    return split_interactions(dataset.group_item, rng=np.random.default_rng(0))
+
+
+@pytest.fixture()
+def config():
+    return KGAGConfig(
+        embedding_dim=8, num_layers=1, num_neighbors=3, epochs=2,
+        batch_size=64, patience=0, seed=0,
+    )
+
+
+class TestAggregateScores:
+    def test_avg(self):
+        scores = Tensor([[1.0, 3.0], [2.0, 4.0]])
+        np.testing.assert_allclose(aggregate_scores(scores, "avg").data, [2.0, 3.0])
+
+    def test_lm_is_min(self):
+        scores = Tensor([[1.0, 3.0], [5.0, 4.0]])
+        np.testing.assert_allclose(aggregate_scores(scores, "lm").data, [1.0, 4.0])
+
+    def test_mp_is_max(self):
+        scores = Tensor([[1.0, 3.0], [5.0, 4.0]])
+        np.testing.assert_allclose(aggregate_scores(scores, "mp").data, [3.0, 5.0])
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            aggregate_scores(Tensor([[1.0]]), "median")
+
+    def test_all_strategies_differentiable(self):
+        for strategy in AGGREGATION_STRATEGIES:
+            scores = Tensor(np.random.default_rng(0).normal(size=(3, 4)), requires_grad=True)
+            aggregate_scores(scores, strategy).sum().backward()
+            assert scores.grad is not None
+
+
+class TestMatrixFactorization:
+    def test_score_shape(self, config):
+        mf = MatrixFactorization(10, 20, config)
+        assert mf.user_item_scores([0, 1], [2, 3]).shape == (2,)
+
+    def test_bias_toggle(self, config):
+        biased = MatrixFactorization(5, 5, config, use_bias=True)
+        plain = MatrixFactorization(5, 5, config, use_bias=False)
+        assert biased.num_parameters() == plain.num_parameters() + 10
+
+    def test_score_matches_manual(self, config):
+        mf = MatrixFactorization(5, 5, config, use_bias=False)
+        u, v = 1, 2
+        expected = mf.user_embedding.weight.data[u] @ mf.item_embedding.weight.data[v]
+        assert mf.user_item_scores([u], [v]).item() == pytest.approx(expected)
+
+    def test_misaligned_rejected(self, config):
+        mf = MatrixFactorization(5, 5, config)
+        with pytest.raises(ValueError):
+            mf.user_item_scores([0, 1], [2])
+
+    def test_learns_preferences(self):
+        """MF + shared trainer should separate an easy synthetic signal."""
+        rng = np.random.default_rng(0)
+        # Users 0-4 like items 0-4; users 5-9 like items 5-9.
+        pairs = [(u, i) for u in range(5) for i in range(5)]
+        pairs += [(u, i) for u in range(5, 10) for i in range(5, 10)]
+        user_train = InteractionTable(10, 10, pairs)
+        groups = GroupSet([[0, 1], [5, 6]], num_users=10)
+        group_train = InteractionTable(2, 10, [(0, 0), (0, 1), (1, 5), (1, 6)])
+        config = KGAGConfig(embedding_dim=8, epochs=40, batch_size=8, patience=0, seed=0)
+        model = AggregatedGroupRecommender(
+            MatrixFactorization(10, 10, config), groups, "avg"
+        )
+        trainer = KGAGTrainer(model, group_train, user_train)
+        trainer.fit()
+        from repro.nn import no_grad
+
+        with no_grad():
+            in_taste = model.group_item_scores([0], [2]).item()
+            out_taste = model.group_item_scores([0], [7]).item()
+        assert in_taste > out_taste
+
+
+class TestAggregatedRecommender:
+    def test_group_scores_shape(self, dataset, config):
+        model = AggregatedGroupRecommender(
+            MatrixFactorization(dataset.num_users, dataset.num_items, config),
+            dataset.groups,
+            "avg",
+        )
+        assert model.group_item_scores([0, 1], [2, 3]).shape == (2,)
+
+    def test_lm_below_avg_below_mp(self, dataset, config):
+        base = MatrixFactorization(dataset.num_users, dataset.num_items, config)
+        groups, items = [0, 1, 2], [3, 4, 5]
+        lm = AggregatedGroupRecommender(base, dataset.groups, "lm")
+        avg = AggregatedGroupRecommender(base, dataset.groups, "avg")
+        mp = AggregatedGroupRecommender(base, dataset.groups, "mp")
+        lm_scores = lm.group_item_scores(groups, items).data
+        avg_scores = avg.group_item_scores(groups, items).data
+        mp_scores = mp.group_item_scores(groups, items).data
+        assert (lm_scores <= avg_scores + 1e-12).all()
+        assert (avg_scores <= mp_scores + 1e-12).all()
+
+    def test_name_includes_strategy(self, dataset, config):
+        model = AggregatedGroupRecommender(
+            MatrixFactorization(dataset.num_users, dataset.num_items, config),
+            dataset.groups,
+            "lm",
+        )
+        assert model.name == "CF+LM"
+
+    def test_invalid_strategy(self, dataset, config):
+        with pytest.raises(ValueError):
+            AggregatedGroupRecommender(
+                MatrixFactorization(dataset.num_users, dataset.num_items, config),
+                dataset.groups,
+                "median",
+            )
+
+    def test_parameters_come_from_base(self, dataset, config):
+        base = MatrixFactorization(dataset.num_users, dataset.num_items, config)
+        model = AggregatedGroupRecommender(base, dataset.groups, "avg")
+        assert model.num_parameters() == base.num_parameters()
+
+    def test_misaligned_rejected(self, dataset, config):
+        model = AggregatedGroupRecommender(
+            MatrixFactorization(dataset.num_users, dataset.num_items, config),
+            dataset.groups,
+            "avg",
+        )
+        with pytest.raises(ValueError):
+            model.group_item_scores([0], [1, 2])
+
+
+class TestKGCN:
+    def test_score_shape(self, dataset, config):
+        model = KGCN(dataset.kg, dataset.num_users, dataset.num_items, config)
+        assert model.user_item_scores([0, 1], [2, 3]).shape == (2,)
+
+    def test_user_query_changes_item_representation(self, dataset, config):
+        model = KGCN(dataset.kg, dataset.num_users, dataset.num_items, config)
+        rep_a = model.item_representations([0], [0]).data
+        rep_b = model.item_representations([0], [1]).data
+        assert not np.allclose(rep_a, rep_b)
+
+    def test_trains_through_shared_trainer(self, dataset, split, config):
+        model = AggregatedGroupRecommender(
+            KGCN(dataset.kg, dataset.num_users, dataset.num_items, config),
+            dataset.groups,
+            "avg",
+        )
+        trainer = KGAGTrainer(model, split.train, dataset.user_item)
+        history = trainer.fit()
+        assert history.losses[-1] < history.losses[0]
+
+    def test_vocab_validation(self, dataset, config):
+        with pytest.raises(ValueError):
+            KGCN(dataset.kg, 10, dataset.kg.num_entities + 1, config)
+
+
+class TestMoSAN:
+    def make(self, dataset, config):
+        return MoSAN(
+            dataset.kg,
+            dataset.num_users,
+            dataset.num_items,
+            dataset.user_item.pairs,
+            dataset.groups,
+            config,
+        )
+
+    def test_group_scores_shape(self, dataset, config):
+        model = self.make(dataset, config)
+        assert model.group_item_scores([0, 1], [2, 3]).shape == (2,)
+
+    def test_attention_is_item_independent(self, dataset, config):
+        """MoSAN's defining limitation: the member attention ignores the
+        candidate item, so group vectors are identical across items."""
+        model = self.make(dataset, config)
+        members = model.ckg.user_entities(dataset.groups.members_of(np.array([0])))
+        vectors = model._member_vectors(members)
+        group_vec = model._group_vectors(vectors)
+        # Re-computing with a different candidate item does not change it.
+        vectors2 = model._member_vectors(members)
+        group_vec2 = model._group_vectors(vectors2)
+        np.testing.assert_allclose(group_vec.data, group_vec2.data)
+
+    def test_gradients_reach_attention_params(self, dataset, config):
+        model = self.make(dataset, config)
+        model.group_item_scores([0, 1], [2, 3]).sum().backward()
+        assert model.w_query.grad is not None
+        assert model.att_vector.grad is not None
+
+    def test_trains_through_shared_trainer(self, dataset, split, config):
+        model = self.make(dataset, config)
+        trainer = KGAGTrainer(model, split.train, dataset.user_item)
+        history = trainer.fit()
+        assert history.losses[-1] < history.losses[0]
+
+    def test_misaligned_rejected(self, dataset, config):
+        model = self.make(dataset, config)
+        with pytest.raises(ValueError):
+            model.group_item_scores([0], [1, 2])
+
+
+class TestPopularity:
+    def test_scores_are_item_popularity(self):
+        user_train = InteractionTable(4, 3, [(0, 0), (1, 0), (2, 0), (3, 1)])
+        model = PopularityRecommender(user_train)
+        scores = model.group_item_scores([0, 0, 0], [0, 1, 2])
+        np.testing.assert_allclose(scores, [3.0, 1.0, 0.0])
+
+    def test_group_interactions_weighted(self):
+        user_train = InteractionTable(4, 3, [(0, 0)])
+        group_train = InteractionTable(2, 3, [(0, 1)])
+        model = PopularityRecommender(user_train, group_train, group_weight=3.0)
+        scores = model.group_item_scores([0, 0], [0, 1])
+        np.testing.assert_allclose(scores, [1.0, 3.0])
+
+    def test_learned_models_beat_popularity(self, dataset, split):
+        """Calibration: trained KGAG outperforms the popularity floor."""
+        from repro.core import KGAG
+        from repro.eval import evaluate_group_recommender
+        from repro.nn import no_grad
+
+        config = KGAGConfig(
+            embedding_dim=16, num_layers=2, num_neighbors=4, epochs=6,
+            batch_size=64, patience=0, seed=0,
+        )
+        model = KGAG(
+            dataset.kg, dataset.num_users, dataset.num_items,
+            dataset.user_item.pairs, dataset.groups, config,
+        )
+        KGAGTrainer(model, split.train, dataset.user_item).fit()
+        with no_grad():
+            kgag_metrics = evaluate_group_recommender(
+                lambda g, v: model.group_item_scores(g, v).numpy(),
+                split.test,
+                train_interactions=split.train,
+            )
+        pop = PopularityRecommender(dataset.user_item, split.train)
+        pop_metrics = evaluate_group_recommender(
+            pop.group_item_scores, split.test, train_interactions=split.train
+        )
+        assert kgag_metrics["rec@5"] >= pop_metrics["rec@5"]

@@ -1,0 +1,48 @@
+"""Shared fixtures: one small dataset + split, reused across core tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import KGAG, KGAGConfig
+from repro.data import MovieLensLikeConfig, movielens_like, split_interactions
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    return movielens_like(
+        "rand", MovieLensLikeConfig(num_users=40, num_items=50, num_groups=15, seed=3)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_split(small_dataset):
+    return split_interactions(small_dataset.group_item, rng=np.random.default_rng(0))
+
+
+@pytest.fixture()
+def fast_config():
+    return KGAGConfig(
+        embedding_dim=8,
+        num_layers=1,
+        num_neighbors=3,
+        epochs=2,
+        batch_size=64,
+        patience=0,
+        seed=0,
+    )
+
+
+def build_model(dataset, config):
+    return KGAG(
+        dataset.kg,
+        dataset.num_users,
+        dataset.num_items,
+        dataset.user_item.pairs,
+        dataset.groups,
+        config,
+    )
+
+
+@pytest.fixture()
+def small_model(small_dataset, fast_config):
+    return build_model(small_dataset, fast_config)

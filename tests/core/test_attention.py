@@ -1,0 +1,198 @@
+"""Unit tests for the preference aggregation block (Sec. III-D)."""
+
+import numpy as np
+import pytest
+
+from repro.core.attention import PreferenceAggregation
+from repro.nn import Tensor
+
+RNG = np.random.default_rng(5)
+
+DIM = 6
+SIZE = 4
+
+
+def make(use_sp=True, use_pi=True, seed=0):
+    return PreferenceAggregation(
+        DIM, SIZE, use_sp=use_sp, use_pi=use_pi, rng=np.random.default_rng(seed)
+    )
+
+
+def inputs(batch=3):
+    members = Tensor(RNG.normal(size=(batch, SIZE, DIM)), requires_grad=True)
+    items = Tensor(RNG.normal(size=(batch, DIM)), requires_grad=True)
+    return members, items
+
+
+class TestShapes:
+    def test_group_representation_shape(self):
+        members, items = inputs()
+        out = make()(members, items)
+        assert out.shape == (3, DIM)
+
+    def test_attention_weight_shape_and_simplex(self):
+        members, items = inputs()
+        weights = make().attention_weights(members, items).data
+        assert weights.shape == (3, SIZE, 1)
+        np.testing.assert_allclose(weights.sum(axis=1), 1.0, atol=1e-12)
+        assert (weights >= 0).all()
+
+    def test_validation(self):
+        module = make()
+        with pytest.raises(ValueError):
+            module(Tensor(np.zeros((2, SIZE + 1, DIM))), Tensor(np.zeros((2, DIM))))
+        with pytest.raises(ValueError):
+            module(Tensor(np.zeros((2, SIZE, DIM))), Tensor(np.zeros((3, DIM))))
+        with pytest.raises(ValueError):
+            PreferenceAggregation(DIM, 1)
+
+    def test_group_rep_is_convex_combination(self):
+        members, items = inputs(batch=1)
+        module = make()
+        out = module(members, items).data[0]
+        weights = module.attention_weights(members, items).data[0, :, 0]
+        expected = (weights[:, None] * members.data[0]).sum(axis=0)
+        np.testing.assert_allclose(out, expected)
+
+
+class TestSPComponent:
+    def test_sp_prefers_item_aligned_member(self):
+        """A member whose vector matches the candidate item gets the
+        largest attention when PI is off (pure Eq. 9)."""
+        module = make(use_pi=False)
+        item = RNG.normal(size=DIM)
+        members = RNG.normal(size=(SIZE, DIM)) * 0.1
+        members[2] = item  # aligned member
+        weights = module.attention_weights(
+            Tensor(members[None]), Tensor(item[None])
+        ).data[0, :, 0]
+        assert weights.argmax() == 2
+
+    def test_sp_scores_match_scaled_inner_product(self):
+        module = make(use_pi=False)
+        members, items = inputs(batch=2)
+        breakdown = module.attention_breakdown(members, items)
+        expected = (members.data * items.data[:, None, :]).sum(axis=-1) / np.sqrt(DIM)
+        np.testing.assert_allclose(
+            np.stack([b.sp for b in breakdown]), expected
+        )
+
+
+class TestPIComponent:
+    def test_pi_independent_of_item(self):
+        """Eq. 10 does not involve the candidate item."""
+        module = make(use_sp=False)
+        members, _ = inputs(batch=2)
+        item_a = Tensor(RNG.normal(size=(2, DIM)))
+        item_b = Tensor(RNG.normal(size=(2, DIM)))
+        w_a = module.attention_weights(members, item_a).data
+        w_b = module.attention_weights(members, item_b).data
+        np.testing.assert_allclose(w_a, w_b)
+
+    def test_pi_depends_on_peers(self):
+        module = make(use_sp=False)
+        members, items = inputs(batch=1)
+        before = module.attention_weights(members, items).data.copy()
+        perturbed = members.data.copy()
+        perturbed[0, 3] += 2.0  # change one member
+        after = module.attention_weights(Tensor(perturbed), items).data
+        # Other members' weights change because their peer sets changed.
+        assert not np.allclose(before[0, :3], after[0, :3])
+
+    def test_peer_index_excludes_self(self):
+        module = make()
+        for i, row in enumerate(module.peer_index):
+            assert i not in row
+            assert len(row) == SIZE - 1
+
+
+class TestAblations:
+    def test_both_off_gives_uniform_average(self):
+        module = make(use_sp=False, use_pi=False)
+        members, items = inputs()
+        weights = module.attention_weights(members, items).data
+        np.testing.assert_allclose(weights, 1.0 / SIZE)
+        out = module(members, items).data
+        np.testing.assert_allclose(out, members.data.mean(axis=1))
+
+    def test_sp_only_differs_from_full(self):
+        members, items = inputs()
+        full = make()(members, items).data
+        sp_only = make(use_pi=False)(members, items).data
+        assert not np.allclose(full, sp_only)
+
+    def test_breakdown_zero_fills_disabled_component(self):
+        members, items = inputs(batch=1)
+        breakdown = make(use_sp=False)(members, items)  # forward works
+        report = make(use_sp=False).attention_breakdown(members, items)[0]
+        np.testing.assert_allclose(report.sp, 0.0)
+        assert np.abs(report.pi).sum() > 0
+
+
+class TestPIPooling:
+    def test_mean_pooling_shape_and_simplex(self):
+        module = PreferenceAggregation(
+            DIM, SIZE, pi_pooling="mean", rng=np.random.default_rng(0)
+        )
+        members, items = inputs()
+        weights = module.attention_weights(members, items).data
+        np.testing.assert_allclose(weights.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_mean_pooling_fewer_parameters(self):
+        concat = PreferenceAggregation(DIM, SIZE, pi_pooling="concat")
+        mean = PreferenceAggregation(DIM, SIZE, pi_pooling="mean")
+        assert mean.num_parameters() < concat.num_parameters()
+        assert mean.w_peers.shape == (DIM, DIM)
+        assert concat.w_peers.shape == (DIM, DIM * (SIZE - 1))
+
+    def test_mean_pooling_permutation_invariant_in_peers(self):
+        """Mean pooling cannot distinguish peer orderings — by design."""
+        module = PreferenceAggregation(
+            DIM, 3, use_sp=False, pi_pooling="mean", rng=np.random.default_rng(1)
+        )
+        members = RNG.normal(size=(1, 3, DIM))
+        swapped = members.copy()
+        swapped[0, [1, 2]] = swapped[0, [2, 1]]  # swap member 0's peers
+        item = Tensor(RNG.normal(size=(1, DIM)))
+        w_original = module.attention_weights(Tensor(members), item).data[0, 0]
+        w_swapped = module.attention_weights(Tensor(swapped), item).data[0, 0]
+        np.testing.assert_allclose(w_original, w_swapped, atol=1e-12)
+
+    def test_unknown_pooling_rejected(self):
+        with pytest.raises(ValueError):
+            PreferenceAggregation(DIM, SIZE, pi_pooling="max")
+
+    def test_kgag_config_accepts_pooling(self):
+        from repro.core import KGAGConfig
+
+        config = KGAGConfig(pi_pooling="mean")
+        assert config.pi_pooling == "mean"
+        with pytest.raises(ValueError):
+            KGAGConfig(pi_pooling="sum")
+
+    def test_mean_pooling_gradients(self):
+        module = PreferenceAggregation(
+            DIM, SIZE, pi_pooling="mean", rng=np.random.default_rng(2)
+        )
+        members, items = inputs()
+        module(members, items).sum().backward()
+        assert module.w_peers.grad is not None
+
+
+class TestGradients:
+    def test_gradients_flow_to_members_items_and_params(self):
+        module = make()
+        members, items = inputs()
+        module(members, items).sum().backward()
+        assert members.grad is not None and np.abs(members.grad).sum() > 0
+        assert items.grad is not None and np.abs(items.grad).sum() > 0
+        for name, param in module.named_parameters():
+            assert param.grad is not None, name
+
+    def test_gradcheck_attention(self):
+        from repro.nn.gradcheck import check_gradients
+
+        module = make()
+        members = Tensor(RNG.normal(size=(2, SIZE, DIM)), requires_grad=True)
+        items = Tensor(RNG.normal(size=(2, DIM)), requires_grad=True)
+        check_gradients(lambda m, v: module(m, v), [members, items], atol=1e-4)

@@ -1,0 +1,65 @@
+"""Unit tests for KGAGConfig validation and ablation helpers."""
+
+import pytest
+
+from repro.core import KGAGConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = KGAGConfig()
+        assert config.aggregator == "gcn"
+        assert config.loss == "margin"
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("embedding_dim", 0),
+            ("num_layers", -1),
+            ("num_neighbors", 0),
+            ("aggregator", "gat"),
+            ("loss", "hinge"),
+            ("margin", 1.5),
+            ("margin", -0.1),
+            ("beta", 1.5),
+            ("l2_weight", -1.0),
+            ("learning_rate", 0.0),
+            ("epochs", 0),
+            ("batch_size", 0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            KGAGConfig(**{field: value})
+
+    def test_with_overrides_validates(self):
+        config = KGAGConfig()
+        assert config.with_overrides(margin=0.6).margin == 0.6
+        with pytest.raises(ValueError):
+            config.with_overrides(margin=2.0)
+
+    def test_with_overrides_does_not_mutate(self):
+        config = KGAGConfig()
+        config.with_overrides(beta=0.5)
+        assert config.beta == 0.7
+
+
+class TestAblations:
+    def test_ablate_kg(self):
+        config = KGAGConfig().ablate_kg()
+        assert not config.use_kg
+        assert config.use_sp and config.use_pi
+
+    def test_ablate_sp(self):
+        config = KGAGConfig().ablate_sp()
+        assert not config.use_sp
+        assert config.use_kg and config.use_pi
+
+    def test_ablate_pi(self):
+        config = KGAGConfig().ablate_pi()
+        assert not config.use_pi
+
+    def test_with_bpr_loss(self):
+        config = KGAGConfig().with_bpr_loss()
+        assert config.loss == "bpr"
+        assert config.use_kg

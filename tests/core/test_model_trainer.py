@@ -1,0 +1,239 @@
+"""Integration tests: KGAG model scoring, training, losses, prediction."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GroupRecommender,
+    KGAG,
+    KGAGConfig,
+    KGAGTrainer,
+    combined_loss,
+    group_ranking_loss,
+)
+from repro.nn import Tensor
+from tests.core.conftest import build_model
+
+
+class TestCombinedLoss:
+    def test_group_only(self):
+        loss = combined_loss(
+            Tensor(np.array([1.0])),
+            Tensor(np.array([0.0])),
+            None,
+            None,
+            [],
+            beta=0.7,
+            l2_weight=0.0,
+        )
+        assert loss.item() > 0
+
+    def test_needs_some_head(self):
+        with pytest.raises(ValueError):
+            combined_loss(None, None, None, None, [], l2_weight=0.0)
+
+    def test_beta_weights_heads(self):
+        pos, neg = Tensor(np.array([0.0])), Tensor(np.array([0.0]))
+        scores, labels = Tensor(np.array([0.0])), Tensor(np.array([1.0]))
+        low = combined_loss(pos, neg, scores, labels, [], beta=0.1, l2_weight=0.0)
+        high = combined_loss(pos, neg, scores, labels, [], beta=0.9, l2_weight=0.0)
+        # group term at 0/0 scores = margin 0.4 > bce(0,1) ~ 0.693? no:
+        # bce(0,1)=0.693 > 0.4 so smaller beta (more bce) gives larger loss.
+        assert low.item() > high.item()
+
+    def test_loss_kinds(self):
+        pos, neg = Tensor(np.array([0.5])), Tensor(np.array([0.2]))
+        for kind in ("margin", "bpr", "margin_raw"):
+            value = group_ranking_loss(pos, neg, kind=kind)
+            assert np.isfinite(value.item())
+        with pytest.raises(ValueError):
+            group_ranking_loss(pos, neg, kind="hinge")
+
+
+class TestModel:
+    def test_score_shapes(self, small_model):
+        scores = small_model.group_item_scores([0, 1], [3, 4])
+        assert scores.shape == (2,)
+
+    def test_user_score_shapes(self, small_model):
+        scores = small_model.user_item_scores([0, 1, 2], [3, 4, 5])
+        assert scores.shape == (3,)
+
+    def test_forward_aliases_group_scores(self, small_model):
+        a = small_model([0], [1]).data
+        b = small_model.group_item_scores([0], [1]).data
+        np.testing.assert_allclose(a, b)
+
+    def test_misaligned_ids_rejected(self, small_model):
+        with pytest.raises(ValueError):
+            small_model.group_item_scores([0, 1], [3])
+        with pytest.raises(ValueError):
+            small_model.user_item_scores([[0]], [[3]])
+
+    def test_deterministic_scoring(self, small_model):
+        a = small_model.group_item_scores([0, 1], [2, 3]).data
+        b = small_model.group_item_scores([0, 1], [2, 3]).data
+        np.testing.assert_allclose(a, b)
+
+    def test_same_seed_same_model(self, small_dataset, fast_config):
+        a = build_model(small_dataset, fast_config)
+        b = build_model(small_dataset, fast_config)
+        np.testing.assert_allclose(
+            a.group_item_scores([0], [1]).data, b.group_item_scores([0], [1]).data
+        )
+
+    def test_too_many_items_rejected(self, small_dataset, fast_config):
+        with pytest.raises(ValueError):
+            KGAG(
+                small_dataset.kg,
+                small_dataset.num_users,
+                small_dataset.kg.num_entities + 1,
+                small_dataset.user_item.pairs,
+                small_dataset.groups,
+                fast_config,
+            )
+
+    def test_kg_ablation_is_zero_order(self, small_dataset, fast_config):
+        model = build_model(small_dataset, fast_config.ablate_kg())
+        assert model.propagation.num_layers == 0
+
+    def test_explain_structure(self, small_model):
+        report = small_model.explain(0, 1)
+        size = small_model.groups.group_size
+        assert len(report["members"]) == size
+        assert report["attention"].shape == (size,)
+        assert abs(report["attention"].sum() - 1.0) < 1e-9
+        assert 0.0 < report["probability"] < 1.0
+
+    def test_gradients_flow_through_group_scores(self, small_model):
+        scores = small_model.group_item_scores([0, 1], [2, 3])
+        scores.sum().backward()
+        grads = [p.grad for _, p in small_model.named_parameters()]
+        assert any(g is not None and np.abs(g).sum() > 0 for g in grads)
+
+
+class TestTrainer:
+    def test_training_reduces_loss(self, small_dataset, small_split, fast_config):
+        model = build_model(small_dataset, fast_config.with_overrides(epochs=5))
+        trainer = KGAGTrainer(model, small_split.train, small_dataset.user_item)
+        history = trainer.fit()
+        assert history.num_epochs == 5
+        assert history.losses[-1] < history.losses[0]
+
+    def test_training_improves_ranking(self, small_dataset, small_split):
+        config = KGAGConfig(
+            embedding_dim=16, num_layers=2, num_neighbors=4, epochs=6,
+            batch_size=64, patience=0, seed=0,
+        )
+        model = build_model(small_dataset, config)
+        trainer = KGAGTrainer(
+            model, small_split.train, small_dataset.user_item, small_split.validation
+        )
+        before = trainer.evaluate(small_split.test)
+        trainer.fit()
+        after = trainer.evaluate(small_split.test)
+        assert after["hit@5"] >= before["hit@5"]
+        assert after["hit@5"] > 0.3
+
+    def test_best_state_restored(self, small_dataset, small_split, fast_config):
+        model = build_model(small_dataset, fast_config.with_overrides(epochs=3))
+        trainer = KGAGTrainer(
+            model, small_split.train, small_dataset.user_item, small_split.validation
+        )
+        history = trainer.fit()
+        assert history.best_epoch >= 0
+        # The restored model reproduces the best validation metric.
+        metrics = trainer.validate()
+        best = history.validation[history.best_epoch]
+        assert metrics["hit@5"] == pytest.approx(best["hit@5"])
+
+    def test_early_stopping(self, small_dataset, small_split):
+        config = KGAGConfig(
+            embedding_dim=8, num_layers=1, num_neighbors=3, epochs=50,
+            batch_size=64, patience=1, seed=0, learning_rate=1e-5,
+        )
+        model = build_model(small_dataset, config)
+        trainer = KGAGTrainer(
+            model, small_split.train, small_dataset.user_item, small_split.validation
+        )
+        history = trainer.fit()
+        # With a tiny LR nothing improves, so patience triggers quickly.
+        assert history.num_epochs < 50
+        assert history.stopped_early
+
+    def test_grad_clipping_applied(self, small_dataset, small_split, fast_config):
+        config = fast_config.with_overrides(max_grad_norm=1e-6, epochs=1)
+        model = build_model(small_dataset, config)
+        before = model.propagation.entity_embedding.weight.data.copy()
+        trainer = KGAGTrainer(model, small_split.train, small_dataset.user_item)
+        trainer.fit()
+        after = model.propagation.entity_embedding.weight.data
+        # With an absurdly tight clip the parameters barely move
+        # (Adam normalizes per-coordinate, so movement is bounded by lr
+        # per step, not zero — just assert training still works and the
+        # config validates).
+        assert np.isfinite(after).all()
+        assert not np.allclose(before, after)  # training did happen
+
+    def test_max_grad_norm_validation(self):
+        with pytest.raises(ValueError):
+            KGAGConfig(max_grad_norm=0.0)
+        assert KGAGConfig(max_grad_norm=5.0).max_grad_norm == 5.0
+
+    def test_validate_without_split_raises(self, small_dataset, small_split, fast_config):
+        model = build_model(small_dataset, fast_config)
+        trainer = KGAGTrainer(model, small_split.train, small_dataset.user_item)
+        with pytest.raises(ValueError):
+            trainer.validate()
+
+
+class TestRecommender:
+    @pytest.fixture()
+    def trained(self, small_dataset, small_split):
+        config = KGAGConfig(
+            embedding_dim=16, num_layers=2, num_neighbors=4, epochs=4,
+            batch_size=64, patience=0, seed=0,
+        )
+        model = build_model(small_dataset, config)
+        KGAGTrainer(model, small_split.train, small_dataset.user_item).fit()
+        return GroupRecommender(model, small_split.train)
+
+    def test_recommend_returns_sorted_topk(self, trained):
+        recs = trained.recommend(0, k=5)
+        assert len(recs) == 5
+        scores = [r.score for r in recs]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_recommend_excludes_seen(self, trained, small_split):
+        seen = set(small_split.train.items_of(0).tolist())
+        recs = trained.recommend(0, k=10)
+        assert all(r.item not in seen for r in recs)
+
+    def test_recommend_can_include_seen(self, trained):
+        all_items = trained.recommend(0, k=10, exclude_seen=False)
+        assert len(all_items) == 10
+
+    def test_invalid_k(self, trained):
+        with pytest.raises(ValueError):
+            trained.recommend(0, k=0)
+
+    def test_explanation_attention_sums_to_one(self, trained):
+        explanation = trained.explain(0, 3)
+        total = sum(m.attention for m in explanation.influences)
+        assert total == pytest.approx(1.0)
+
+    def test_dominant_members_cover_mass(self, trained):
+        explanation = trained.explain(0, 3)
+        dominant = explanation.dominant_members(mass=0.6)
+        assert sum(m.attention for m in dominant) >= 0.6
+        assert len(dominant) <= len(explanation.influences)
+
+    def test_summary_mentions_group_and_item(self, trained):
+        text = trained.explain(0, 3).summary()
+        assert "group 0" in text and "Item 3" in text
+
+    def test_recommend_with_explanations(self, trained):
+        pairs = trained.recommend_with_explanations(0, k=2)
+        assert len(pairs) == 2
+        for rec, explanation in pairs:
+            assert rec.item == explanation.item

@@ -1,0 +1,175 @@
+"""Unit tests for the information propagation block (Sec. III-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core.propagation import (
+    GCNAggregator,
+    GraphSageAggregator,
+    InformationPropagation,
+)
+from repro.kg import NeighborSampler, chain_kg, random_kg, star_kg
+from repro.nn import Tensor
+
+RNG = np.random.default_rng(0)
+
+
+def make_block(kg, dim=6, layers=2, k=2, aggregator="gcn", uniform=False, seed=0):
+    sampler = NeighborSampler(kg, k, rng=np.random.default_rng(seed))
+    block = InformationPropagation(
+        num_entities=kg.num_entities,
+        num_relation_slots=sampler.num_relation_slots,
+        dim=dim,
+        num_layers=layers,
+        aggregator=aggregator,
+        uniform_weights=uniform,
+        rng=np.random.default_rng(seed),
+    )
+    return block, sampler
+
+
+class TestAggregators:
+    def test_gcn_shape(self):
+        agg = GCNAggregator(4, rng=RNG)
+        out = agg(Tensor(RNG.normal(size=(3, 4))), Tensor(RNG.normal(size=(3, 4))))
+        assert out.shape == (3, 4)
+
+    def test_graphsage_shape(self):
+        agg = GraphSageAggregator(4, rng=RNG)
+        out = agg(Tensor(RNG.normal(size=(3, 4))), Tensor(RNG.normal(size=(3, 4))))
+        assert out.shape == (3, 4)
+
+    def test_gcn_is_symmetric_in_inputs(self):
+        # Eq. 5 sums e and e_N, so swapping them changes nothing.
+        agg = GCNAggregator(4, rng=RNG)
+        a = Tensor(RNG.normal(size=(2, 4)))
+        b = Tensor(RNG.normal(size=(2, 4)))
+        np.testing.assert_allclose(agg(a, b).data, agg(b, a).data)
+
+    def test_graphsage_is_not_symmetric(self):
+        # Eq. 6 concatenates, so order matters.
+        agg = GraphSageAggregator(4, rng=RNG)
+        a = Tensor(RNG.normal(size=(2, 4)))
+        b = Tensor(RNG.normal(size=(2, 4)))
+        assert not np.allclose(agg(a, b).data, agg(b, a).data)
+
+    def test_tanh_output_bounded(self):
+        agg = GCNAggregator(4, activation="tanh", rng=RNG)
+        out = agg(Tensor(RNG.normal(size=(5, 4)) * 10), Tensor(RNG.normal(size=(5, 4)) * 10))
+        assert (np.abs(out.data) <= 1.0).all()
+
+    def test_unknown_activation(self):
+        agg = GCNAggregator(4, activation="swish", rng=RNG)
+        with pytest.raises(ValueError):
+            agg(Tensor(np.zeros((1, 4))), Tensor(np.zeros((1, 4))))
+
+
+class TestPropagation:
+    def test_output_shape(self):
+        block, sampler = make_block(star_kg(6))
+        seeds = np.array([0, 1, 2])
+        query = Tensor(RNG.normal(size=(3, 6)))
+        out = block(seeds, query, sampler)
+        assert out.shape == (3, 6)
+
+    def test_zero_layers_returns_zero_order(self):
+        block, sampler = make_block(star_kg(6), layers=0)
+        seeds = np.array([1, 4])
+        query = Tensor(RNG.normal(size=(2, 6)))
+        out = block(seeds, query, sampler)
+        np.testing.assert_allclose(out.data, block.entity_embedding.weight.data[seeds])
+
+    def test_depth_changes_representation(self):
+        kg = chain_kg(6)
+        one, sampler1 = make_block(kg, layers=1, seed=3)
+        two, sampler2 = make_block(kg, layers=2, seed=3)
+        # Same seed => same base embeddings.
+        np.testing.assert_allclose(
+            one.entity_embedding.weight.data, two.entity_embedding.weight.data
+        )
+        seeds = np.array([2])
+        query = Tensor(np.ones((1, 6)))
+        assert not np.allclose(one(seeds, query, sampler1).data, two(seeds, query, sampler2).data)
+
+    def test_query_changes_weights_and_output(self):
+        kg = random_kg(20, 3, 80, rng=np.random.default_rng(1))
+        block, sampler = make_block(kg, layers=1, k=3)
+        seeds = np.array([0])
+        out_a = block(seeds, Tensor(np.ones((1, 6))), sampler)
+        out_b = block(seeds, Tensor(-np.ones((1, 6))), sampler)
+        assert not np.allclose(out_a.data, out_b.data)
+
+    def test_uniform_weights_ignore_query(self):
+        kg = random_kg(20, 3, 80, rng=np.random.default_rng(1))
+        block, sampler = make_block(kg, layers=1, k=3, uniform=True)
+        seeds = np.array([0, 5])
+        out_a = block(seeds, Tensor(np.ones((2, 6))), sampler)
+        out_b = block(seeds, Tensor(-np.ones((2, 6))), sampler)
+        np.testing.assert_allclose(out_a.data, out_b.data)
+
+    def test_gradients_reach_embeddings(self):
+        block, sampler = make_block(star_kg(6), layers=2)
+        seeds = np.array([0, 3])
+        query = Tensor(RNG.normal(size=(2, 6)))
+        block(seeds, query, sampler).sum().backward()
+        assert block.entity_embedding.weight.grad is not None
+        assert np.abs(block.entity_embedding.weight.grad).sum() > 0
+        assert block.relation_embedding.weight.grad is not None
+
+    def test_gradients_reach_aggregator_weights(self):
+        block, sampler = make_block(star_kg(6), layers=2)
+        seeds = np.array([0])
+        block(seeds, Tensor(RNG.normal(size=(1, 6))), sampler).sum().backward()
+        for layer in range(2):
+            agg = getattr(block, f"aggregator{layer}")
+            assert agg.linear.weight.grad is not None
+
+    def test_bad_query_shape(self):
+        block, sampler = make_block(star_kg(6))
+        with pytest.raises(ValueError):
+            block(np.array([0, 1]), Tensor(np.zeros((2, 3))), sampler)
+
+    def test_bad_seed_shape(self):
+        block, sampler = make_block(star_kg(6))
+        with pytest.raises(ValueError):
+            block(np.zeros((2, 2), dtype=int), Tensor(np.zeros((4, 6))), sampler)
+
+    def test_unknown_aggregator(self):
+        with pytest.raises(ValueError):
+            make_block(star_kg(4), aggregator="mean")
+
+    def test_negative_layers(self):
+        with pytest.raises(ValueError):
+            InformationPropagation(4, 2, 4, num_layers=-1)
+
+    def test_deterministic_forward(self):
+        block, sampler = make_block(star_kg(6), seed=7)
+        seeds = np.array([0, 2])
+        query = Tensor(np.ones((2, 6)))
+        a = block(seeds, query, sampler).data
+        b = block(seeds, query, sampler).data
+        np.testing.assert_allclose(a, b)
+
+    def test_information_flows_from_neighbors(self):
+        """Perturbing a neighbor's base embedding changes the seed's
+        propagated representation — the defining property of the block."""
+        kg = chain_kg(3)  # 0 - 1 - 2
+        block, sampler = make_block(kg, layers=1, k=1, seed=0)
+        seeds = np.array([0])
+        query = Tensor(np.ones((1, 6)))
+        before = block(seeds, query, sampler).data.copy()
+        block.entity_embedding.weight.data[1] += 1.0  # neighbor of 0
+        after = block(seeds, query, sampler).data
+        assert not np.allclose(before, after)
+
+    def test_two_hop_information_needs_two_layers(self):
+        """A 2-hop neighbor influences the seed only when H >= 2."""
+        kg = chain_kg(3)
+        query = Tensor(np.ones((1, 6)))
+        for layers, expect_change in ((1, False), (2, True)):
+            block, sampler = make_block(kg, layers=layers, k=1, seed=0)
+            before = block(np.array([0]), query, sampler).data.copy()
+            block.entity_embedding.weight.data[2] += 5.0  # 2 hops from 0
+            after = block(np.array([0]), query, sampler).data
+            changed = not np.allclose(before, after)
+            assert changed == expect_change, f"H={layers}"

@@ -1,0 +1,200 @@
+"""Unit tests for similarity measures and group construction protocols."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    GroupSet,
+    RatingsTable,
+    covisit_groups,
+    group_positive_items,
+    mean_group_similarity,
+    pairwise_pearson,
+    pearson_correlation,
+    random_groups,
+    similarity_groups,
+)
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        a = np.array([1.0, 2.0, 3.0, np.nan])
+        b = np.array([2.0, 4.0, 6.0, 5.0])
+        assert pearson_correlation(a, b) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([3.0, 2.0, 1.0])
+        assert pearson_correlation(a, b) == pytest.approx(-1.0)
+
+    def test_insufficient_overlap_returns_zero(self):
+        a = np.array([1.0, np.nan, np.nan])
+        b = np.array([2.0, 3.0, np.nan])
+        assert pearson_correlation(a, b) == 0.0
+
+    def test_zero_variance_returns_zero(self):
+        a = np.array([3.0, 3.0, 3.0])
+        b = np.array([1.0, 2.0, 3.0])
+        assert pearson_correlation(a, b) == 0.0
+
+    def test_matches_numpy_corrcoef(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=20)
+        b = rng.normal(size=20)
+        expected = np.corrcoef(a, b)[0, 1]
+        assert pearson_correlation(a, b) == pytest.approx(expected)
+
+    def test_pairwise_symmetric_unit_diagonal(self):
+        rng = np.random.default_rng(1)
+        matrix = rng.normal(size=(5, 15)) + 3.0
+        matrix = np.clip(matrix, 1, 5)
+        sim = pairwise_pearson(matrix)
+        np.testing.assert_allclose(sim, sim.T)
+        np.testing.assert_allclose(np.diag(sim), 1.0)
+
+    def test_mean_group_similarity(self):
+        sim = np.array([[1.0, 0.5, 0.1], [0.5, 1.0, 0.3], [0.1, 0.3, 1.0]])
+        value = mean_group_similarity(sim, np.array([0, 1, 2]))
+        assert value == pytest.approx((0.5 + 0.1 + 0.3) / 3)
+
+    def test_mean_group_similarity_single_member(self):
+        assert mean_group_similarity(np.eye(2), np.array([0])) == 0.0
+
+
+class TestGroupSet:
+    def test_basic(self):
+        groups = GroupSet([[0, 1], [2, 3]], num_users=4)
+        assert groups.num_groups == 2
+        assert groups.group_size == 2
+        np.testing.assert_array_equal(groups[1], [2, 3])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GroupSet([[0, 0]], num_users=2)  # duplicate member
+        with pytest.raises(ValueError):
+            GroupSet([[0, 5]], num_users=2)  # out of range
+        with pytest.raises(ValueError):
+            GroupSet([[0]], num_users=2)  # too small
+        with pytest.raises(ValueError):
+            GroupSet([0, 1], num_users=2)  # wrong ndim
+
+    def test_members_of_batch(self):
+        groups = GroupSet([[0, 1], [2, 3], [1, 2]], num_users=4)
+        batch = groups.members_of([0, 2])
+        np.testing.assert_array_equal(batch, [[0, 1], [1, 2]])
+
+    def test_groups_containing(self):
+        groups = GroupSet([[0, 1], [2, 3], [1, 2]], num_users=4)
+        np.testing.assert_array_equal(groups.groups_containing(1), [0, 2])
+
+    def test_participation_counts(self):
+        groups = GroupSet([[0, 1], [1, 2]], num_users=4)
+        np.testing.assert_array_equal(groups.participation_counts(), [1, 2, 1, 0])
+
+
+class TestRandomGroups:
+    def test_shapes_and_distinct_members(self):
+        groups = random_groups(10, 4, 20, np.random.default_rng(0))
+        assert groups.num_groups == 10
+        assert groups.group_size == 4
+        for row in groups.members:
+            assert len(np.unique(row)) == 4
+
+    def test_size_exceeding_population_rejected(self):
+        with pytest.raises(ValueError):
+            random_groups(1, 5, 3, np.random.default_rng(0))
+
+    def test_seeded_determinism(self):
+        a = random_groups(5, 3, 10, np.random.default_rng(7))
+        b = random_groups(5, 3, 10, np.random.default_rng(7))
+        np.testing.assert_array_equal(a.members, b.members)
+
+
+def clustered_ratings(rng=None):
+    """Two taste communities with opposite preferences over 30 items."""
+    rng = rng or np.random.default_rng(0)
+    base = rng.normal(size=30)
+    users, items, values = [], [], []
+    for user in range(12):
+        sign = 1.0 if user < 6 else -1.0
+        ratings = np.clip(np.round(3 + 1.5 * sign * base + 0.2 * rng.normal(size=30)), 1, 5)
+        for item in range(30):
+            users.append(user)
+            items.append(item)
+            values.append(ratings[item])
+    return RatingsTable(12, 30, users, items, values)
+
+
+class TestSimilarityGroups:
+    def test_groups_exceed_threshold(self):
+        ratings = clustered_ratings()
+        sim = pairwise_pearson(ratings.to_dense())
+        groups = similarity_groups(4, 3, ratings, threshold=0.27, rng=np.random.default_rng(0))
+        for row in groups.members:
+            for i in range(3):
+                for j in range(i + 1, 3):
+                    assert sim[row[i], row[j]] >= 0.27
+
+    def test_members_stay_within_cluster(self):
+        # With opposite-taste clusters, a 0.27-threshold group cannot mix them.
+        groups = similarity_groups(4, 3, clustered_ratings(), rng=np.random.default_rng(1))
+        for row in groups.members:
+            first_cluster = row[0] < 6
+            assert all((member < 6) == first_cluster for member in row)
+
+    def test_impossible_threshold_raises(self):
+        with pytest.raises(ValueError):
+            similarity_groups(
+                2,
+                3,
+                clustered_ratings(),
+                threshold=0.9999,
+                rng=np.random.default_rng(0),
+                max_attempts_per_group=5,
+            )
+
+
+class TestCovisitGroups:
+    def test_members_connected_by_friendship(self):
+        rng = np.random.default_rng(0)
+        friendships = np.zeros((10, 10), dtype=bool)
+        # Ring of friends.
+        for i in range(10):
+            friendships[i, (i + 1) % 10] = friendships[(i + 1) % 10, i] = True
+        groups = covisit_groups(friendships, 3, 5, rng)
+        for row in groups.members:
+            # Each member except the seed has a friend inside the group.
+            sub = friendships[np.ix_(row, row)]
+            assert sub.any(axis=1).sum() >= 2
+
+    def test_empty_friendship_graph_raises(self):
+        with pytest.raises(ValueError):
+            covisit_groups(np.zeros((5, 5), dtype=bool), 3, 2, np.random.default_rng(0))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            covisit_groups(np.zeros((3, 4), dtype=bool), 2, 1)
+
+
+class TestGroupPositives:
+    def test_all_members_rule(self):
+        # user0 and user1 both rate item0 >= 4; only user0 likes item1.
+        ratings = RatingsTable(
+            2, 2, users=[0, 0, 1, 1], items=[0, 1, 0, 1], values=[5, 5, 4, 2]
+        )
+        groups = GroupSet([[0, 1]], num_users=2)
+        positives = group_positive_items(groups, ratings)
+        assert (0, 0) in positives
+        assert (0, 1) not in positives
+
+    def test_unrated_item_blocks_positive(self):
+        # user1 never rated item0 at all -> not a group positive.
+        ratings = RatingsTable(2, 1, users=[0], items=[0], values=[5])
+        groups = GroupSet([[0, 1]], num_users=2)
+        positives = group_positive_items(groups, ratings)
+        assert positives.num_interactions == 0
+
+    def test_custom_threshold(self):
+        ratings = RatingsTable(2, 1, users=[0, 1], items=[0, 0], values=[3, 3])
+        groups = GroupSet([[0, 1]], num_users=2)
+        assert group_positive_items(groups, ratings, threshold=3.0).num_interactions == 1

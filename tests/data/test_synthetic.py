@@ -1,0 +1,179 @@
+"""Tests for the synthetic world model and dataset generators.
+
+These verify that the substitution datasets actually have the properties
+DESIGN.md claims they preserve from MovieLens-20M / Yelp (Table I shape,
+topic-driven ratings, KG-taste correlation, Yelp's 1-interaction groups).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    MovieLensLikeConfig,
+    WorldConfig,
+    YelpLikeConfig,
+    movielens_like,
+    pairwise_pearson,
+    sample_ratings,
+    sample_world,
+    yelp_like,
+)
+
+
+class TestWorld:
+    def test_shapes(self):
+        world = sample_world(10, 20, rng=np.random.default_rng(0))
+        assert world.user_topics.shape == (10, 8)
+        assert world.item_topics.shape == (20, 8)
+        assert world.item_quality.shape == (20,)
+        assert world.num_users == 10 and world.num_items == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_world(0, 5)
+
+    def test_affinity_bounded(self):
+        world = sample_world(10, 20, rng=np.random.default_rng(0))
+        affinity = world.affinity()
+        assert (np.abs(affinity) <= 1.0 + 1e-9).all()
+
+    def test_same_cluster_users_similar(self):
+        config = WorldConfig(num_user_clusters=2, user_noise=0.1)
+        world = sample_world(40, 30, config, np.random.default_rng(1))
+        users = world.user_topics / np.linalg.norm(world.user_topics, axis=1, keepdims=True)
+        sims = users @ users.T
+        same = world.user_cluster[:, None] == world.user_cluster[None, :]
+        off_diag = ~np.eye(40, dtype=bool)
+        assert sims[same & off_diag].mean() > sims[~same].mean() + 0.3
+
+
+class TestRatings:
+    def test_range_and_density(self):
+        world = sample_world(20, 30, rng=np.random.default_rng(0))
+        ratings = sample_ratings(world, density=0.5, rng=np.random.default_rng(1))
+        assert ratings.values.min() >= 1.0
+        assert ratings.values.max() <= 5.0
+        observed = ratings.num_ratings / (20 * 30)
+        assert 0.4 < observed < 0.6
+
+    def test_density_validation(self):
+        world = sample_world(5, 5, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            sample_ratings(world, density=0.0)
+
+    def test_ratings_reflect_affinity(self):
+        """Items a user is topically aligned with get higher stars."""
+        world = sample_world(30, 60, rng=np.random.default_rng(2))
+        ratings = sample_ratings(world, density=1.0, rng=np.random.default_rng(3))
+        dense = ratings.to_dense()
+        affinity = world.affinity()
+        correlations = []
+        for user in range(30):
+            correlations.append(np.corrcoef(dense[user], affinity[user])[0, 1])
+        assert np.mean(correlations) > 0.4
+
+    def test_same_cluster_users_have_higher_pcc(self):
+        config = WorldConfig(num_user_clusters=2, user_noise=0.2)
+        world = sample_world(16, 40, config, np.random.default_rng(4))
+        ratings = sample_ratings(world, density=1.0, rng=np.random.default_rng(5))
+        sim = pairwise_pearson(ratings.to_dense())
+        same = world.user_cluster[:, None] == world.user_cluster[None, :]
+        off_diag = ~np.eye(16, dtype=bool)
+        assert sim[same & off_diag].mean() > sim[~same].mean()
+
+
+def small_ml_config(**overrides):
+    defaults = dict(num_users=40, num_items=50, num_groups=12, seed=3)
+    defaults.update(overrides)
+    return MovieLensLikeConfig(**defaults)
+
+
+class TestMovieLensLike:
+    def test_rand_variant_shape(self):
+        ds = movielens_like("rand", small_ml_config())
+        stats = ds.stats()
+        assert stats["group_size"] == 8
+        assert stats["interactions_per_group"] >= 1.0
+        assert ds.ratings is not None
+        assert ds.kg.num_entities >= ds.num_items
+
+    def test_simi_variant_more_cohesive(self):
+        rand = movielens_like("rand", small_ml_config())
+        simi = movielens_like("simi", small_ml_config())
+        assert simi.groups.group_size == 5
+        # The paper's key contrast: similar groups agree on more items.
+        assert (
+            simi.stats()["interactions_per_group"]
+            > rand.stats()["interactions_per_group"]
+        )
+
+    def test_every_group_has_a_positive(self):
+        ds = movielens_like("rand", small_ml_config())
+        groups_with_items = np.unique(ds.group_item.pairs[:, 0])
+        assert len(groups_with_items) == ds.groups.num_groups
+
+    def test_user_item_consistent_with_ratings(self):
+        ds = movielens_like("rand", small_ml_config())
+        dense = ds.ratings.to_dense()
+        for user, item in ds.user_item.pairs[:50]:
+            assert dense[user, item] >= 4.0
+
+    def test_group_positive_implies_all_members_like(self):
+        ds = movielens_like("rand", small_ml_config())
+        dense = ds.ratings.to_dense()
+        for group, item in ds.group_item.pairs[:50]:
+            members = ds.groups[group]
+            assert (dense[members, item] >= 4.0).all()
+
+    def test_items_are_kg_entities(self):
+        ds = movielens_like("rand", small_ml_config())
+        degrees = ds.kg.degrees()[: ds.num_items]
+        assert (degrees > 0).all()
+
+    def test_bad_variant(self):
+        with pytest.raises(ValueError):
+            movielens_like("persistent")
+
+    def test_seeded_determinism(self):
+        a = movielens_like("rand", small_ml_config())
+        b = movielens_like("rand", small_ml_config())
+        np.testing.assert_array_equal(a.group_item.pairs, b.group_item.pairs)
+
+    def test_scaled_config(self):
+        config = small_ml_config().scaled(2.0)
+        assert config.num_users == 80
+        assert config.num_groups == 24
+        floor = small_ml_config().scaled(0.01)
+        assert floor.num_users >= 20
+
+
+class TestYelpLike:
+    def test_one_interaction_per_group(self):
+        ds = yelp_like(YelpLikeConfig(num_users=40, num_items=30, num_groups=15, seed=1))
+        stats = ds.stats()
+        assert stats["interactions_per_group"] == 1.0
+        assert stats["group_size"] == 3
+        assert ds.ratings is None
+
+    def test_group_choice_reflects_joint_taste(self):
+        ds = yelp_like(YelpLikeConfig(num_users=40, num_items=30, num_groups=15, seed=2))
+        affinity = ds.world.affinity() + ds.world.item_quality[None, :] * 0.3
+        better = 0
+        for group, item in ds.group_item.pairs:
+            members = ds.groups[group]
+            joint = affinity[members].mean(axis=0)
+            # The chosen business scores above the median of all businesses.
+            if joint[item] >= np.median(joint):
+                better += 1
+        assert better / ds.groups.num_groups > 0.9
+
+    def test_visits_per_user(self):
+        config = YelpLikeConfig(num_users=40, num_items=30, num_groups=10, seed=0)
+        ds = yelp_like(config)
+        counts = ds.user_item.row_counts()
+        assert (counts == config.visits_per_user).all()
+
+    def test_table1_shape_full_defaults(self):
+        """Yelp < MovieLens in items; rec@5 == hit@5 requires 1 pos/group."""
+        ds = yelp_like()
+        assert ds.stats()["interactions"] == ds.stats()["total_groups"]

@@ -1,0 +1,100 @@
+"""Property-based tests (hypothesis) for ranking-metric invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.eval import hit_at_k, ndcg_at_k, precision_at_k, recall_at_k, top_k_items
+
+
+@st.composite
+def ranking_cases(draw):
+    num_items = draw(st.integers(2, 30))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    scores = rng.normal(size=num_items)
+    num_positives = draw(st.integers(1, num_items))
+    positives = set(rng.choice(num_items, size=num_positives, replace=False).tolist())
+    k = draw(st.integers(1, num_items))
+    return scores, positives, k
+
+
+@settings(max_examples=60, deadline=None)
+@given(ranking_cases())
+def test_metrics_bounded(case):
+    scores, positives, k = case
+    for metric in (hit_at_k, recall_at_k, precision_at_k, ndcg_at_k):
+        value = metric(scores, positives, k)
+        assert 0.0 <= value <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(ranking_cases())
+def test_hit_dominates_recall(case):
+    """rec@k > 0 implies hit@k == 1; rec@k == 0 implies hit@k == 0."""
+    scores, positives, k = case
+    hit = hit_at_k(scores, positives, k)
+    rec = recall_at_k(scores, positives, k)
+    assert (rec > 0) == (hit == 1.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ranking_cases())
+def test_recall_monotone_in_k(case):
+    scores, positives, k = case
+    if k >= len(scores):
+        return
+    assert recall_at_k(scores, positives, k) <= recall_at_k(scores, positives, k + 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ranking_cases())
+def test_hit_monotone_in_k(case):
+    scores, positives, k = case
+    if k >= len(scores):
+        return
+    assert hit_at_k(scores, positives, k) <= hit_at_k(scores, positives, k + 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ranking_cases())
+def test_single_positive_makes_hit_equal_recall(case):
+    """The Yelp phenomenon: |positives| == 1 => hit@k == rec@k."""
+    scores, positives, k = case
+    single = {next(iter(positives))}
+    assert hit_at_k(scores, single, k) == recall_at_k(scores, single, k)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ranking_cases())
+def test_full_k_recovers_everything(case):
+    scores, positives, k = case
+    assert recall_at_k(scores, positives, len(scores)) == 1.0
+    assert hit_at_k(scores, positives, len(scores)) == 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(ranking_cases())
+def test_score_shift_invariance(case):
+    """Adding a constant to every score cannot change any ranking metric."""
+    scores, positives, k = case
+    shifted = scores + 123.456
+    assert recall_at_k(scores, positives, k) == recall_at_k(shifted, positives, k)
+    assert ndcg_at_k(scores, positives, k) == ndcg_at_k(shifted, positives, k)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ranking_cases())
+def test_topk_is_prefix_of_full_ranking(case):
+    scores, __, k = case
+    full = top_k_items(scores, len(scores))
+    np.testing.assert_array_equal(top_k_items(scores, k), full[:k])
+
+
+@settings(max_examples=60, deadline=None)
+@given(ranking_cases())
+def test_precision_recall_relationship(case):
+    """precision * k == recall * |positives| (both count hits in top-k)."""
+    scores, positives, k = case
+    hits_from_precision = precision_at_k(scores, positives, k) * min(k, len(scores))
+    hits_from_recall = recall_at_k(scores, positives, k) * len(positives)
+    assert abs(hits_from_precision - hits_from_recall) < 1e-9

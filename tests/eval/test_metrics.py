@@ -1,0 +1,110 @@
+"""Unit tests for ranking metrics (Sec. IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    evaluate_rankings,
+    hit_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    top_k_items,
+)
+
+
+class TestTopK:
+    def test_orders_descending(self):
+        scores = np.array([0.1, 0.9, 0.5])
+        np.testing.assert_array_equal(top_k_items(scores, 2), [1, 2])
+
+    def test_ties_break_by_item_id(self):
+        scores = np.array([0.5, 0.5, 0.5])
+        np.testing.assert_array_equal(top_k_items(scores, 3), [0, 1, 2])
+
+    def test_k_larger_than_items(self):
+        assert len(top_k_items(np.array([1.0, 2.0]), 10)) == 2
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            top_k_items(np.array([1.0]), 0)
+
+    def test_neg_inf_ranks_last(self):
+        scores = np.array([-np.inf, 0.0, 1.0])
+        np.testing.assert_array_equal(top_k_items(scores, 3), [2, 1, 0])
+
+
+class TestHit:
+    def test_hit_when_positive_in_topk(self):
+        scores = np.array([0.9, 0.1, 0.5])
+        assert hit_at_k(scores, {0}, 1) == 1.0
+
+    def test_miss_when_positive_outside_topk(self):
+        scores = np.array([0.9, 0.1, 0.5])
+        assert hit_at_k(scores, {1}, 2) == 0.0
+
+    def test_no_positives_is_miss(self):
+        assert hit_at_k(np.array([1.0]), set(), 1) == 0.0
+
+
+class TestRecall:
+    def test_full_recall(self):
+        scores = np.array([0.9, 0.8, 0.1])
+        assert recall_at_k(scores, {0, 1}, 2) == 1.0
+
+    def test_partial_recall(self):
+        scores = np.array([0.9, 0.1, 0.8])
+        assert recall_at_k(scores, {0, 1}, 2) == 0.5
+
+    def test_recall_capped_by_k(self):
+        # 3 positives, k=1: at best 1/3.
+        scores = np.array([0.9, 0.8, 0.7])
+        assert recall_at_k(scores, {0, 1, 2}, 1) == pytest.approx(1 / 3)
+
+
+class TestPrecisionNdcg:
+    def test_precision(self):
+        scores = np.array([0.9, 0.8, 0.1])
+        assert precision_at_k(scores, {0}, 2) == 0.5
+
+    def test_ndcg_perfect_ranking(self):
+        scores = np.array([0.9, 0.8, 0.1, 0.05])
+        assert ndcg_at_k(scores, {0, 1}, 2) == pytest.approx(1.0)
+
+    def test_ndcg_worst_in_topk(self):
+        # positive at rank 2 (0-indexed 1) vs ideal rank 0.
+        scores = np.array([0.9, 0.8])
+        value = ndcg_at_k(scores, {1}, 2)
+        assert value == pytest.approx((1 / np.log2(3)) / 1.0)
+
+    def test_ndcg_empty_positives(self):
+        assert ndcg_at_k(np.array([1.0]), set(), 1) == 0.0
+
+
+class TestAggregate:
+    def test_averages_over_groups(self):
+        scores = {0: np.array([0.9, 0.1]), 1: np.array([0.1, 0.9])}
+        positives = {0: [0], 1: [0]}  # group 0 hit, group 1 miss at k=1
+        out = evaluate_rankings(scores, positives, k=1)
+        assert out["hit@1"] == 0.5
+        assert out["rec@1"] == 0.5
+        assert out["num_groups"] == 2
+
+    def test_groups_without_positives_skipped(self):
+        scores = {0: np.array([1.0, 0.0]), 1: np.array([1.0, 0.0])}
+        positives = {0: [0], 1: []}
+        out = evaluate_rankings(scores, positives, k=1)
+        assert out["num_groups"] == 1
+
+    def test_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            evaluate_rankings({0: np.array([1.0])}, {0: []}, k=1)
+
+    def test_rec_equals_hit_with_single_positives(self):
+        """The Yelp phenomenon of Table II: one positive per group makes
+        rec@k and hit@k identical."""
+        rng = np.random.default_rng(0)
+        scores = {g: rng.normal(size=20) for g in range(10)}
+        positives = {g: [int(rng.integers(20))] for g in range(10)}
+        out = evaluate_rankings(scores, positives, k=5)
+        assert out["hit@5"] == out["rec@5"]

@@ -1,0 +1,74 @@
+"""Tests for the paired bootstrap significance utilities."""
+
+import numpy as np
+import pytest
+
+from repro.eval.significance import BootstrapResult, paired_bootstrap, per_group_metrics
+
+
+class TestPerGroupMetrics:
+    def test_rec_values(self):
+        scores = {0: np.array([0.9, 0.1, 0.5]), 1: np.array([0.1, 0.9, 0.5])}
+        positives = {0: [0], 1: [0]}
+        out = per_group_metrics(scores, positives, k=1, metric="rec")
+        assert out[0] == 1.0
+        assert out[1] == 0.0
+
+    def test_hit_metric(self):
+        scores = {0: np.array([0.9, 0.1])}
+        out = per_group_metrics(scores, {0: [0, 1]}, k=1, metric="hit")
+        assert out[0] == 1.0
+
+    def test_empty_positives_skipped(self):
+        out = per_group_metrics({0: np.array([1.0])}, {0: []}, k=1)
+        assert out == {}
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            per_group_metrics({}, {}, metric="mrr")
+
+
+class TestPairedBootstrap:
+    def test_clear_winner_is_significant(self):
+        rng = np.random.default_rng(0)
+        a = {g: 0.8 + 0.05 * rng.standard_normal() for g in range(100)}
+        b = {g: 0.3 + 0.05 * rng.standard_normal() for g in range(100)}
+        result = paired_bootstrap(a, b, rng=np.random.default_rng(1))
+        assert result.mean_difference > 0.4
+        assert result.p_win > 0.99
+        assert result.significant()
+
+    def test_identical_models_not_significant(self):
+        rng = np.random.default_rng(2)
+        values = {g: float(rng.random()) for g in range(100)}
+        jitter = {g: v + 1e-4 * rng.standard_normal() for g, v in values.items()}
+        result = paired_bootstrap(values, jitter, rng=np.random.default_rng(3))
+        assert abs(result.mean_difference) < 0.01
+        assert not result.significant(alpha=0.01)
+
+    def test_mismatched_groups_rejected(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap({0: 1.0}, {1: 1.0})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap({}, {})
+
+    def test_result_fields(self):
+        a = {g: 0.6 for g in range(10)}
+        b = {g: 0.4 for g in range(10)}
+        result = paired_bootstrap(a, b, num_resamples=100, rng=np.random.default_rng(0))
+        assert isinstance(result, BootstrapResult)
+        assert result.num_groups == 10
+        assert result.num_resamples == 100
+        assert result.mean_a == pytest.approx(0.6)
+        assert result.mean_b == pytest.approx(0.4)
+
+    def test_deterministic_with_seed(self):
+        rng_values = np.random.default_rng(5)
+        a = {g: float(rng_values.random()) for g in range(30)}
+        b = {g: float(rng_values.random()) for g in range(30)}
+        r1 = paired_bootstrap(a, b, rng=np.random.default_rng(7))
+        r2 = paired_bootstrap(a, b, rng=np.random.default_rng(7))
+        assert r1.p_value == r2.p_value
+        assert r1.p_win == r2.p_win

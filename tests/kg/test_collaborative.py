@@ -1,0 +1,109 @@
+"""Unit tests for the collaborative KG construction of Sec. III-A."""
+
+import numpy as np
+import pytest
+
+from repro.kg import (
+    CollaborativeKnowledgeGraph,
+    ItemEntityMap,
+    KnowledgeGraph,
+    build_collaborative_graph,
+)
+
+
+def toy_kg():
+    # 3 items (entities 0-2) + 2 attribute entities (3-4), 2 relations.
+    return KnowledgeGraph(
+        5, 2, [(0, 0, 3), (1, 0, 3), (2, 1, 4)], relation_names={0: "genre", 1: "dir"}
+    )
+
+
+class TestItemEntityMap:
+    def test_identity(self):
+        mapping = ItemEntityMap.identity(4)
+        assert mapping.entity_of(2) == 2
+        np.testing.assert_array_equal(mapping.entities_of([0, 3]), [0, 3])
+
+    def test_custom_map_and_inverse(self):
+        mapping = ItemEntityMap([5, 2, 9])
+        assert mapping.entity_of(1) == 2
+        assert mapping.item_of(9) == 2
+        assert mapping.item_of(7) is None
+
+    def test_injective_required(self):
+        with pytest.raises(ValueError):
+            ItemEntityMap([1, 1])
+
+    def test_one_dimensional_required(self):
+        with pytest.raises(ValueError):
+            ItemEntityMap([[1, 2]])
+
+
+class TestCollaborativeGraph:
+    def test_layout(self):
+        ckg = build_collaborative_graph(toy_kg(), num_users=2, user_item_pairs=[(0, 0)])
+        assert ckg.num_kg_entities == 5
+        assert ckg.num_entities == 7  # 5 KG + 2 users
+        assert ckg.num_relations == 3  # 2 KG + Interact
+        assert ckg.interact_relation == 2
+        assert ckg.relation_name(2) == "Interact"
+
+    def test_interact_triples_added(self):
+        ckg = build_collaborative_graph(
+            toy_kg(), num_users=2, user_item_pairs=[(0, 0), (1, 2)]
+        )
+        assert (ckg.user_entity(0), 2, 0) in ckg
+        assert (ckg.user_entity(1), 2, 2) in ckg
+
+    def test_user_entity_translation(self):
+        ckg = build_collaborative_graph(toy_kg(), num_users=3, user_item_pairs=[(0, 0)])
+        assert ckg.user_entity(0) == 5
+        np.testing.assert_array_equal(ckg.user_entities([0, 2]), [5, 7])
+        assert ckg.is_user_entity(5)
+        assert not ckg.is_user_entity(4)
+
+    def test_user_entity_range_checked(self):
+        ckg = build_collaborative_graph(toy_kg(), num_users=2, user_item_pairs=[(0, 0)])
+        with pytest.raises(IndexError):
+            ckg.user_entity(2)
+        with pytest.raises(IndexError):
+            ckg.user_entities([5])
+
+    def test_item_entity_translation_with_custom_map(self):
+        mapping = ItemEntityMap([3, 4])  # items live at attribute slots
+        ckg = CollaborativeKnowledgeGraph(
+            toy_kg(), num_users=1, user_item_pairs=np.array([(0, 1)]), item_map=mapping
+        )
+        assert ckg.item_entity(1) == 4
+        # The interact edge targets the mapped entity.
+        assert (ckg.user_entity(0), ckg.interact_relation, 4) in ckg
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_collaborative_graph(toy_kg(), num_users=0, user_item_pairs=[])
+        with pytest.raises(ValueError):
+            build_collaborative_graph(toy_kg(), 1, np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            build_collaborative_graph(toy_kg(), 1, [(5, 0)])  # bad user
+
+    def test_user_names_assigned(self):
+        ckg = build_collaborative_graph(toy_kg(), num_users=1, user_item_pairs=[(0, 0)])
+        assert ckg.entity_name(ckg.user_entity(0)) == "user:0"
+
+    def test_bidirectional_interact_edges(self):
+        # A user's items and an item's users must see each other: this is
+        # how user-user connectivity arises (Fig. 2 discussion).
+        ckg = build_collaborative_graph(
+            toy_kg(), num_users=2, user_item_pairs=[(0, 0), (1, 0)]
+        )
+        # user0 -> item0 -> user1 path exists: 2 hops.
+        assert ckg.connected_within(ckg.user_entity(0), ckg.user_entity(1), max_hops=2)
+
+    def test_user_user_connectivity_through_kg(self):
+        # user0 likes item0, user1 likes item1; both items share genre
+        # entity 3, so the users connect in 4 hops through the KG.
+        ckg = build_collaborative_graph(
+            toy_kg(), num_users=2, user_item_pairs=[(0, 0), (1, 1)]
+        )
+        assert not ckg.connected_within(ckg.user_entity(0), ckg.user_entity(1), 3)
+        assert ckg.connected_within(ckg.user_entity(0), ckg.user_entity(1), 4)

@@ -1,0 +1,134 @@
+"""Unit tests for the KnowledgeGraph triple store."""
+
+import numpy as np
+import pytest
+
+from repro.kg import KnowledgeGraph, Triple, chain_kg, star_kg
+
+
+class TestConstruction:
+    def test_basic(self):
+        kg = KnowledgeGraph(3, 2, [(0, 0, 1), (1, 1, 2)])
+        assert kg.num_entities == 3
+        assert kg.num_relations == 2
+        assert kg.num_triples == 2
+
+    def test_empty_triples_ok(self):
+        kg = KnowledgeGraph(3, 1, [])
+        assert kg.num_triples == 0
+        assert kg.neighbors(0) == ()
+
+    def test_triple_objects_accepted(self):
+        kg = KnowledgeGraph(2, 1, [Triple(0, 0, 1)])
+        assert (0, 0, 1) in kg
+
+    def test_duplicates_removed(self):
+        kg = KnowledgeGraph(2, 1, [(0, 0, 1), (0, 0, 1)])
+        assert kg.num_triples == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KnowledgeGraph(2, 1, [(0, 0, 2)])  # tail out of range
+        with pytest.raises(ValueError):
+            KnowledgeGraph(2, 1, [(2, 0, 1)])  # head out of range
+        with pytest.raises(ValueError):
+            KnowledgeGraph(2, 1, [(0, 1, 1)])  # relation out of range
+        with pytest.raises(ValueError):
+            KnowledgeGraph(0, 1, [])
+        with pytest.raises(ValueError):
+            KnowledgeGraph(1, 0, [])
+
+    def test_contains_negative(self):
+        kg = KnowledgeGraph(3, 1, [(0, 0, 1)])
+        assert (1, 0, 2) not in kg
+        assert Triple(0, 0, 1) in kg
+
+
+class TestAdjacency:
+    def test_bidirectional_by_default(self):
+        kg = KnowledgeGraph(2, 1, [(0, 0, 1)])
+        assert kg.neighbors(1) == ((0, 0),)
+        assert kg.neighbors(0) == ((0, 1),)
+
+    def test_directed_mode(self):
+        kg = KnowledgeGraph(2, 1, [(0, 0, 1)], bidirectional=False)
+        assert kg.neighbors(0) == ((0, 1),)
+        assert kg.neighbors(1) == ()
+
+    def test_self_loop_not_duplicated(self):
+        kg = KnowledgeGraph(2, 1, [(0, 0, 0)])
+        assert kg.degree(0) == 1
+
+    def test_degrees(self):
+        kg = star_kg(4)
+        degrees = kg.degrees()
+        assert degrees[0] == 4
+        assert (degrees[1:] == 1).all()
+
+    def test_iteration_yields_triples(self):
+        kg = chain_kg(3)
+        triples = list(kg)
+        assert triples == [Triple(0, 0, 1), Triple(1, 0, 2)]
+
+    def test_len(self):
+        assert len(chain_kg(5)) == 4
+
+
+class TestAnalysis:
+    def test_bfs_distances_chain(self):
+        kg = chain_kg(5)
+        distances = kg.bfs_distances(0)
+        assert distances == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_bfs_max_hops(self):
+        kg = chain_kg(5)
+        distances = kg.bfs_distances(0, max_hops=2)
+        assert set(distances) == {0, 1, 2}
+
+    def test_connected_within(self):
+        kg = chain_kg(4)
+        assert kg.connected_within(0, 2, max_hops=2)
+        assert not kg.connected_within(0, 3, max_hops=2)
+
+    def test_relation_histogram(self):
+        kg = KnowledgeGraph(3, 2, [(0, 0, 1), (1, 0, 2), (0, 1, 2)])
+        np.testing.assert_array_equal(kg.relation_histogram(), [2, 1])
+
+    def test_describe(self):
+        stats = star_kg(3).describe()
+        assert stats["num_triples"] == 3
+        assert stats["max_degree"] == 3
+        assert stats["isolated_entities"] == 0
+
+    def test_isolated_entities_counted(self):
+        kg = KnowledgeGraph(5, 1, [(0, 0, 1)])
+        assert kg.describe()["isolated_entities"] == 3
+
+    def test_to_networkx(self):
+        graph = chain_kg(3).to_networkx()
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 2
+
+    def test_names_fallback(self):
+        kg = KnowledgeGraph(2, 1, [(0, 0, 1)], entity_names={0: "Psycho"})
+        assert kg.entity_name(0) == "Psycho"
+        assert kg.entity_name(1) == "entity:1"
+        assert kg.relation_name(0) == "relation:0"
+
+
+class TestMerge:
+    def test_merge_unions_triples(self):
+        a = KnowledgeGraph(4, 2, [(0, 0, 1)])
+        b = KnowledgeGraph(4, 2, [(2, 1, 3)])
+        merged = a.merge(b)
+        assert merged.num_triples == 2
+        assert (0, 0, 1) in merged and (2, 1, 3) in merged
+
+    def test_merge_deduplicates(self):
+        a = KnowledgeGraph(2, 1, [(0, 0, 1)])
+        merged = a.merge(a)
+        assert merged.num_triples == 1
+
+    def test_merge_vocabulary_mismatch(self):
+        with pytest.raises(ValueError):
+            KnowledgeGraph(2, 1, []).merge(KnowledgeGraph(3, 1, []))

@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) for knowledge-graph invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.kg import KnowledgeGraph, NeighborSampler, random_kg
+
+
+@st.composite
+def graphs(draw):
+    num_entities = draw(st.integers(2, 20))
+    num_relations = draw(st.integers(1, 4))
+    num_triples = draw(st.integers(0, 40))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    heads = rng.integers(0, num_entities, num_triples)
+    relations = rng.integers(0, num_relations, num_triples)
+    tails = rng.integers(0, num_entities, num_triples)
+    triples = list(zip(heads.tolist(), relations.tolist(), tails.tolist()))
+    return KnowledgeGraph(num_entities, num_relations, triples)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs())
+def test_triples_are_unique(kg):
+    if kg.num_triples:
+        assert len(np.unique(kg.triples, axis=0)) == kg.num_triples
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs())
+def test_bidirectional_adjacency_is_symmetric(kg):
+    """If t is a neighbor of h, then h is a neighbor of t."""
+    for head, _, tail in kg.triples:
+        assert any(n == head for _, n in kg.neighbors(int(tail)))
+        assert any(n == tail for _, n in kg.neighbors(int(head)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs())
+def test_degree_sum_counts_each_edge_twice(kg):
+    """Bidirectional adjacency: every non-self-loop triple adds 2 degree."""
+    self_loops = int((kg.triples[:, 0] == kg.triples[:, 2]).sum()) if kg.num_triples else 0
+    expected = 2 * (kg.num_triples - self_loops) + self_loops
+    assert kg.degrees().sum() == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs())
+def test_merge_with_self_is_identity(kg):
+    merged = kg.merge(kg)
+    np.testing.assert_array_equal(merged.triples, kg.triples)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs())
+def test_bfs_distances_satisfy_triangle_steps(kg):
+    """BFS distance increases by at most one per hop from any neighbor."""
+    if kg.num_entities == 0:
+        return
+    distances = kg.bfs_distances(0)
+    for entity, distance in distances.items():
+        for _, neighbor in kg.neighbors(entity):
+            if neighbor in distances:
+                assert abs(distances[neighbor] - distance) <= 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(), st.integers(1, 5), st.integers(0, 1000))
+def test_sampler_outputs_in_range(kg, k, seed):
+    sampler = NeighborSampler(kg, k, rng=np.random.default_rng(seed))
+    entities = np.arange(kg.num_entities)
+    neighbor_entities, neighbor_relations = sampler.sampled_neighbors(entities)
+    assert neighbor_entities.shape == (kg.num_entities, k)
+    assert (neighbor_entities >= 0).all()
+    assert (neighbor_entities < kg.num_entities).all()
+    assert (neighbor_relations >= 0).all()
+    assert (neighbor_relations < sampler.num_relation_slots).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(), st.integers(1, 3), st.integers(0, 2), st.integers(0, 1000))
+def test_receptive_field_shapes(kg, k, depth, seed):
+    sampler = NeighborSampler(kg, k, rng=np.random.default_rng(seed))
+    batch = min(3, kg.num_entities)
+    seeds = np.arange(batch)
+    field = sampler.receptive_field(seeds, depth)
+    assert field.depth == depth
+    for hop in range(depth + 1):
+        assert field.entities[hop].shape == ((batch,) if hop == 0 else (batch, k**hop))
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(), st.integers(1, 4))
+def test_sampled_neighbors_are_real_neighbors_or_self_loops(kg, k):
+    sampler = NeighborSampler(kg, k, rng=np.random.default_rng(0))
+    for entity in range(kg.num_entities):
+        edges = set(kg.neighbors(entity))
+        sampled_e, sampled_r = sampler.sampled_neighbors(np.array([entity]))
+        for relation, neighbor in zip(sampled_r[0], sampled_e[0]):
+            if edges:
+                assert (int(relation), int(neighbor)) in edges
+            else:
+                assert neighbor == entity
+                assert relation == sampler.self_relation
+
+
+def test_random_kg_respects_bounds():
+    kg = random_kg(10, 2, 50, rng=np.random.default_rng(0))
+    assert kg.triples[:, 0].max() < 10
+    assert kg.triples[:, 1].max() < 2

@@ -1,0 +1,162 @@
+"""Unit tests for neighbor sampling and the synthetic KG generators."""
+
+import numpy as np
+import pytest
+
+from repro.kg import (
+    KnowledgeGraph,
+    NeighborSampler,
+    TopicalKGConfig,
+    chain_kg,
+    random_kg,
+    star_kg,
+    topical_kg,
+)
+
+
+class TestNeighborSampler:
+    def test_shapes(self):
+        sampler = NeighborSampler(star_kg(5), num_neighbors=3, rng=np.random.default_rng(0))
+        entities, relations = sampler.sampled_neighbors(np.array([0, 1]))
+        assert entities.shape == (2, 3)
+        assert relations.shape == (2, 3)
+
+    def test_low_degree_sampled_with_replacement(self):
+        kg = chain_kg(3)  # entity 0 has degree 1
+        sampler = NeighborSampler(kg, num_neighbors=4, rng=np.random.default_rng(0))
+        entities, relations = sampler.sampled_neighbors(np.array([0]))
+        assert (entities == 1).all()
+        assert (relations == 0).all()
+
+    def test_high_degree_sampled_without_replacement(self):
+        kg = star_kg(10)
+        sampler = NeighborSampler(kg, num_neighbors=5, rng=np.random.default_rng(0))
+        entities, _ = sampler.sampled_neighbors(np.array([0]))
+        assert len(np.unique(entities)) == 5
+
+    def test_isolated_entity_gets_self_loop(self):
+        kg = KnowledgeGraph(3, 1, [(0, 0, 1)])  # entity 2 isolated
+        sampler = NeighborSampler(kg, num_neighbors=2, rng=np.random.default_rng(0))
+        entities, relations = sampler.sampled_neighbors(np.array([2]))
+        assert (entities == 2).all()
+        assert (relations == sampler.self_relation).all()
+        assert sampler.self_relation == kg.num_relations
+        assert sampler.num_relation_slots == kg.num_relations + 1
+
+    def test_neighbors_come_from_adjacency(self):
+        kg = star_kg(6)
+        sampler = NeighborSampler(kg, num_neighbors=3, rng=np.random.default_rng(1))
+        entities, _ = sampler.sampled_neighbors(np.array([0]))
+        valid = {t for _, t in kg.neighbors(0)}
+        assert set(entities.ravel()) <= valid
+
+    def test_deterministic_given_seed(self):
+        kg = random_kg(30, 3, 100, rng=np.random.default_rng(5))
+        a = NeighborSampler(kg, 4, rng=np.random.default_rng(9))
+        b = NeighborSampler(kg, 4, rng=np.random.default_rng(9))
+        ents = np.arange(30)
+        np.testing.assert_array_equal(
+            a.sampled_neighbors(ents)[0], b.sampled_neighbors(ents)[0]
+        )
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            NeighborSampler(chain_kg(3), num_neighbors=0)
+
+
+class TestReceptiveField:
+    def test_depth_zero(self):
+        sampler = NeighborSampler(chain_kg(4), 2, rng=np.random.default_rng(0))
+        field = sampler.receptive_field(np.array([1, 2]), depth=0)
+        assert field.depth == 0
+        assert field.batch_size == 2
+        np.testing.assert_array_equal(field.entities[0], [1, 2])
+
+    def test_level_shapes_grow_by_k(self):
+        sampler = NeighborSampler(star_kg(8), 3, rng=np.random.default_rng(0))
+        field = sampler.receptive_field(np.array([0, 1, 2, 3]), depth=2)
+        assert field.entities[0].shape == (4,)
+        assert field.entities[1].shape == (4, 3)
+        assert field.entities[2].shape == (4, 9)
+        assert field.relations[0].shape == (4, 3)
+        assert field.relations[1].shape == (4, 9)
+
+    def test_hop1_of_chain_midpoint(self):
+        sampler = NeighborSampler(chain_kg(5), 2, rng=np.random.default_rng(0))
+        field = sampler.receptive_field(np.array([2]), depth=1)
+        assert set(field.entities[1].ravel()) <= {1, 3}
+
+    def test_seed_must_be_1d(self):
+        sampler = NeighborSampler(chain_kg(3), 2, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            sampler.receptive_field(np.zeros((2, 2), dtype=int), depth=1)
+
+    def test_negative_depth_rejected(self):
+        sampler = NeighborSampler(chain_kg(3), 2, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            sampler.receptive_field(np.array([0]), depth=-1)
+
+
+class TestGenerators:
+    def test_chain_and_star_shapes(self):
+        assert chain_kg(4).num_triples == 3
+        assert star_kg(4).num_triples == 4
+        with pytest.raises(ValueError):
+            chain_kg(1)
+        with pytest.raises(ValueError):
+            star_kg(0)
+
+    def test_random_kg_no_self_loops(self):
+        kg = random_kg(20, 2, 200, rng=np.random.default_rng(0))
+        assert (kg.triples[:, 0] != kg.triples[:, 2]).all()
+
+    def test_topical_kg_every_item_has_edges(self):
+        rng = np.random.default_rng(0)
+        topics = rng.normal(size=(30, 6))
+        kg = topical_kg(topics, rng=rng)
+        config = TopicalKGConfig()
+        degrees = kg.degrees()[:30]
+        assert (degrees >= len(config.relation_arities)).all()
+
+    def test_topical_kg_entity_count(self):
+        rng = np.random.default_rng(0)
+        config = TopicalKGConfig(
+            relation_arities={"a": 5, "b": 7}, inter_attribute_edges=0
+        )
+        kg = topical_kg(rng.normal(size=(10, 4)), config=config, rng=rng)
+        assert kg.num_entities == 10 + 5 + 7
+        assert kg.num_relations == 3  # a, b, related_to
+
+    def test_topical_kg_similar_items_share_neighbors(self):
+        """High temperature => same-topic items share attribute entities
+        far more often than opposite-topic items."""
+        rng = np.random.default_rng(42)
+        base = rng.normal(size=6)
+        topics = np.stack([base, base * 1.01, -base])
+        config = TopicalKGConfig(
+            relation_arities={"rel": 10},
+            temperature=12.0,
+            inter_attribute_edges=0,
+        )
+        shared_same = 0
+        shared_opposite = 0
+        for seed in range(30):
+            kg = topical_kg(topics, config=config, rng=np.random.default_rng(seed))
+            n0 = {t for _, t in kg.neighbors(0)}
+            n1 = {t for _, t in kg.neighbors(1)}
+            n2 = {t for _, t in kg.neighbors(2)}
+            shared_same += len(n0 & n1)
+            shared_opposite += len(n0 & n2)
+        assert shared_same > shared_opposite
+
+    def test_topical_kg_names(self):
+        rng = np.random.default_rng(0)
+        kg = topical_kg(rng.normal(size=(3, 2)), rng=rng)
+        assert kg.entity_name(0) == "item:0"
+        assert kg.relation_name(0) == "directed_by"
+
+    def test_topical_kg_validation(self):
+        with pytest.raises(ValueError):
+            topical_kg(np.zeros(3))
+        with pytest.raises(ValueError):
+            topical_kg(np.zeros((0, 3)))

@@ -1,0 +1,51 @@
+"""Tests for gradient clipping and misc optimizer utilities."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter, clip_grad_norm
+
+
+class TestClipGradNorm:
+    def test_returns_preclip_norm(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.array([3.0, 4.0, 0.0, 0.0])
+        norm = clip_grad_norm([p], max_norm=100.0)
+        assert norm == pytest.approx(5.0)
+        np.testing.assert_allclose(p.grad, [3.0, 4.0, 0.0, 0.0])  # untouched
+
+    def test_clips_when_exceeding(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([3.0, 4.0])
+        clip_grad_norm([p], max_norm=1.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+        # Direction preserved.
+        np.testing.assert_allclose(p.grad / np.linalg.norm(p.grad), [0.6, 0.8])
+
+    def test_global_norm_across_parameters(self):
+        a = Parameter(np.zeros(1))
+        b = Parameter(np.zeros(1))
+        a.grad = np.array([3.0])
+        b.grad = np.array([4.0])
+        norm = clip_grad_norm([a, b], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        total = np.sqrt(a.grad[0] ** 2 + b.grad[0] ** 2)
+        assert total == pytest.approx(1.0)
+
+    def test_skips_parameters_without_grad(self):
+        a = Parameter(np.zeros(1))
+        b = Parameter(np.zeros(1))
+        a.grad = np.array([2.0])
+        clip_grad_norm([a, b], max_norm=1.0)
+        assert b.grad is None
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], max_norm=0.0)
+
+    def test_zero_gradients_untouched(self):
+        p = Parameter(np.zeros(3))
+        p.grad = np.zeros(3)
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == 0.0
+        np.testing.assert_allclose(p.grad, 0.0)

@@ -1,0 +1,196 @@
+"""Unit tests for Module/Parameter plumbing and the standard layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Activation,
+    Dropout,
+    Embedding,
+    Linear,
+    MLP,
+    Module,
+    Parameter,
+    Sequential,
+    Tensor,
+)
+
+RNG = np.random.default_rng(21)
+
+
+class TwoLayer(Module):
+    def __init__(self):
+        super().__init__()
+        self.first = Linear(3, 4, rng=RNG)
+        self.second = Linear(4, 2, rng=RNG)
+        self.scale = Parameter(np.ones(1))
+
+    def forward(self, x):
+        return self.second(self.first(x).relu()) * self.scale
+
+
+class TestModule:
+    def test_parameter_discovery(self):
+        model = TwoLayer()
+        names = {name for name, _ in model.named_parameters()}
+        assert names == {
+            "first.weight",
+            "first.bias",
+            "second.weight",
+            "second.bias",
+            "scale",
+        }
+
+    def test_num_parameters(self):
+        model = TwoLayer()
+        assert model.num_parameters() == 3 * 4 + 4 + 4 * 2 + 2 + 1
+
+    def test_zero_grad_clears_all(self):
+        model = TwoLayer()
+        out = model(Tensor(RNG.normal(size=(2, 3))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(2, 2, rng=RNG), Dropout(0.5))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_state_dict_roundtrip(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        other = TwoLayer()
+        other.load_state_dict(state)
+        for (_, p), (_, q) in zip(model.named_parameters(), other.named_parameters()):
+            np.testing.assert_allclose(p.data, q.data)
+
+    def test_state_dict_is_a_copy(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["scale"][0] = 123.0
+        assert model.scale.data[0] == 1.0
+
+    def test_load_state_dict_strict(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_state_dict_shape_check(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["scale"] = np.ones(7)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(3, 5, rng=RNG)
+        assert layer(Tensor(RNG.normal(size=(7, 3)))).shape == (7, 5)
+
+    def test_no_bias(self):
+        layer = Linear(3, 5, bias=False, rng=RNG)
+        assert layer.bias is None
+        out = layer(Tensor(np.zeros((1, 3))))
+        np.testing.assert_allclose(out.data, np.zeros((1, 5)))
+
+    def test_matches_manual_affine(self):
+        layer = Linear(2, 2, rng=RNG)
+        x = RNG.normal(size=(4, 2))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_gradients_flow(self):
+        layer = Linear(3, 1, rng=RNG)
+        layer(Tensor(RNG.normal(size=(5, 3)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = Embedding(10, 4, rng=RNG)
+        assert emb(np.array([[1, 2], [3, 4]])).shape == (2, 2, 4)
+
+    def test_lookup_values(self):
+        emb = Embedding(5, 3, rng=RNG)
+        np.testing.assert_allclose(emb(np.array([2])).data[0], emb.weight.data[2])
+
+    def test_out_of_range_raises(self):
+        emb = Embedding(5, 3, rng=RNG)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_float_indices_rejected(self):
+        emb = Embedding(5, 3, rng=RNG)
+        with pytest.raises(TypeError):
+            emb(np.array([1.0]))
+
+    def test_repeated_rows_accumulate_grad(self):
+        emb = Embedding(4, 2, rng=RNG)
+        emb(np.array([1, 1, 1])).sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[1], [3.0, 3.0])
+        np.testing.assert_allclose(emb.weight.grad[0], [0.0, 0.0])
+
+
+class TestDropout:
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_eval_mode_is_identity(self):
+        layer = Dropout(0.9, rng=RNG)
+        layer.eval()
+        x = Tensor(RNG.normal(size=(10, 10)))
+        np.testing.assert_allclose(layer(x).data, x.data)
+
+    def test_train_mode_zeroes_and_scales(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((1000,)))
+        out = layer(x).data
+        zeros = (out == 0).mean()
+        assert 0.35 < zeros < 0.65  # roughly p
+        kept = out[out != 0]
+        np.testing.assert_allclose(kept, 2.0)  # inverted scaling 1/(1-p)
+
+    def test_p_zero_identity_in_train(self):
+        layer = Dropout(0.0)
+        x = Tensor(np.ones(5))
+        assert layer(x) is x
+
+
+class TestContainers:
+    def test_sequential_order(self):
+        model = Sequential(Linear(2, 3, rng=RNG), Activation("relu"), Linear(3, 1, rng=RNG))
+        assert len(model) == 3
+        out = model(Tensor(RNG.normal(size=(4, 2))))
+        assert out.shape == (4, 1)
+
+    def test_activation_unknown(self):
+        with pytest.raises(ValueError):
+            Activation("swishish")
+
+    def test_mlp_shapes(self):
+        mlp = MLP([6, 4, 2], rng=RNG)
+        assert mlp(Tensor(RNG.normal(size=(3, 6)))).shape == (3, 2)
+
+    def test_mlp_needs_two_sizes(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_mlp_final_activation(self):
+        mlp = MLP([3, 2], final_activation="sigmoid", rng=RNG)
+        out = mlp(Tensor(RNG.normal(size=(10, 3)))).data
+        assert (out > 0).all() and (out < 1).all()

@@ -1,0 +1,157 @@
+"""Unit tests for functional ops: values and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import ops
+from repro.nn.gradcheck import check_gradients
+
+RNG = np.random.default_rng(7)
+
+
+def randt(*shape):
+    return Tensor(RNG.normal(size=shape), requires_grad=True)
+
+
+class TestConcatStack:
+    def test_concat_values(self):
+        out = ops.concat([Tensor([1.0]), Tensor([2.0, 3.0])])
+        np.testing.assert_allclose(out.data, [1.0, 2.0, 3.0])
+
+    def test_concat_axis1_grad(self):
+        check_gradients(lambda a, b: ops.concat([a, b], axis=1), [randt(2, 3), randt(2, 2)])
+
+    def test_stack_new_axis(self):
+        out = ops.stack([Tensor([1.0, 2.0]), Tensor([3.0, 4.0])], axis=0)
+        assert out.shape == (2, 2)
+
+    def test_stack_grad(self):
+        check_gradients(lambda a, b: ops.stack([a, b], axis=1), [randt(3), randt(3)])
+
+    def test_concat_mixed_grad_flags(self):
+        frozen = Tensor(np.ones(2))
+        live = randt(2)
+        out = ops.concat([frozen, live])
+        out.sum().backward()
+        assert frozen.grad is None
+        np.testing.assert_allclose(live.grad, [1.0, 1.0])
+
+
+class TestSelect:
+    def test_where_values(self):
+        out = ops.where(np.array([True, False]), Tensor([1.0, 1.0]), Tensor([2.0, 2.0]))
+        np.testing.assert_allclose(out.data, [1.0, 2.0])
+
+    def test_where_grad(self):
+        cond = RNG.random((3, 3)) > 0.5
+        check_gradients(lambda a, b: ops.where(cond, a, b), [randt(3, 3), randt(3, 3)])
+
+    def test_maximum_values_and_grad(self):
+        a = Tensor(np.array([1.0, 5.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 2.0]), requires_grad=True)
+        out = ops.maximum(a, b)
+        np.testing.assert_allclose(out.data, [3.0, 5.0])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 0.0])
+
+    def test_maximum_with_scalar_hinge(self):
+        x = Tensor(np.array([-1.0, 2.0]), requires_grad=True)
+        out = ops.maximum(x, 0.0)
+        np.testing.assert_allclose(out.data, [0.0, 2.0])
+
+    def test_minimum(self):
+        out = ops.minimum(Tensor([1.0, 5.0]), Tensor([3.0, 2.0]))
+        np.testing.assert_allclose(out.data, [1.0, 2.0])
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        out = ops.softmax(randt(4, 6), axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(4))
+
+    def test_invariant_to_shift(self):
+        x = RNG.normal(size=(3, 4))
+        a = ops.softmax(Tensor(x), axis=-1).data
+        b = ops.softmax(Tensor(x + 1000.0), axis=-1).data
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_grad(self):
+        check_gradients(lambda t: ops.softmax(t, axis=-1), [randt(3, 5)])
+        check_gradients(lambda t: ops.softmax(t, axis=0), [randt(3, 5)])
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = randt(2, 4)
+        np.testing.assert_allclose(
+            ops.log_softmax(x, axis=-1).data,
+            np.log(ops.softmax(x, axis=-1).data),
+            atol=1e-12,
+        )
+
+    def test_log_softmax_grad(self):
+        check_gradients(lambda t: ops.log_softmax(t, axis=-1), [randt(3, 4)])
+
+
+class TestMaskedSoftmax:
+    def test_masked_positions_are_zero(self):
+        mask = np.array([[True, True, False]])
+        out = ops.masked_softmax(randt(1, 3), mask)
+        assert out.data[0, 2] == 0.0
+        np.testing.assert_allclose(out.data.sum(), 1.0)
+
+    def test_fully_masked_row_is_zero_not_nan(self):
+        mask = np.array([[False, False]])
+        out = ops.masked_softmax(randt(1, 2), mask)
+        np.testing.assert_allclose(out.data, [[0.0, 0.0]])
+
+    def test_all_true_mask_equals_softmax(self):
+        x = randt(2, 4)
+        mask = np.ones((2, 4), dtype=bool)
+        np.testing.assert_allclose(
+            ops.masked_softmax(x, mask).data, ops.softmax(x).data, atol=1e-12
+        )
+
+    def test_grad(self):
+        mask = np.array([[True, False, True], [True, True, True]])
+        check_gradients(lambda t: ops.masked_softmax(t, mask), [randt(2, 3)])
+
+
+class TestDotAndGather:
+    def test_dot_rowwise(self):
+        a = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        b = Tensor([[1.0, 1.0], [1.0, 1.0]])
+        np.testing.assert_allclose(ops.dot(a, b).data, [3.0, 7.0])
+
+    def test_dot_grad(self):
+        check_gradients(lambda a, b: ops.dot(a, b), [randt(4, 3), randt(4, 3)])
+
+    def test_gather_rows_shape(self):
+        table = randt(10, 4)
+        idx = np.array([[0, 1], [9, 9]])
+        assert ops.gather_rows(table, idx).shape == (2, 2, 4)
+
+    def test_gather_rows_rejects_float_indices(self):
+        with pytest.raises(TypeError):
+            ops.gather_rows(randt(5, 2), np.array([0.0, 1.0]))
+
+    def test_gather_rows_grad_accumulates(self):
+        table = Tensor(np.zeros((4, 2)), requires_grad=True)
+        out = ops.gather_rows(table, np.array([2, 2, 0]))
+        out.sum().backward()
+        np.testing.assert_allclose(table.grad, [[1, 1], [0, 0], [2, 2], [0, 0]])
+
+
+class TestActivationHelpers:
+    def test_leaky_relu(self):
+        x = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        out = ops.leaky_relu(x, negative_slope=0.1)
+        np.testing.assert_allclose(out.data, [-0.2, 3.0])
+        check_gradients(lambda t: ops.leaky_relu(t, 0.1), [randt(4)])
+
+    def test_module_level_aliases(self):
+        x = randt(3)
+        np.testing.assert_allclose(ops.sigmoid(x).data, x.sigmoid().data)
+        np.testing.assert_allclose(ops.relu(x).data, x.relu().data)
+        np.testing.assert_allclose(ops.tanh(x).data, x.tanh().data)
+        np.testing.assert_allclose(ops.exp(x).data, x.exp().data)

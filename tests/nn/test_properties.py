@@ -1,0 +1,114 @@
+"""Property-based tests (hypothesis) for the autograd substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import Tensor, softmax, masked_softmax
+from repro.nn.tensor import unbroadcast
+
+finite_floats = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+def small_arrays(max_side=5):
+    shapes = st.tuples(
+        st.integers(1, max_side), st.integers(1, max_side)
+    )
+    return shapes.flatmap(
+        lambda s: arrays(np.float64, s, elements=finite_floats)
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays())
+def test_softmax_is_distribution(x):
+    out = softmax(Tensor(x), axis=-1).data
+    assert (out >= 0).all()
+    np.testing.assert_allclose(out.sum(axis=-1), 1.0, atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays())
+def test_softmax_shift_invariance(x):
+    a = softmax(Tensor(x), axis=-1).data
+    b = softmax(Tensor(x + 7.3), axis=-1).data
+    np.testing.assert_allclose(a, b, atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays())
+def test_masked_softmax_respects_mask(x):
+    rng = np.random.default_rng(x.shape[0] * 100 + x.shape[1])
+    mask = rng.random(x.shape) > 0.3
+    out = masked_softmax(Tensor(x), mask, axis=-1).data
+    assert (out[~mask] == 0).all()
+    row_sums = out.sum(axis=-1)
+    has_any = mask.any(axis=-1)
+    np.testing.assert_allclose(row_sums[has_any], 1.0, atol=1e-9)
+    np.testing.assert_allclose(row_sums[~has_any], 0.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays(), small_arrays())
+def test_addition_commutes(a, b):
+    if a.shape != b.shape:
+        return
+    left = (Tensor(a) + Tensor(b)).data
+    right = (Tensor(b) + Tensor(a)).data
+    np.testing.assert_allclose(left, right)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays())
+def test_sum_grad_is_ones(x):
+    t = Tensor(x, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(x))
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays())
+def test_linear_grad_scaling(x):
+    """d(sum(k*x))/dx == k for any constant k."""
+    t = Tensor(x, requires_grad=True)
+    (t * 3.5).sum().backward()
+    np.testing.assert_allclose(t.grad, np.full_like(x, 3.5))
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays())
+def test_sigmoid_bounded_and_monotone(x):
+    out = Tensor(x).sigmoid().data
+    assert ((out > 0) & (out < 1)).all()
+    flat = np.sort(x.ravel())
+    sig = 1 / (1 + np.exp(-flat))
+    assert (np.diff(sig) >= -1e-12).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    small_arrays(),
+    st.integers(1, 4),
+)
+def test_unbroadcast_inverts_broadcast(x, times):
+    """Broadcasting then unbroadcasting a gradient sums over copies."""
+    stretched = np.broadcast_to(x, (times,) + x.shape)
+    reduced = unbroadcast(np.ascontiguousarray(stretched), x.shape)
+    np.testing.assert_allclose(reduced, times * x)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_relu_idempotent(x):
+    once = Tensor(x).relu()
+    twice = once.relu()
+    np.testing.assert_allclose(once.data, twice.data)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_exp_log_roundtrip(x):
+    t = Tensor(np.abs(x) + 0.1)
+    np.testing.assert_allclose(t.exp().log().data, t.data, atol=1e-9)

@@ -1,0 +1,274 @@
+"""Unit tests for the autograd Tensor: forward values and exact gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, no_grad, is_grad_enabled
+from repro.nn.tensor import unbroadcast
+from repro.nn.gradcheck import check_gradients
+
+
+RNG = np.random.default_rng(12345)
+
+
+def randt(*shape, requires_grad=True):
+    return Tensor(RNG.normal(size=shape), requires_grad=requires_grad)
+
+
+class TestConstruction:
+    def test_int_input_promoted_to_float(self):
+        t = Tensor([1, 2, 3])
+        assert t.dtype == np.float64
+
+    def test_bool_input_promoted_to_float(self):
+        t = Tensor(np.array([True, False]))
+        assert t.dtype == np.float64
+
+    def test_scalar_item(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_shape_ndim_size(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.shape == (2, 3, 4)
+        assert t.ndim == 3
+        assert t.size == 24
+
+    def test_detach_cuts_graph(self):
+        x = randt(3)
+        y = (x * 2).detach()
+        assert not y.requires_grad
+
+    def test_copy_is_deep(self):
+        x = Tensor([1.0, 2.0])
+        y = x.copy()
+        y.data[0] = 99.0
+        assert x.data[0] == 1.0
+
+
+class TestArithmetic:
+    def test_add_values(self):
+        a, b = Tensor([1.0, 2.0]), Tensor([3.0, 4.0])
+        np.testing.assert_allclose((a + b).data, [4.0, 6.0])
+
+    def test_radd_scalar(self):
+        np.testing.assert_allclose((1.0 + Tensor([1.0])).data, [2.0])
+
+    def test_sub_and_rsub(self):
+        a = Tensor([5.0])
+        np.testing.assert_allclose((a - 2.0).data, [3.0])
+        np.testing.assert_allclose((2.0 - a).data, [-3.0])
+
+    def test_div_and_rdiv(self):
+        a = Tensor([4.0])
+        np.testing.assert_allclose((a / 2.0).data, [2.0])
+        np.testing.assert_allclose((2.0 / a).data, [0.5])
+
+    def test_neg(self):
+        np.testing.assert_allclose((-Tensor([1.0, -2.0])).data, [-1.0, 2.0])
+
+    def test_pow_scalar_only(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_grad_add(self):
+        check_gradients(lambda a, b: a + b, [randt(3, 4), randt(3, 4)])
+
+    def test_grad_mul(self):
+        check_gradients(lambda a, b: a * b, [randt(3, 4), randt(3, 4)])
+
+    def test_grad_div(self):
+        a, b = randt(3), Tensor(RNG.uniform(1.0, 2.0, 3), requires_grad=True)
+        check_gradients(lambda x, y: x / y, [a, b])
+
+    def test_grad_pow(self):
+        x = Tensor(RNG.uniform(0.5, 2.0, 5), requires_grad=True)
+        check_gradients(lambda t: t**3, [x])
+
+    def test_grad_broadcast_add_row(self):
+        check_gradients(lambda a, b: a + b, [randt(4, 3), randt(3)])
+
+    def test_grad_broadcast_mul_col(self):
+        check_gradients(lambda a, b: a * b, [randt(4, 3), randt(4, 1)])
+
+    def test_grad_broadcast_scalar(self):
+        check_gradients(lambda a, b: a * b, [randt(2, 3), randt()])
+
+
+class TestMatmul:
+    def test_matmul_2d_values(self):
+        a = Tensor([[1.0, 2.0]])
+        b = Tensor([[3.0], [4.0]])
+        np.testing.assert_allclose((a @ b).data, [[11.0]])
+
+    def test_grad_matmul_2d(self):
+        check_gradients(lambda a, b: a @ b, [randt(4, 3), randt(3, 5)])
+
+    def test_grad_matmul_vec_mat(self):
+        check_gradients(lambda a, b: a @ b, [randt(3), randt(3, 5)])
+
+    def test_grad_matmul_mat_vec(self):
+        check_gradients(lambda a, b: a @ b, [randt(4, 3), randt(3)])
+
+    def test_grad_matmul_batched(self):
+        check_gradients(lambda a, b: a @ b, [randt(2, 4, 3), randt(2, 3, 5)])
+
+    def test_grad_matmul_broadcast_batch(self):
+        check_gradients(lambda a, b: a @ b, [randt(2, 4, 3), randt(3, 5)])
+
+
+class TestReductions:
+    def test_sum_all(self):
+        assert Tensor([[1.0, 2.0], [3.0, 4.0]]).sum().item() == 10.0
+
+    def test_sum_axis_keepdims(self):
+        t = Tensor(np.arange(6, dtype=float).reshape(2, 3))
+        out = t.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+
+    def test_mean_value(self):
+        assert Tensor([2.0, 4.0]).mean().item() == 3.0
+
+    def test_grad_sum_axis(self):
+        check_gradients(lambda t: t.sum(axis=0), [randt(3, 4)])
+        check_gradients(lambda t: t.sum(axis=1, keepdims=True), [randt(3, 4)])
+        check_gradients(lambda t: t.sum(axis=(0, 2)), [randt(2, 3, 4)])
+
+    def test_grad_mean(self):
+        check_gradients(lambda t: t.mean(), [randt(3, 4)])
+        check_gradients(lambda t: t.mean(axis=-1), [randt(3, 4)])
+
+    def test_max_value(self):
+        t = Tensor([[1.0, 5.0], [3.0, 2.0]])
+        np.testing.assert_allclose(t.max(axis=1).data, [5.0, 3.0])
+
+    def test_grad_max_no_ties(self):
+        x = Tensor(np.array([[1.0, 5.0, -2.0], [0.5, 0.1, 9.0]]), requires_grad=True)
+        check_gradients(lambda t: t.max(axis=1), [x])
+
+    def test_grad_max_ties_split(self):
+        x = Tensor(np.array([2.0, 2.0]), requires_grad=True)
+        y = x.max()
+        y.backward()
+        np.testing.assert_allclose(x.grad, [0.5, 0.5])
+
+    def test_min(self):
+        t = Tensor([[1.0, 5.0], [3.0, 2.0]])
+        np.testing.assert_allclose(t.min(axis=1).data, [1.0, 2.0])
+
+
+class TestShapes:
+    def test_reshape_roundtrip_grad(self):
+        check_gradients(lambda t: (t.reshape(6) * 2).reshape(2, 3), [randt(2, 3)])
+
+    def test_transpose_default_reverses(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.T.shape == (4, 3, 2)
+
+    def test_transpose_grad(self):
+        check_gradients(lambda t: t.transpose(1, 0, 2), [randt(2, 3, 4)])
+
+    def test_expand_squeeze_grad(self):
+        check_gradients(lambda t: t.expand_dims(1).squeeze(1), [randt(3, 4)])
+
+    def test_getitem_slice_grad(self):
+        check_gradients(lambda t: t[1:3], [randt(5, 2)])
+
+    def test_getitem_int_array_gather_grad(self):
+        idx = np.array([0, 2, 2, 4])
+        check_gradients(lambda t: t[idx], [randt(5, 3)])
+
+    def test_getitem_repeated_indices_accumulate(self):
+        x = Tensor(np.ones((3, 2)), requires_grad=True)
+        y = x[np.array([1, 1, 1])].sum()
+        y.backward()
+        np.testing.assert_allclose(x.grad, [[0, 0], [3, 3], [0, 0]])
+
+    def test_getitem_float_key_rejected(self):
+        with pytest.raises(TypeError):
+            Tensor(np.ones(3))[np.array([0.5])]
+
+
+class TestNonlinearities:
+    def test_sigmoid_extreme_values_stable(self):
+        t = Tensor([-1000.0, 0.0, 1000.0]).sigmoid()
+        np.testing.assert_allclose(t.data, [0.0, 0.5, 1.0], atol=1e-12)
+
+    def test_grad_exp_log_tanh_sigmoid_relu(self):
+        x = Tensor(RNG.uniform(0.3, 2.0, (3, 3)), requires_grad=True)
+        check_gradients(lambda t: t.exp(), [x])
+        check_gradients(lambda t: t.log(), [x])
+        check_gradients(lambda t: t.tanh(), [x])
+        check_gradients(lambda t: t.sigmoid(), [x])
+        y = randt(3, 3)
+        check_gradients(lambda t: t.relu(), [y])
+
+    def test_sqrt(self):
+        np.testing.assert_allclose(Tensor([4.0]).sqrt().data, [2.0])
+
+    def test_clip_grad_masks_out_of_range(self):
+        x = Tensor(np.array([-2.0, 0.0, 2.0]), requires_grad=True)
+        x.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+
+class TestBackwardMechanics:
+    def test_backward_on_nograd_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_nonscalar_needs_grad(self):
+        x = randt(3)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_grad_accumulates_across_backwards(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).sum().backward()
+        (x * 2).sum().backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_diamond_graph(self):
+        # y = x*x + x*x must give dy/dx = 4x.
+        x = Tensor([3.0], requires_grad=True)
+        a = x * x
+        (a + a).sum().backward()
+        np.testing.assert_allclose(x.grad, [12.0])
+
+    def test_shared_subexpression(self):
+        x = Tensor([2.0], requires_grad=True)
+        s = x * 3
+        y = s * s  # dy/dx = 2*(3x)*3 = 18x
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [36.0])
+
+    def test_no_grad_context(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            y = x * 2
+        assert is_grad_enabled()
+        assert not y.requires_grad
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+
+class TestUnbroadcast:
+    def test_identity_when_shapes_match(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)) is g
+
+    def test_sums_prepended_axes(self):
+        g = np.ones((5, 2, 3))
+        np.testing.assert_allclose(unbroadcast(g, (2, 3)), np.full((2, 3), 5.0))
+
+    def test_sums_stretched_axes(self):
+        g = np.ones((2, 3))
+        np.testing.assert_allclose(unbroadcast(g, (2, 1)), np.full((2, 1), 3.0))
+
+    def test_scalar_target(self):
+        g = np.ones((4, 4))
+        np.testing.assert_allclose(unbroadcast(g, ()), 16.0)

@@ -1,0 +1,128 @@
+"""End-to-end tests of the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def dataset_dir(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "ds"
+    code = main(
+        [
+            "dataset", "generate", "--kind", "yelp", "--out", str(path),
+            "--users", "40", "--items", "30", "--groups", "12", "--seed", "1",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def checkpoint(dataset_dir, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "model"
+    code = main(
+        [
+            "train", "--data", str(dataset_dir), "--out", str(path),
+            "--epochs", "2", "--dim", "8", "--layers", "1", "--quiet",
+        ]
+    )
+    assert code == 0
+    return path.with_suffix(".npz")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_dataset_kind_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dataset", "generate", "--kind", "netflix", "--out", "x"])
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "table1", "--profile", "quick"])
+        assert args.name == "table1"
+
+
+class TestDatasetCommands:
+    def test_generate_writes_files(self, dataset_dir):
+        assert (dataset_dir / "manifest.json").exists()
+        assert (dataset_dir / "arrays.npz").exists()
+
+    def test_generate_movielens_variants(self, tmp_path):
+        for kind in ("rand", "simi"):
+            out = tmp_path / kind
+            code = main(
+                [
+                    "dataset", "generate", "--kind", kind, "--out", str(out),
+                    "--users", "40", "--items", "50", "--groups", "10", "--seed", "3",
+                ]
+            )
+            assert code == 0
+            manifest = json.loads((out / "manifest.json").read_text())
+            assert manifest["name"] == f"movielens-like-{kind}"
+
+    def test_stats(self, dataset_dir, capsys):
+        assert main(["dataset", "stats", "--path", str(dataset_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "yelp-like" in out
+        assert "total_groups" in out
+
+
+class TestTrainEvaluateRecommend:
+    def test_train_writes_checkpoint(self, checkpoint):
+        assert checkpoint.exists()
+        with np.load(checkpoint) as archive:
+            assert "__checkpoint_metadata__" in archive.files
+
+    def test_evaluate(self, dataset_dir, checkpoint, capsys):
+        code = main(
+            ["evaluate", "--data", str(dataset_dir), "--checkpoint", str(checkpoint)]
+        )
+        assert code == 0
+        metrics = json.loads(capsys.readouterr().out)
+        assert 0.0 <= metrics["hit@5"] <= 1.0
+
+    def test_recommend(self, dataset_dir, checkpoint, capsys):
+        code = main(
+            [
+                "recommend", "--data", str(dataset_dir), "--checkpoint",
+                str(checkpoint), "--group", "0", "-k", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "group 0" in out
+        assert "#1:" in out
+
+    def test_recommend_with_explanations(self, dataset_dir, checkpoint, capsys):
+        code = main(
+            [
+                "recommend", "--data", str(dataset_dir), "--checkpoint",
+                str(checkpoint), "--group", "1", "-k", "1", "--explain",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "attention" in out
+        assert "SP" in out and "PI" in out
+
+    def test_evaluate_missing_checkpoint(self, dataset_dir):
+        with pytest.raises(FileNotFoundError):
+            main(
+                [
+                    "evaluate", "--data", str(dataset_dir),
+                    "--checkpoint", "/nonexistent/model",
+                ]
+            )
+
+
+class TestExperimentCommand:
+    def test_table1_quick(self, capsys):
+        assert main(["experiment", "table1", "--profile", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out

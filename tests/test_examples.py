@@ -1,0 +1,61 @@
+"""Smoke tests for the example scripts.
+
+Each example is importable, documented, and exposes a ``main`` function.
+The full runs (a minute each) are exercised manually / in CI nightly —
+here we check structure and compile-time validity so a broken import or
+renamed API fails fast in the unit suite.
+"""
+
+import ast
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesExist:
+    def test_at_least_three_examples(self):
+        assert len(EXAMPLE_FILES) >= 3
+
+    def test_quickstart_present(self):
+        assert (EXAMPLES_DIR / "quickstart.py").exists()
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+class TestEachExample:
+    def test_compiles(self, path):
+        compile(path.read_text(), str(path), "exec")
+
+    def test_has_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        doc = ast.get_docstring(tree)
+        assert doc and len(doc) > 40, f"{path.stem} needs a real docstring"
+
+    def test_has_main_guard(self, path):
+        source = path.read_text()
+        assert 'if __name__ == "__main__":' in source
+
+    def test_importable_and_exposes_main(self, path):
+        module = load_module(path)
+        assert callable(getattr(module, "main", None))
+
+    def test_only_public_api_imports(self, path):
+        """Examples must not reach into private modules (underscore names)."""
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                parts = node.module.split(".")
+                assert not any(p.startswith("_") for p in parts), (
+                    f"{path.stem} imports private module {node.module}"
+                )

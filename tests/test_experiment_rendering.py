@@ -1,0 +1,86 @@
+"""Rendering tests for the sweep/table experiment modules.
+
+The training runs behind Figures 4-5 and Table IV are exercised by the
+benchmark suite; these tests cover the rendering and orchestration logic
+with synthetic results so the unit suite stays fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig4_margin_depth, fig5_beta_dim, table4_aggregator
+from repro.experiments.runner import SeedAveraged
+
+
+def fake_cell(model, dataset, rec, hit):
+    return SeedAveraged(model, dataset, per_seed=[{"rec@5": rec, "hit@5": hit}])
+
+
+class TestFig4Rendering:
+    def test_render_contains_both_sweeps(self):
+        results = {
+            "margin": {
+                m: fake_cell("KGAG", "movielens-simi", 0.1 + m / 2, 0.2 + m / 2)
+                for m in (0.2, 0.4, 0.6)
+            },
+            "depth": {
+                h: fake_cell("KGAG", "movielens-simi", 0.1 * h, 0.2 * h)
+                for h in (1, 2, 3)
+            },
+        }
+        text = fig4_margin_depth.render(results)
+        assert "influence of M" in text
+        assert "influence of H" in text
+        assert "M=0.4" in text
+        assert "H=2" in text
+
+    def test_best_marker_on_peak(self):
+        results = {
+            "margin": {
+                0.2: fake_cell("KGAG", "d", 0.1, 0.1),
+                0.4: fake_cell("KGAG", "d", 0.5, 0.5),
+                0.6: fake_cell("KGAG", "d", 0.2, 0.2),
+            },
+            "depth": {1: fake_cell("KGAG", "d", 0.3, 0.3)},
+        }
+        text = fig4_margin_depth.render(results)
+        lines = [l for l in text.splitlines() if "M=0.4" in l]
+        assert any("<- best" in l for l in lines)
+
+
+class TestFig5Rendering:
+    def test_render_contains_beta_and_dim(self):
+        results = {
+            "beta": {b: fake_cell("KGAG", "d", b / 2, b / 2) for b in (0.5, 0.7, 0.9)},
+            "dimension": {d: fake_cell("KGAG", "d", d / 100, d / 100) for d in (16, 32)},
+        }
+        text = fig5_beta_dim.render(results)
+        assert "influence of beta" in text
+        assert "influence of d" in text
+        assert "d=32" in text
+
+
+class TestTable4Rendering:
+    def test_render_layout(self):
+        results = {
+            (agg, ds): fake_cell("KGAG", ds, 0.4, 0.5)
+            for agg in ("gcn", "graphsage")
+            for ds in table4_aggregator.DATASETS
+        }
+        text = table4_aggregator.render(results)
+        assert "GCN" in text
+        assert "GraphSage" in text
+        assert "movielens-rand rec@5" in text
+
+
+class TestSweepConstants:
+    def test_paper_sweep_ranges(self):
+        """Pin the swept values to the paper's figures."""
+        assert fig4_margin_depth.MARGINS == (0.2, 0.3, 0.4, 0.5, 0.6)
+        assert fig4_margin_depth.DEPTHS == (1, 2, 3)
+        assert fig5_beta_dim.BETAS == (0.5, 0.6, 0.7, 0.8, 0.9)
+        assert fig5_beta_dim.DIMENSIONS == (16, 32, 64)
+
+    def test_sweeps_run_on_simi(self):
+        assert fig4_margin_depth.DATASET == "movielens-simi"
+        assert fig5_beta_dim.DATASET == "movielens-simi"

@@ -1,0 +1,185 @@
+"""Tests for the experiment harness: profiles, model factory, reporting.
+
+These run the harnesses at miniature scale (a trimmed quick profile) so
+the full pipeline — dataset build, train, evaluate, render — is covered
+by the unit suite without benchmark-level runtimes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import KGAG, KGAGConfig
+from repro.baselines import AggregatedGroupRecommender, MoSAN
+from repro.data import MovieLensLikeConfig, YelpLikeConfig
+from repro.experiments import (
+    ExperimentProfile,
+    PROFILES,
+    TABLE2_MODELS,
+    build_dataset,
+    build_model,
+    get_profile,
+    run_seed_averaged,
+)
+from repro.experiments import (
+    fig6_case_study,
+    table1_datasets,
+    table2_overall,
+    table3_ablation,
+)
+from repro.experiments.reporting import (
+    format_attention_bars,
+    format_sweep,
+    format_table,
+)
+from repro.experiments.runner import SeedAveraged
+
+
+@pytest.fixture(scope="module")
+def tiny_profile():
+    return ExperimentProfile(
+        name="quick",
+        movielens=MovieLensLikeConfig(num_users=40, num_items=50, num_groups=12),
+        yelp=YelpLikeConfig(num_users=40, num_items=30, num_groups=12),
+        model=KGAGConfig(
+            embedding_dim=8, num_layers=1, num_neighbors=3, epochs=2,
+            batch_size=64, patience=0,
+        ),
+        seeds=(0,),
+    )
+
+
+class TestProfiles:
+    def test_registry(self):
+        assert set(PROFILES) == {"quick", "default", "full"}
+        for name in PROFILES:
+            profile = get_profile(name)
+            assert profile.name == name
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError):
+            get_profile("enormous")
+
+    def test_seed_substitution(self):
+        profile = get_profile("quick")
+        assert profile.movielens_for_seed(9).seed == 9
+        assert profile.yelp_for_seed(9).seed == 9
+        assert profile.model_for_seed(9).seed == 9
+
+    def test_quick_is_smaller_than_full(self):
+        quick, full = get_profile("quick"), get_profile("full")
+        assert quick.movielens.num_users < full.movielens.num_users
+        assert len(quick.seeds) <= len(full.seeds)
+
+
+class TestModelFactory:
+    def test_all_table2_models_instantiable(self, tiny_profile):
+        dataset = build_dataset("movielens-rand", tiny_profile, 0)
+        for name in TABLE2_MODELS:
+            model = build_model(name, dataset, tiny_profile.model)
+            scores = model.group_item_scores([0], [1])
+            assert scores.shape == (1,)
+
+    def test_aggregated_names(self, tiny_profile):
+        dataset = build_dataset("movielens-rand", tiny_profile, 0)
+        model = build_model("KGCN+MP", dataset, tiny_profile.model)
+        assert isinstance(model, AggregatedGroupRecommender)
+        assert model.name == "KGCN+MP"
+
+    def test_mosan_type(self, tiny_profile):
+        dataset = build_dataset("movielens-rand", tiny_profile, 0)
+        assert isinstance(build_model("MoSAN", dataset, tiny_profile.model), MoSAN)
+
+    def test_ablation_variants(self, tiny_profile):
+        dataset = build_dataset("movielens-rand", tiny_profile, 0)
+        kg_off = build_model("KGAG-KG", dataset, tiny_profile.model)
+        assert isinstance(kg_off, KGAG) and not kg_off.config.use_kg
+        sp_off = build_model("KGAG-SP", dataset, tiny_profile.model)
+        assert not sp_off.config.use_sp
+        pi_off = build_model("KGAG-PI", dataset, tiny_profile.model)
+        assert not pi_off.config.use_pi
+        bpr = build_model("KGAG(BPR)", dataset, tiny_profile.model)
+        assert bpr.config.loss == "bpr"
+
+    def test_unknown_model(self, tiny_profile):
+        dataset = build_dataset("movielens-rand", tiny_profile, 0)
+        with pytest.raises(ValueError):
+            build_model("GroupSA", dataset, tiny_profile.model)
+
+    def test_unknown_dataset(self, tiny_profile):
+        with pytest.raises(ValueError):
+            build_dataset("lastfm", tiny_profile, 0)
+
+
+class TestRunner:
+    def test_seed_averaged_runs(self, tiny_profile):
+        calls = []
+        result = run_seed_averaged(
+            "CF+AVG",
+            "movielens-rand",
+            tiny_profile,
+            progress=lambda *a: calls.append(a),
+        )
+        assert len(result.per_seed) == 1
+        assert 0.0 <= result.mean("hit@5") <= 1.0
+        assert len(calls) == 1
+
+    def test_seed_averaged_stats(self):
+        cell = SeedAveraged("m", "d", per_seed=[{"x": 0.2}, {"x": 0.4}])
+        assert cell.mean("x") == pytest.approx(0.3)
+        assert cell.std("x") == pytest.approx(0.1)
+
+
+class TestHarnesses:
+    def test_table1(self, tiny_profile):
+        stats = table1_datasets.run(tiny_profile)
+        text = table1_datasets.render(stats)
+        assert "Group size" in text
+        assert "Yelp-like" in text
+
+    def test_table2_subset(self, tiny_profile):
+        results = table2_overall.run(
+            tiny_profile, models=("CF+AVG", "KGAG"), datasets=("yelp",)
+        )
+        text = table2_overall.render(
+            results, models=("CF+AVG", "KGAG"), datasets=("yelp",)
+        )
+        assert "CF+AVG" in text and "KGAG" in text
+        yelp_cell = results[("KGAG", "yelp")]
+        assert yelp_cell.mean("rec@5") == pytest.approx(yelp_cell.mean("hit@5"))
+
+    def test_table3_render(self):
+        fake = {
+            v: SeedAveraged(v, "movielens-rand", [{"rec@5": 0.5, "hit@5": 0.6}])
+            for v in table3_ablation.VARIANTS
+        }
+        text = table3_ablation.render(fake)
+        assert "KGAG-KG" in text and "KGAG(BPR)" in text
+
+    def test_fig6_case_study(self, tiny_profile):
+        case = fig6_case_study.run(tiny_profile)
+        assert np.isclose(case.attention.sum(), 1.0)
+        text = fig6_case_study.render(case)
+        assert f"g_{case.group}" in text
+        assert "Explanation" in text
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        text = format_table(["name", "value"], [["a", 0.5], ["bb", 1.0]])
+        lines = text.splitlines()
+        assert "0.5000" in text
+        assert len(lines) == 4  # header, rule, two rows
+
+    def test_format_table_title(self):
+        text = format_table(["x"], [[1.0]], title="T")
+        assert text.startswith("T\n")
+
+    def test_format_sweep_marks_best(self):
+        text = format_sweep("M", [0.2, 0.4], {"rec@5": [0.1, 0.3]})
+        assert "<- best" in text
+        assert "M=0.4" in text
+
+    def test_format_attention_bars(self):
+        text = format_attention_bars([3, 7], [0.8, 0.2], [0.5, -0.1], [0.3, 0.2])
+        assert "user 3" in text
+        assert "|" in text

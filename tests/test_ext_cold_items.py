@@ -1,0 +1,52 @@
+"""Tests for the cold-item extension experiment."""
+
+import numpy as np
+import pytest
+
+from repro.core import KGAGConfig
+from repro.data import InteractionTable, MovieLensLikeConfig, YelpLikeConfig
+from repro.experiments import ExperimentProfile
+from repro.experiments.ext_cold_items import _make_cold_items, render, run
+
+
+class TestMakeColdItems:
+    def test_cold_items_have_no_interactions(self):
+        table = InteractionTable(5, 10, [(u, i) for u in range(5) for i in range(10)])
+        observed, cold = _make_cold_items(table, 0.3, np.random.default_rng(0))
+        assert len(cold) == 3
+        for item in cold:
+            assert observed.rows_of(int(item)).size == 0
+
+    def test_warm_items_untouched(self):
+        table = InteractionTable(4, 8, [(u, i) for u in range(4) for i in range(8)])
+        observed, cold = _make_cold_items(table, 0.25, np.random.default_rng(1))
+        warm = set(range(8)) - set(cold.tolist())
+        for item in warm:
+            assert observed.rows_of(item).size == 4
+
+    def test_at_least_one_cold_item(self):
+        table = InteractionTable(2, 3, [(0, 0)])
+        _, cold = _make_cold_items(table, 0.01, np.random.default_rng(2))
+        assert len(cold) == 1
+
+
+class TestRun:
+    def test_run_and_render(self):
+        profile = ExperimentProfile(
+            name="quick",
+            movielens=MovieLensLikeConfig(num_users=60, num_items=60, num_groups=30),
+            yelp=YelpLikeConfig(num_users=40, num_items=30, num_groups=10),
+            model=KGAGConfig(
+                embedding_dim=8, num_layers=1, num_neighbors=3, epochs=2,
+                batch_size=64, patience=0,
+            ),
+            seeds=(0,),
+        )
+        results = run(profile, cold_fraction=0.5)
+        assert set(results) == {"KGAG", "KGAG-KG"}
+        for variant, metrics in results.items():
+            if metrics["num_runs"]:
+                assert 0.0 <= metrics["rec@5"] <= 1.0
+        text = render(results)
+        assert "cold" in text
+        assert "KGAG-KG" in text
