@@ -3,7 +3,7 @@
 PYTHON ?= python
 PROFILE ?= default
 
-.PHONY: install dev test bench bench-calibrated examples experiments clean
+.PHONY: install dev test lint analysis-report bench bench-calibrated examples experiments clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -13,6 +13,12 @@ dev: install
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis.lint src tests benchmarks examples
+
+analysis-report:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis.report
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,78 @@
+"""``repro.analysis`` — static analysis and runtime sanitizers.
+
+Production training stacks ship with debug tooling; this package is the
+reproduction's equivalent, guarding the hand-rolled autograd engine that
+every result in ``results/`` depends on.  Three layers:
+
+* :mod:`repro.analysis.lint` — an AST linter with repo-specific rules
+  (``RL001``–``RL005``: seeded-randomness discipline, no ``.data``
+  mutation outside ``no_grad()``, ``unbroadcast`` coverage in backward
+  closures, no bare excepts, explicit ``__all__``).  CLI:
+  ``python -m repro.analysis.lint src tests benchmarks``.
+* :mod:`repro.analysis.sanitizer` — an opt-in runtime tape sanitizer
+  that attributes NaN/Inf outputs, dtype drift and gradient anomalies to
+  the op that produced them.  Zero overhead when not active.
+* :mod:`repro.analysis.graph` — tape-topology verification (cycles,
+  malformed nodes, post-backward leaks) and size statistics, surfaced by
+  ``python -m repro.analysis.report``.
+
+See ``docs/analysis.md`` for the rule catalogue and usage guide.
+"""
+
+from .graph import (
+    GraphIssue,
+    GraphReport,
+    TapeStats,
+    checked_backward,
+    collect_tape,
+    find_cycle,
+    find_malformed,
+    leak_check,
+    tape_stats,
+    verify_tape,
+)
+from .rules import ALL_RULES, Finding, Severity, rule_ids
+from .sanitizer import (
+    TapeAnomaly,
+    TapeAnomalyError,
+    TapeSanitizer,
+    sanitizer_active,
+)
+
+# The lint driver is loaded lazily (PEP 562) so that running it as
+# ``python -m repro.analysis.lint`` does not import the module twice.
+_LAZY_LINT = {"LintResult", "lint_source", "lint_file", "lint_paths"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_LINT:
+        from . import lint as _lint
+
+        return getattr(_lint, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "Severity",
+    "rule_ids",
+    "LintResult",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "TapeAnomaly",
+    "TapeAnomalyError",
+    "TapeSanitizer",
+    "sanitizer_active",
+    "TapeStats",
+    "GraphIssue",
+    "GraphReport",
+    "collect_tape",
+    "tape_stats",
+    "find_cycle",
+    "find_malformed",
+    "leak_check",
+    "verify_tape",
+    "checked_backward",
+]

@@ -1,0 +1,232 @@
+"""AST-based repo linter: ``python -m repro.analysis.lint src tests``.
+
+Runs every rule in :mod:`repro.analysis.rules` over the given files or
+directory trees and prints one ``path:line:col: RLxxx [severity] message``
+diagnostic per finding.  The exit code is 1 when any *error*-severity
+finding survives (warnings too under ``--strict``).
+
+Suppression
+-----------
+Two comment forms, checked per rule ID (``all`` matches every rule):
+
+* line-level — append to the offending line::
+
+      x.data += step  # repro-lint: disable=RL002
+
+* file-level — anywhere in the file, on a comment of its own::
+
+      # repro-lint: disable-file=RL005
+
+Scoping
+-------
+``RL005`` (public modules must declare ``__all__``) only applies to
+library code: files under ``tests/``, ``benchmarks/`` or ``examples/``
+are exempt, as are ``conftest.py`` / ``setup.py`` / ``__main__.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import io
+import re
+import sys
+import tokenize
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .rules import ALL_RULES, Finding, Rule, Severity, rule_ids
+
+__all__ = [
+    "LintResult",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "main",
+]
+
+_DISABLE_LINE = re.compile(r"repro-lint:\s*disable=([A-Za-z0-9,\s]+)")
+_DISABLE_FILE = re.compile(r"repro-lint:\s*disable-file=([A-Za-z0-9,\s]+)")
+
+# Directory names whose files are not part of the public library surface.
+_NON_LIBRARY_DIRS = {"tests", "benchmarks", "examples"}
+_PATH_SCOPED_RULES = {"RL005"}
+
+
+class LintResult:
+    """Findings plus the bookkeeping needed for exit codes and summaries."""
+
+    def __init__(self) -> None:
+        self.findings: list[Finding] = []
+        self.files_checked = 0
+        self.parse_failures: list[tuple[str, str]] = []
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    def exit_code(self, strict: bool = False) -> int:
+        if self.parse_failures or self.errors:
+            return 1
+        if strict and self.warnings:
+            return 1
+        return 0
+
+    def extend(self, other: "LintResult") -> None:
+        self.findings.extend(other.findings)
+        self.files_checked += other.files_checked
+        self.parse_failures.extend(other.parse_failures)
+
+
+def _suppressions(source: str) -> tuple[set[str], dict[int, set[str]]]:
+    """Extract (file-level, per-line) disabled rule IDs from comments."""
+    file_disabled: set[str] = set()
+    line_disabled: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            file_match = _DISABLE_FILE.search(token.string)
+            if file_match:
+                file_disabled.update(_parse_ids(file_match.group(1)))
+                continue
+            line_match = _DISABLE_LINE.search(token.string)
+            if line_match:
+                line_disabled.setdefault(token.start[0], set()).update(
+                    _parse_ids(line_match.group(1))
+                )
+    except tokenize.TokenError:
+        pass
+    return file_disabled, line_disabled
+
+
+def _parse_ids(raw: str) -> set[str]:
+    return {part.strip() for part in raw.split(",") if part.strip()}
+
+
+def _suppressed(finding: Finding, file_ids: set[str], line_ids: dict[int, set[str]]) -> bool:
+    for ids in (file_ids, line_ids.get(finding.line, ())):
+        if finding.rule in ids or "all" in ids:
+            return True
+    return False
+
+
+def _rules_for_path(path: str, rules: Sequence[Rule]) -> list[Rule]:
+    parts = set(Path(path).parts)
+    if parts & _NON_LIBRARY_DIRS:
+        return [r for r in rules if r.id not in _PATH_SCOPED_RULES]
+    return list(rules)
+
+
+def lint_source(
+    source: str, path: str = "<string>", rules: Sequence[Rule] | None = None
+) -> LintResult:
+    """Lint a source string; ``path`` is used for scoping and messages."""
+    result = LintResult()
+    result.files_checked = 1
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.parse_failures.append((path, str(exc)))
+        return result
+    file_ids, line_ids = _suppressions(source)
+    for rule in _rules_for_path(path, rules if rules is not None else ALL_RULES):
+        for finding in rule.check(tree, path):
+            if not _suppressed(finding, file_ids, line_ids):
+                result.findings.append(finding)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result
+
+
+def lint_file(path: str | Path, rules: Sequence[Rule] | None = None) -> LintResult:
+    """Lint one file on disk."""
+    path = Path(path)
+    return lint_source(path.read_text(encoding="utf-8"), str(path), rules)
+
+
+def _iter_python_files(paths: Iterable[str | Path]) -> Iterable[Path]:
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            yield from sorted(entry.rglob("*.py"))
+        elif entry.is_file():
+            if entry.suffix == ".py":
+                yield entry
+        else:
+            raise FileNotFoundError(f"no such file or directory: {entry}")
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    rules: Sequence[Rule] | None = None,
+    select: Iterable[str] | None = None,
+) -> LintResult:
+    """Lint files and directory trees; ``select`` restricts rule IDs."""
+    active: Sequence[Rule] | None = rules
+    if select is not None:
+        wanted = set(select)
+        unknown = wanted - set(rule_ids())
+        if unknown:
+            raise ValueError(f"unknown rule ids: {sorted(unknown)}")
+        active = [r for r in (rules if rules is not None else ALL_RULES) if r.id in wanted]
+    total = LintResult()
+    for file_path in _iter_python_files(paths):
+        total.extend(lint_file(file_path, active))
+    total.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return total
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Repo-specific AST linter for the KGAG training stack.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule IDs to run (default: all rules)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as errors for the exit code",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id} [{rule.severity.value}] {rule.description}")
+        return 0
+    if not args.paths:
+        parser.error("at least one path is required (or use --list-rules)")
+
+    select = args.select.split(",") if args.select else None
+    try:
+        result = lint_paths(args.paths, select=select)
+    except (ValueError, FileNotFoundError) as exc:
+        parser.error(str(exc))
+
+    for path, message in result.parse_failures:
+        print(f"{path}:1:0: PARSE [error] {message}")
+    for finding in result.findings:
+        print(finding.render())
+    print(
+        f"{len(result.errors)} error(s), {len(result.warnings)} warning(s) "
+        f"in {result.files_checked} file(s)"
+    )
+    return result.exit_code(strict=args.strict)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,454 @@
+"""Repo-specific lint rules for the numpy training stack.
+
+Each rule carries a stable identifier (``RL001`` ...), a severity, and an
+AST-level checker.  The checkers are deliberately narrow: they encode
+invariants of *this* codebase (the autograd tape in ``repro.nn``, the
+seeded-generator discipline of ``repro.rng``), not general style.
+
+Rule catalogue
+--------------
+RL001  No unseeded randomness: legacy module-global ``np.random.*`` calls
+       are forbidden, and ``np.random.default_rng()`` must receive a seed.
+       Thread an explicit ``np.random.Generator`` (or use
+       :func:`repro.rng.ensure_rng`).
+RL002  No in-place mutation of ``Tensor.data`` outside a ``no_grad()``
+       block.  Backward closures capture ``.data`` arrays by reference;
+       mutating them while a tape is live silently corrupts gradients.
+RL003  Backward closures of multi-parent ops must route every accumulated
+       gradient expression through ``unbroadcast`` (and must not mutate
+       the incoming ``grad`` in place — it is shared with sibling nodes).
+RL004  No bare ``except:`` — it swallows ``KeyboardInterrupt`` and hides
+       tape-corruption bugs; catch a concrete exception type.
+RL005  Public modules must declare ``__all__`` so the package surface
+       stays explicit and importable-star-safe.
+
+See ``docs/analysis.md`` for the full catalogue with examples and the
+suppression syntax.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "Rule",
+    "ALL_RULES",
+    "rule_ids",
+]
+
+
+class Severity(enum.Enum):
+    """How seriously a finding affects the lint exit code."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: rule, location, and a human-readable message."""
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity.value}] {self.message}"
+        )
+
+
+class Rule:
+    """Base class: a stable ID, severity, and an AST checker."""
+
+    id: str = "RL000"
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, node: ast.AST, path: str, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+_NUMPY_ALIASES = {"np", "numpy"}
+
+# Constructors that are fine to reference on np.random: they produce (or
+# type-annotate) explicit Generator objects rather than drawing from the
+# hidden global state.
+_ALLOWED_NP_RANDOM = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+
+def _np_random_attr(node: ast.AST) -> str | None:
+    """Return ``X`` when ``node`` is the expression ``np.random.X``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Attribute)
+        and node.value.attr == "random"
+        and isinstance(node.value.value, ast.Name)
+        and node.value.value.id in _NUMPY_ALIASES
+    ):
+        return node.attr
+    return None
+
+
+def _is_no_grad_item(item: ast.withitem) -> bool:
+    """True for ``with no_grad():`` / ``with tensor.no_grad():``."""
+    expr = item.context_expr
+    if not isinstance(expr, ast.Call):
+        return False
+    func = expr.func
+    name = func.id if isinstance(func, ast.Name) else (
+        func.attr if isinstance(func, ast.Attribute) else None
+    )
+    return name == "no_grad"
+
+
+def _is_data_target(target: ast.AST) -> ast.AST | None:
+    """Return the offending node when ``target`` writes ``<expr>.data``.
+
+    Matches plain attribute writes (``p.data = ...``, ``p.data -= ...``)
+    and element writes (``p.data[i] = ...``).
+    """
+    if isinstance(target, ast.Attribute) and target.attr == "data":
+        return target
+    if (
+        isinstance(target, ast.Subscript)
+        and isinstance(target.value, ast.Attribute)
+        and target.value.attr == "data"
+    ):
+        return target
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            hit = _is_data_target(element)
+            if hit is not None:
+                return hit
+    return None
+
+
+# ---------------------------------------------------------------------------
+# RL001 — unseeded randomness
+# ---------------------------------------------------------------------------
+
+
+class UnseededRandomRule(Rule):
+    id = "RL001"
+    severity = Severity.ERROR
+    description = (
+        "no module-global np.random.* calls and no unseeded "
+        "np.random.default_rng() — require an explicit np.random.Generator"
+    )
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            attr = _np_random_attr(node.func)
+            if attr is None:
+                continue
+            if attr not in _ALLOWED_NP_RANDOM:
+                yield self.finding(
+                    node,
+                    path,
+                    f"legacy module-global call np.random.{attr}(); pass an "
+                    "explicit seeded np.random.Generator "
+                    "(see repro.rng.ensure_rng)",
+                )
+            elif attr == "default_rng" and not node.args and not node.keywords:
+                yield self.finding(
+                    node,
+                    path,
+                    "np.random.default_rng() without a seed is "
+                    "irreproducible; pass a seed or use repro.rng.ensure_rng",
+                )
+
+
+# ---------------------------------------------------------------------------
+# RL002 — in-place Tensor.data mutation outside no_grad()
+# ---------------------------------------------------------------------------
+
+
+class DataMutationRule(Rule):
+    id = "RL002"
+    severity = Severity.ERROR
+    description = (
+        "no in-place mutation of Tensor.data outside a no_grad() block"
+    )
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        yield from self._walk(tree.body, path, in_no_grad=False, in_init=False)
+
+    def _walk(
+        self, body: list[ast.stmt], path: str, *, in_no_grad: bool, in_init: bool
+    ) -> Iterator[Finding]:
+        for stmt in body:
+            if isinstance(stmt, (ast.Assign, ast.AugAssign)) and not (
+                in_no_grad or in_init
+            ):
+                targets = (
+                    stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                )
+                for target in targets:
+                    hit = _is_data_target(target)
+                    if hit is not None:
+                        yield self.finding(
+                            stmt,
+                            path,
+                            "assignment to .data outside no_grad(): live "
+                            "backward closures capture this array by "
+                            "reference — wrap the mutation in "
+                            "`with no_grad():`",
+                        )
+                        break
+            # Recurse into nested statement bodies, updating context.
+            if isinstance(stmt, ast.With):
+                inner = in_no_grad or any(
+                    _is_no_grad_item(item) for item in stmt.items
+                )
+                yield from self._walk(
+                    stmt.body, path, in_no_grad=inner, in_init=in_init
+                )
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Constructors initialise .data before any tape exists.
+                yield from self._walk(
+                    stmt.body,
+                    path,
+                    in_no_grad=False,
+                    in_init=stmt.name == "__init__",
+                )
+            elif isinstance(stmt, ast.ClassDef):
+                yield from self._walk(
+                    stmt.body, path, in_no_grad=in_no_grad, in_init=False
+                )
+            else:
+                for child_body in _stmt_bodies(stmt):
+                    yield from self._walk(
+                        child_body, path, in_no_grad=in_no_grad, in_init=in_init
+                    )
+
+
+def _stmt_bodies(stmt: ast.stmt) -> Iterator[list[ast.stmt]]:
+    for field in ("body", "orelse", "finalbody"):
+        value = getattr(stmt, field, None)
+        if isinstance(value, list) and value and isinstance(value[0], ast.stmt):
+            yield value
+    for handler in getattr(stmt, "handlers", []) or []:
+        yield handler.body
+
+
+# ---------------------------------------------------------------------------
+# RL003 — backward closures must unbroadcast multi-parent gradients
+# ---------------------------------------------------------------------------
+
+
+class UnbroadcastRule(Rule):
+    id = "RL003"
+    severity = Severity.ERROR
+    description = (
+        "backward closures of multi-parent ops must route accumulated "
+        "gradients through unbroadcast and must not mutate grad in place"
+    )
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            backward = self._nested_backward(node)
+            if backward is None:
+                continue
+            yield from self._check_grad_mutation(backward, path)
+            if self._is_multi_parent(node):
+                yield from self._check_accumulates(backward, path)
+
+    @staticmethod
+    def _nested_backward(
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> ast.FunctionDef | None:
+        for stmt in node.body:
+            if isinstance(stmt, ast.FunctionDef) and stmt.name == "backward":
+                return stmt
+        return None
+
+    @staticmethod
+    def _is_multi_parent(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        """True when the enclosing op wires ≥2 parents into the tape.
+
+        Looks for the ``Tensor._make(data, parents, backward)`` call; a
+        literal 1-tuple means a single parent, anything else (a longer
+        tuple, or a sequence variable as in ``concat``/``stack``) is
+        treated as multi-parent.
+        """
+        for inner in ast.walk(node):
+            if (
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Attribute)
+                and inner.func.attr == "_make"
+                and len(inner.args) >= 2
+            ):
+                parents = inner.args[1]
+                if isinstance(parents, (ast.Tuple, ast.List)):
+                    return len(parents.elts) >= 2
+                return True
+        return False
+
+    def _check_grad_mutation(
+        self, backward: ast.FunctionDef, path: str
+    ) -> Iterator[Finding]:
+        grad_name = backward.args.args[0].arg if backward.args.args else "grad"
+        for inner in ast.walk(backward):
+            target = None
+            if isinstance(inner, ast.AugAssign):
+                target = inner.target
+            elif isinstance(inner, ast.Assign) and len(inner.targets) == 1 and (
+                isinstance(inner.targets[0], ast.Subscript)
+            ):
+                target = inner.targets[0]
+            if target is None:
+                continue
+            root = target
+            while isinstance(root, ast.Subscript):
+                root = root.value
+            if isinstance(root, ast.Name) and root.id == grad_name:
+                yield self.finding(
+                    inner,
+                    path,
+                    f"in-place mutation of the incoming gradient "
+                    f"'{grad_name}' inside a backward closure — the array "
+                    "is shared with sibling nodes; build a new array "
+                    "instead",
+                )
+
+    def _check_accumulates(
+        self, backward: ast.FunctionDef, path: str
+    ) -> Iterator[Finding]:
+        for inner in ast.walk(backward):
+            if not (
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Attribute)
+                and inner.func.attr == "_accumulate"
+                and inner.args
+            ):
+                continue
+            arg = inner.args[0]
+            if isinstance(arg, ast.Call):
+                func = arg.func
+                name = func.id if isinstance(func, ast.Name) else (
+                    func.attr if isinstance(func, ast.Attribute) else ""
+                )
+                if name == "unbroadcast":
+                    continue
+                # Other calls (reshape, broadcast_to, ...) restore an
+                # explicit shape; leave them to gradcheck.
+                continue
+            if isinstance(arg, (ast.BinOp, ast.UnaryOp)):
+                yield self.finding(
+                    inner,
+                    path,
+                    "gradient accumulated into a broadcastable parent "
+                    "without unbroadcast(...): the expression keeps the "
+                    "broadcast shape and silently corrupts the parent's "
+                    "gradient",
+                )
+
+
+# ---------------------------------------------------------------------------
+# RL004 — bare except
+# ---------------------------------------------------------------------------
+
+
+class BareExceptRule(Rule):
+    id = "RL004"
+    severity = Severity.ERROR
+    description = "no bare except clauses"
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    node,
+                    path,
+                    "bare `except:` swallows KeyboardInterrupt and hides "
+                    "tape bugs; catch a concrete exception type",
+                )
+
+
+# ---------------------------------------------------------------------------
+# RL005 — public modules must declare __all__
+# ---------------------------------------------------------------------------
+
+
+class MissingAllRule(Rule):
+    id = "RL005"
+    severity = Severity.WARNING
+    description = "public modules must declare __all__"
+
+    # Filenames that are not part of the public import surface.
+    EXEMPT_FILENAMES = {"__main__.py", "conftest.py", "setup.py"}
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        filename = path.rsplit("/", 1)[-1]
+        if filename in self.EXEMPT_FILENAMES or filename.startswith("_") and (
+            filename != "__init__.py"
+        ):
+            return
+        for stmt in tree.body:
+            targets: list[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+                targets = [stmt.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    return
+        yield Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=path,
+            line=1,
+            col=0,
+            message="public module does not declare __all__",
+        )
+
+
+ALL_RULES: tuple[Rule, ...] = (
+    UnseededRandomRule(),
+    DataMutationRule(),
+    UnbroadcastRule(),
+    BareExceptRule(),
+    MissingAllRule(),
+)
+
+
+def rule_ids() -> list[str]:
+    """Stable identifiers of every registered rule."""
+    return [rule.id for rule in ALL_RULES]

@@ -1,0 +1,263 @@
+"""Runtime tape sanitizer: pinpoint numerical anomalies at the op level.
+
+The autograd tape in :mod:`repro.nn.tensor` funnels every op through two
+choke points: ``Tensor._make`` (node creation on the forward pass) and
+``Tensor._accumulate`` (gradient accumulation on the backward pass).
+:class:`TapeSanitizer` patches both **only while its context is active**,
+so the default training path executes the exact original code objects —
+zero overhead when disabled (``tests/analysis/test_sanitizer.py`` pins
+this with an identity assertion).
+
+While active, the sanitizer detects:
+
+* non-finite forward values (NaN/Inf) *at the op that produced them* —
+  e.g. an injected ``log(0)`` is reported as coming from ``Tensor.log``
+  with the caller's file:line, not thirty ops later at the loss;
+* dtype drift away from the expected dtype (``DEFAULT_DTYPE`` unless
+  overridden) — a silent float32 downcast flips tolerance-sensitive
+  gradchecks and halves precision;
+* non-finite gradients, reported at the backward closure of the
+  producing op;
+* gradient-shape mismatches (a missing ``unbroadcast`` shows up here as
+  a grad whose shape differs from its parent's data);
+* parameters never touched by backward
+  (:meth:`TapeSanitizer.check_parameters`).
+
+Usage::
+
+    from repro.analysis import TapeSanitizer
+
+    with TapeSanitizer() as tape:
+        loss = model_loss(batch)
+        loss.backward()          # raises TapeAnomalyError at the bad op
+    untouched = tape.check_parameters(model.named_parameters())
+
+or, for a whole training run, ``KGAGTrainer(..., sanitize=True)``.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.tensor import DEFAULT_DTYPE, Tensor
+
+__all__ = [
+    "TapeAnomaly",
+    "TapeAnomalyError",
+    "TapeSanitizer",
+    "sanitizer_active",
+]
+
+# Pristine references captured once at import: the sanitizer restores
+# these on exit and the test-suite asserts the default path still *is*
+# them (no wrapping when disabled).
+_PRISTINE_MAKE = Tensor.__dict__["_make"]
+_PRISTINE_ACCUMULATE = Tensor.__dict__["_accumulate"]
+
+_active: "TapeSanitizer | None" = None
+
+
+def sanitizer_active() -> bool:
+    """True while a :class:`TapeSanitizer` context is patched in."""
+    return _active is not None
+
+
+@dataclass(frozen=True)
+class TapeAnomaly:
+    """One detected anomaly, attributed to the op that produced it."""
+
+    kind: str  # non-finite-forward | dtype-drift | non-finite-grad |
+    #            grad-shape-mismatch | untouched-parameter
+    op: str  # qualname of the producing op (or parameter name)
+    location: str  # file:line of the producing call site
+    message: str
+    severity: str = "error"  # "error" anomalies raise; "warning" only record
+
+    def render(self) -> str:
+        return f"[{self.kind}] op={self.op} at {self.location}: {self.message}"
+
+
+class TapeAnomalyError(RuntimeError):
+    """Raised at the producing op when ``raise_on_anomaly`` is set."""
+
+    def __init__(self, anomaly: TapeAnomaly):
+        super().__init__(anomaly.render())
+        self.anomaly = anomaly
+
+
+def _op_site(depth: int) -> tuple[str, str]:
+    """(op qualname, file:line) of the frame ``depth`` levels up."""
+    frame = sys._getframe(depth)
+    code = frame.f_code
+    op = getattr(code, "co_qualname", code.co_name)
+    return op, f"{code.co_filename}:{frame.f_lineno}"
+
+
+# Stack depth from _op_site up to the op that invoked the patched hook:
+# _op_site <- _check_* <- _checked_* <- op / backward closure.
+_OP_DEPTH = 3
+
+
+def _checked_make(data, parents, backward):
+    if _active is not None:
+        # Inspect the raw op output: Tensor.__init__ coerces float32 back
+        # to DEFAULT_DTYPE, so drift is only visible before construction.
+        _active._check_forward(np.asarray(data))
+    return _PRISTINE_MAKE.__func__(data, parents, backward)
+
+
+def _checked_accumulate(tensor_self, grad):
+    if _active is not None:
+        _active._check_grad(tensor_self, grad)
+    return _PRISTINE_ACCUMULATE(tensor_self, grad)
+
+
+class TapeSanitizer:
+    """Context manager that instruments the autograd tape.
+
+    Parameters
+    ----------
+    raise_on_anomaly:
+        Raise :class:`TapeAnomalyError` at the first error-severity
+        anomaly (default).  With ``False`` all anomalies are collected in
+        :attr:`anomalies` for post-hoc inspection.
+    check_finite / check_dtype / check_grad_shape:
+        Toggle the individual detectors.
+    expected_dtype:
+        Dtype every op output should keep (default
+        ``repro.nn.tensor.DEFAULT_DTYPE``).
+    """
+
+    def __init__(
+        self,
+        raise_on_anomaly: bool = True,
+        check_finite: bool = True,
+        check_dtype: bool = True,
+        check_grad_shape: bool = True,
+        expected_dtype=None,
+    ):
+        self.raise_on_anomaly = raise_on_anomaly
+        self.check_finite = check_finite
+        self.check_dtype = check_dtype
+        self.check_grad_shape = check_grad_shape
+        self.expected_dtype = np.dtype(expected_dtype or DEFAULT_DTYPE)
+        self.anomalies: list[TapeAnomaly] = []
+        self._previous: "TapeSanitizer | None" = None
+
+    # -- context protocol ---------------------------------------------------
+    def __enter__(self) -> "TapeSanitizer":
+        global _active
+        self._previous = _active
+        _active = self
+        if self._previous is None:
+            Tensor._make = staticmethod(_checked_make)
+            Tensor._accumulate = _checked_accumulate
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _active
+        _active = self._previous
+        if _active is None:
+            # Restore the pristine, unwrapped code paths.
+            Tensor._make = _PRISTINE_MAKE
+            Tensor._accumulate = _PRISTINE_ACCUMULATE
+
+    # -- detectors ----------------------------------------------------------
+    def _record(self, anomaly: TapeAnomaly) -> None:
+        self.anomalies.append(anomaly)
+        if self.raise_on_anomaly and anomaly.severity == "error":
+            raise TapeAnomalyError(anomaly)
+
+    def _check_forward(self, data: np.ndarray) -> None:
+        if self.check_finite and not np.all(np.isfinite(data)):
+            op, location = _op_site(_OP_DEPTH)
+            bad = int(np.size(data) - np.count_nonzero(np.isfinite(data)))
+            self._record(
+                TapeAnomaly(
+                    kind="non-finite-forward",
+                    op=op,
+                    location=location,
+                    message=f"{bad} non-finite value(s) in the op output "
+                    f"(shape {np.shape(data)})",
+                )
+            )
+        if self.check_dtype and data.dtype != self.expected_dtype and (
+            data.dtype.kind == "f"
+        ):
+            op, location = _op_site(_OP_DEPTH)
+            self._record(
+                TapeAnomaly(
+                    kind="dtype-drift",
+                    op=op,
+                    location=location,
+                    message=f"op output dtype {data.dtype} drifted from "
+                    f"{self.expected_dtype}",
+                    severity="warning",
+                )
+            )
+
+    def _check_grad(self, tensor: Tensor, grad: np.ndarray) -> None:
+        if self.check_grad_shape and np.shape(grad) != tensor.data.shape:
+            op, location = _op_site(_OP_DEPTH)
+            self._record(
+                TapeAnomaly(
+                    kind="grad-shape-mismatch",
+                    op=op,
+                    location=location,
+                    message=f"gradient shape {np.shape(grad)} does not match "
+                    f"parent data shape {tensor.data.shape} — missing "
+                    "unbroadcast in the backward closure?",
+                )
+            )
+        if self.check_finite and not np.all(np.isfinite(grad)):
+            op, location = _op_site(_OP_DEPTH)
+            bad = int(np.size(grad) - np.count_nonzero(np.isfinite(grad)))
+            self._record(
+                TapeAnomaly(
+                    kind="non-finite-grad",
+                    op=op,
+                    location=location,
+                    message=f"{bad} non-finite value(s) in the gradient "
+                    f"(shape {np.shape(grad)})",
+                )
+            )
+
+    # -- post-backward checks ----------------------------------------------
+    def check_parameters(self, named_parameters) -> list[TapeAnomaly]:
+        """Record a warning anomaly per parameter with no gradient.
+
+        Call after ``loss.backward()``; accepts the ``(name, parameter)``
+        pairs of ``Module.named_parameters()`` (or bare parameters).
+        Never raises — a parameter can be legitimately idle in one batch
+        (e.g. an ablated head); persistent idleness across a whole epoch
+        is the real smell.
+        """
+        found: list[TapeAnomaly] = []
+        for entry in named_parameters:
+            name, parameter = entry if isinstance(entry, tuple) else (
+                getattr(entry, "name", None) or "<unnamed>",
+                entry,
+            )
+            if parameter.grad is None:
+                anomaly = TapeAnomaly(
+                    kind="untouched-parameter",
+                    op=str(name),
+                    location="<post-backward>",
+                    message="parameter received no gradient from backward()",
+                    severity="warning",
+                )
+                found.append(anomaly)
+                self.anomalies.append(anomaly)
+        return found
+
+    # -- reporting ----------------------------------------------------------
+    def summary(self) -> str:
+        """Human-readable multi-line summary of everything recorded."""
+        if not self.anomalies:
+            return "tape sanitizer: no anomalies"
+        lines = [f"tape sanitizer: {len(self.anomalies)} anomaly(ies)"]
+        lines.extend("  " + anomaly.render() for anomaly in self.anomalies)
+        return "\n".join(lines)

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..nn import Module, Parameter, Tensor, init, softmax
+from ..rng import ensure_rng
 
 __all__ = ["AttentionBreakdown", "PreferenceAggregation"]
 
@@ -74,7 +75,7 @@ class PreferenceAggregation(Module):
             raise ValueError("group_size must be at least 2")
         if pi_pooling not in ("concat", "mean"):
             raise ValueError(f"pi_pooling must be 'concat' or 'mean', got {pi_pooling!r}")
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         self.dim = dim
         self.group_size = group_size
         self.use_sp = use_sp

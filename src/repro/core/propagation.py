@@ -24,6 +24,7 @@ import numpy as np
 from ..kg.sampling import NeighborSampler
 from ..nn import Embedding, Linear, Module, Tensor, concat, softmax
 from ..nn import ops
+from ..rng import ensure_rng
 
 __all__ = ["GCNAggregator", "GraphSageAggregator", "InformationPropagation"]
 
@@ -106,7 +107,7 @@ class InformationPropagation(Module):
         rng: np.random.Generator | None = None,
     ):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         if num_layers < 0:
             raise ValueError("num_layers must be non-negative")
         self.dim = dim

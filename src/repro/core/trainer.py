@@ -48,6 +48,15 @@ class KGAGTrainer:
         User-item positives (the sparsity-alleviation signal of Eq. 18).
     group_validation:
         Optional validation positives for early stopping / history.
+    sanitize:
+        Run every training step under
+        :class:`~repro.analysis.sanitizer.TapeSanitizer`: a NaN/Inf
+        produced anywhere in the forward or backward pass raises
+        :class:`~repro.analysis.sanitizer.TapeAnomalyError` naming the
+        op that produced it, and parameters that backward never touched
+        are recorded in :attr:`untouched_parameters`.  Off by default —
+        the unsanitized path runs the pristine tape code with zero
+        instrumentation overhead.
     """
 
     def __init__(
@@ -56,6 +65,7 @@ class KGAGTrainer:
         group_train: InteractionTable,
         user_train: InteractionTable,
         group_validation: InteractionTable | None = None,
+        sanitize: bool = False,
     ):
         self.model = model
         self.config = model.config
@@ -72,10 +82,38 @@ class KGAGTrainer:
         self.optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
         self.history = TrainingHistory()
         self._best_state: dict | None = None
+        self.sanitize = sanitize
+        self.untouched_parameters: list[str] = []
 
     # ------------------------------------------------------------------
     def train_step(self, batch) -> float:
-        """One optimization step on a mixed batch; returns the loss."""
+        """One optimization step on a mixed batch; returns the loss.
+
+        With ``sanitize=True`` the forward/backward runs inside a
+        :class:`~repro.analysis.sanitizer.TapeSanitizer`, so numerical
+        anomalies raise at the producing op instead of surfacing as a
+        corrupted metric epochs later.
+        """
+        if self.sanitize:
+            # Imported lazily: the default path must not even load the
+            # sanitizer machinery.
+            from ..analysis.sanitizer import TapeSanitizer
+
+            with TapeSanitizer() as tape:
+                loss = self._forward_backward(batch)
+            self.untouched_parameters = [
+                anomaly.op
+                for anomaly in tape.check_parameters(self.model.named_parameters())
+            ]
+        else:
+            loss = self._forward_backward(batch)
+        if self.config.max_grad_norm is not None:
+            clip_grad_norm(self.model.parameters(), self.config.max_grad_norm)
+        self.optimizer.step()
+        return float(loss.item())
+
+    def _forward_backward(self, batch):
+        """Compute the combined loss for one batch and run backward."""
         self.optimizer.zero_grad()
         triplets = batch.group_triplets
         pos_scores = self.model.group_item_scores(triplets[:, 0], triplets[:, 1])
@@ -99,10 +137,7 @@ class KGAGTrainer:
             margin=self.config.margin,
         )
         loss.backward()
-        if self.config.max_grad_norm is not None:
-            clip_grad_norm(self.model.parameters(), self.config.max_grad_norm)
-        self.optimizer.step()
-        return float(loss.item())
+        return loss
 
     def train_epoch(self) -> float:
         """One pass over the training data; returns the mean batch loss."""

@@ -22,6 +22,7 @@ import numpy as np
 
 from .interactions import InteractionTable, RatingsTable
 from .similarity import pairwise_pearson
+from ..rng import ensure_rng
 
 __all__ = [
     "GroupSet",
@@ -102,7 +103,7 @@ def random_groups(
     """Uniformly random member sampling (the -Rand protocol)."""
     if group_size > num_users:
         raise ValueError("group_size cannot exceed the user population")
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     members = np.stack(
         [rng.choice(num_users, size=group_size, replace=False) for _ in range(num_groups)]
     )
@@ -125,7 +126,7 @@ def similarity_groups(
     smaller than requested (mirroring why the paper's -Simi dataset has
     fewer groups than -Rand; see Table I).
     """
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     similarity = pairwise_pearson(ratings.to_dense())
     num_users = ratings.num_users
     rows: list[np.ndarray] = []
@@ -174,7 +175,7 @@ def covisit_groups(
     the current group (every added member must be a friend of at least one
     existing member — check-in companions need not be a full clique).
     """
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     friendships = np.asarray(friendships, dtype=bool)
     num_users = friendships.shape[0]
     if friendships.shape != (num_users, num_users):

@@ -16,6 +16,7 @@ import numpy as np
 
 from .interactions import InteractionTable
 from .negative import NegativeSampler
+from ..rng import ensure_rng
 
 __all__ = ["MixedBatch", "MixedBatchLoader", "iterate_minibatches"]
 
@@ -82,7 +83,7 @@ class MixedBatchLoader:
         self.group_train = group_train
         self.user_train = user_train
         self.batch_size = batch_size
-        self.rng = rng or np.random.default_rng()
+        self.rng = ensure_rng(rng)
         self.group_negatives = NegativeSampler(group_train, rng=self.rng)
         self.user_negatives = NegativeSampler(user_train, rng=self.rng)
         self.negatives_per_positive = negatives_per_positive

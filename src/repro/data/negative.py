@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from .interactions import InteractionTable
+from ..rng import ensure_rng
 
 __all__ = ["NegativeSampler"]
 
@@ -37,7 +38,7 @@ class NegativeSampler:
     ):
         self.table = table
         self.num_items = table.num_cols
-        self.rng = rng or np.random.default_rng()
+        self.rng = ensure_rng(rng)
         self.max_resamples = max_resamples
         self._positives = {
             int(row): set(table.items_of(row).tolist())

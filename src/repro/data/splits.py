@@ -12,6 +12,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .interactions import InteractionTable
+from ..rng import ensure_rng
 
 __all__ = ["Split", "split_interactions"]
 
@@ -49,7 +50,7 @@ def split_interactions(
         raise ValueError(f"ratios must sum to 1, got {sum(ratios)}")
     if min(ratios) < 0:
         raise ValueError("ratios must be non-negative")
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
 
     count = table.num_interactions
     order = rng.permutation(count)

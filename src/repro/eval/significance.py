@@ -14,6 +14,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from .metrics import hit_at_k, recall_at_k
+from ..rng import ensure_rng
 
 __all__ = ["BootstrapResult", "paired_bootstrap", "per_group_metrics"]
 
@@ -72,7 +73,7 @@ def paired_bootstrap(
         raise ValueError("paired bootstrap requires identical group sets")
     if not common:
         raise ValueError("no groups to compare")
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     a = np.array([per_group_a[g] for g in common])
     b = np.array([per_group_b[g] for g in common])
     observed = float((a - b).mean())

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .graph import KnowledgeGraph
+from ..rng import ensure_rng
 
 __all__ = ["TopicalKGConfig", "topical_kg", "random_kg", "chain_kg", "star_kg"]
 
@@ -84,7 +85,7 @@ def topical_kg(
         ``related_to`` is appended after the configured relations.
     """
     config = config or TopicalKGConfig()
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     item_topics = np.asarray(item_topics, dtype=np.float64)
     if item_topics.ndim != 2:
         raise ValueError("item_topics must be (num_items, num_topics)")
@@ -150,7 +151,7 @@ def random_kg(
     rng: np.random.Generator | None = None,
 ) -> KnowledgeGraph:
     """Uniformly random KG — the "no structure" control used in ablations."""
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     heads = rng.integers(0, num_entities, num_triples)
     relations = rng.integers(0, num_relations, num_triples)
     tails = rng.integers(0, num_entities, num_triples)

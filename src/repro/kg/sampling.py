@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from .graph import KnowledgeGraph
+from ..rng import ensure_rng
 
 __all__ = ["NeighborSampler", "ReceptiveField"]
 
@@ -91,7 +92,7 @@ class NeighborSampler:
     ):
         if num_neighbors <= 0:
             raise ValueError("num_neighbors must be positive")
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         self.kg = kg
         self.num_neighbors = int(num_neighbors)
         self.stratify_by_relation = bool(stratify_by_relation)

@@ -10,7 +10,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, no_grad
 
 __all__ = ["numerical_gradient", "check_gradients"]
 
@@ -26,14 +26,18 @@ def numerical_gradient(
     grad = np.zeros_like(target.data)
     flat = target.data.reshape(-1)
     grad_flat = grad.reshape(-1)
-    for i in range(flat.size):
-        original = flat[i]
-        flat[i] = original + eps
-        plus = float(fn(*inputs).sum().item())
-        flat[i] = original - eps
-        minus = float(fn(*inputs).sum().item())
-        flat[i] = original
-        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    # The perturbation writes through a view of target.data, so the whole
+    # probe runs under no_grad: only forward values are needed and no tape
+    # may capture the temporarily-perturbed arrays.
+    with no_grad():
+        for i in range(flat.size):
+            original = flat[i]
+            flat[i] = original + eps
+            plus = float(fn(*inputs).sum().item())
+            flat[i] = original - eps
+            minus = float(fn(*inputs).sum().item())
+            flat[i] = original
+            grad_flat[i] = (plus - minus) / (2.0 * eps)
     return grad
 
 

@@ -15,6 +15,7 @@ from . import init as initializers
 from .ops import gather_rows
 from .tensor import Tensor
 from .module import Module, Parameter
+from ..rng import ensure_rng
 
 __all__ = ["Linear", "Embedding", "Dropout", "Sequential", "Activation", "MLP"]
 
@@ -40,7 +41,7 @@ class Linear(Module):
         rng: np.random.Generator | None = None,
     ):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(
@@ -77,7 +78,7 @@ class Embedding(Module):
         std: float = 0.1,
     ):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         self.num_embeddings = num_embeddings
         self.embedding_dim = embedding_dim
         self.weight = Parameter(
@@ -108,7 +109,7 @@ class Dropout(Module):
         if not 0.0 <= p < 1.0:
             raise ValueError(f"dropout probability must be in [0, 1), got {p}")
         self.p = p
-        self._rng = rng or np.random.default_rng()
+        self._rng = ensure_rng(rng)
 
     def forward(self, x: Tensor) -> Tensor:
         if not self.training or self.p == 0.0:
@@ -184,7 +185,7 @@ class MLP(Module):
         super().__init__()
         if len(sizes) < 2:
             raise ValueError("MLP needs at least input and output sizes")
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         layers: list[Module] = []
         for i, (fan_in, fan_out) in enumerate(zip(sizes[:-1], sizes[1:])):
             layers.append(Linear(fan_in, fan_out, rng=rng))

@@ -12,7 +12,7 @@ from typing import Iterator
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, no_grad
 
 __all__ = ["Parameter", "Module"]
 
@@ -122,14 +122,15 @@ class Module:
                 f"state_dict mismatch: missing={sorted(missing)}, "
                 f"unexpected={sorted(unexpected)}"
             )
-        for name, parameter in own.items():
-            value = np.asarray(state[name])
-            if value.shape != parameter.shape:
-                raise ValueError(
-                    f"shape mismatch for {name}: "
-                    f"checkpoint {value.shape} vs parameter {parameter.shape}"
-                )
-            parameter.data = value.astype(parameter.data.dtype).copy()
+        with no_grad():
+            for name, parameter in own.items():
+                value = np.asarray(state[name])
+                if value.shape != parameter.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name}: "
+                        f"checkpoint {value.shape} vs parameter {parameter.shape}"
+                    )
+                parameter.data = value.astype(parameter.data.dtype).copy()
 
     # -- call protocol --------------------------------------------------------
     def forward(self, *args, **kwargs):

@@ -11,6 +11,7 @@ from typing import Iterable
 import numpy as np
 
 from .module import Parameter
+from .tensor import no_grad
 
 __all__ = ["Optimizer", "SGD", "Adam", "StepLR", "ExponentialLR", "clip_grad_norm"]
 
@@ -71,17 +72,18 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
-        for parameter, velocity in zip(self.parameters, self._velocity):
-            if parameter.grad is None:
-                continue
-            grad = parameter.grad
-            if self.weight_decay:
-                grad = grad + self.weight_decay * parameter.data
-            if self.momentum:
-                velocity *= self.momentum
-                velocity += grad
-                grad = velocity
-            parameter.data -= self.lr * grad
+        with no_grad():
+            for parameter, velocity in zip(self.parameters, self._velocity):
+                if parameter.grad is None:
+                    continue
+                grad = parameter.grad
+                if self.weight_decay:
+                    grad = grad + self.weight_decay * parameter.data
+                if self.momentum:
+                    velocity *= self.momentum
+                    velocity += grad
+                    grad = velocity
+                parameter.data -= self.lr * grad
 
 
 class Adam(Optimizer):
@@ -115,19 +117,20 @@ class Adam(Optimizer):
         t = self._step_count
         bias1 = 1.0 - self.beta1**t
         bias2 = 1.0 - self.beta2**t
-        for parameter, m, v in zip(self.parameters, self._m, self._v):
-            if parameter.grad is None:
-                continue
-            grad = parameter.grad
-            if self.weight_decay:
-                grad = grad + self.weight_decay * parameter.data
-            m *= self.beta1
-            m += (1.0 - self.beta1) * grad
-            v *= self.beta2
-            v += (1.0 - self.beta2) * grad**2
-            m_hat = m / bias1
-            v_hat = v / bias2
-            parameter.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        with no_grad():
+            for parameter, m, v in zip(self.parameters, self._m, self._v):
+                if parameter.grad is None:
+                    continue
+                grad = parameter.grad
+                if self.weight_decay:
+                    grad = grad + self.weight_decay * parameter.data
+                m *= self.beta1
+                m += (1.0 - self.beta1) * grad
+                v *= self.beta2
+                v += (1.0 - self.beta2) * grad**2
+                m_hat = m / bias1
+                v_hat = v / bias2
+                parameter.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
 
 class StepLR:

@@ -1,0 +1,126 @@
+"""Gradient edge cases pinned by the RL002/RL003 audit.
+
+Finite-difference checks at the spots where backward closures are easiest
+to get wrong: fully-masked softmax rows, the leaky_relu kink at x=0, and
+the broadcastable two-parent ops whose closures must route through
+``unbroadcast``.
+"""
+
+import numpy as np
+
+from repro.nn import Tensor, no_grad
+from repro.nn.gradcheck import check_gradients
+from repro.nn.ops import leaky_relu, masked_softmax, maximum, where
+
+
+class TestMaskedSoftmaxFullyMaskedRow:
+    def test_forward_zero_row_not_nan(self):
+        x = Tensor(np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]]))
+        mask = np.array([[True, True, False], [False, False, False]])
+        out = masked_softmax(x, mask)
+        assert np.all(np.isfinite(out.data))
+        np.testing.assert_allclose(out.data[1], np.zeros(3))
+        np.testing.assert_allclose(out.data[0].sum(), 1.0)
+
+    def test_gradcheck_with_fully_masked_row(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        mask = np.array(
+            [
+                [True, False, True, True],
+                [False, False, False, False],  # the degenerate row
+                [True, True, True, True],
+            ]
+        )
+        check_gradients(lambda t: masked_softmax(t, mask), [x])
+        # The dead row contributes nothing, so its gradient is exactly 0.
+        np.testing.assert_array_equal(x.grad[1], np.zeros(4))
+
+    def test_gradcheck_single_live_position(self):
+        # One unmasked slot: output is the constant 1 there, grad must be 0.
+        x = Tensor(np.array([[0.3, -1.2, 2.0]]), requires_grad=True)
+        mask = np.array([[False, True, False]])
+        check_gradients(lambda t: masked_softmax(t, mask), [x])
+        np.testing.assert_allclose(x.grad, np.zeros((1, 3)), atol=1e-12)
+
+
+class TestLeakyReluKink:
+    def test_exact_zero_takes_negative_slope_branch(self):
+        """At the x=0 kink the forward uses ``x.data > 0``, so the backward
+        must consistently yield negative_slope at exactly 0 — a mixed
+        convention would silently disagree with the forward."""
+        x = Tensor(np.array([-1.0, 0.0, 1.0]), requires_grad=True)
+        out = leaky_relu(x, negative_slope=0.1)
+        np.testing.assert_array_equal(out.data, np.array([-0.1, 0.0, 1.0]))
+        out.sum().backward()
+        np.testing.assert_array_equal(x.grad, np.array([0.1, 0.1, 1.0]))
+
+    def test_gradcheck_away_from_kink(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=(5, 3))
+        # Keep finite differencing off the kink; at |x| > eps both one-sided
+        # slopes agree with the analytic branch.
+        values[np.abs(values) < 1e-2] = 0.5
+        x = Tensor(values, requires_grad=True)
+        check_gradients(lambda t: leaky_relu(t, negative_slope=0.2), [x])
+
+    def test_default_slope_propagates(self):
+        x = Tensor(np.array([-2.0]), requires_grad=True)
+        leaky_relu(x).sum().backward()
+        np.testing.assert_allclose(x.grad, np.array([0.01]))
+
+
+class TestBroadcastableBackwardClosures:
+    """Regression pins for the RL003 audit: every two-parent op with
+    broadcastable arguments must reduce gradients back to parent shape."""
+
+    def test_where_broadcast_gradcheck(self):
+        rng = np.random.default_rng(2)
+        condition = rng.normal(size=(3, 4)) > 0
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4,)), requires_grad=True)  # broadcasts up
+        check_gradients(lambda u, v: where(condition, u, v), [a, b])
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+
+    def test_maximum_broadcast_gradcheck(self):
+        rng = np.random.default_rng(3)
+        a = Tensor(rng.normal(size=(3, 1)), requires_grad=True)
+        b = Tensor(rng.normal(size=(1, 4)), requires_grad=True)
+        check_gradients(maximum, [a, b])
+        assert a.grad.shape == (3, 1)
+        assert b.grad.shape == (1, 4)
+
+    def test_mul_scalar_broadcast_gradcheck(self):
+        rng = np.random.default_rng(4)
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(np.array(1.5), requires_grad=True)  # 0-d broadcast
+        check_gradients(lambda u, v: u * v, [a, b])
+        assert b.grad.shape == ()
+
+    def test_matmul_vector_gradcheck(self):
+        rng = np.random.default_rng(5)
+        m = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        v = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        check_gradients(lambda a, b: a @ b, [m, v])
+        assert v.grad.shape == (4,)
+
+
+class TestPerturbationDoesNotTape:
+    def test_numerical_gradient_leaves_no_tape(self):
+        """The finite-difference writes in gradcheck run under no_grad:
+        perturbing ``tensor.data`` must not invalidate or extend the tape."""
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        check_gradients(lambda t: (t * t).sum(), [x])
+        # After the check the tensor is still a clean leaf.
+        assert x._parents == ()
+        assert x._backward is None
+
+    def test_no_grad_mutation_invisible_to_autograd(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        loss = (x * 3.0).sum()
+        with no_grad():
+            x.data[0] = 10.0  # post-forward poke, e.g. a checkpoint restore
+        loss.backward()
+        # Gradient reflects the recorded op, not the later mutation.
+        np.testing.assert_allclose(x.grad, np.array([3.0]))

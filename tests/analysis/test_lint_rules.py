@@ -1,0 +1,349 @@
+"""Rule-by-rule linter tests on deliberately-planted violations.
+
+Each fixture plants one violation of RL001–RL005 and asserts the linter
+reports it with the correct rule ID and file:line, that clean equivalents
+pass, and that the documented suppression comments silence findings.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Severity, rule_ids
+from repro.analysis.lint import lint_paths, lint_source
+
+SRC_ROOT = Path(__file__).resolve().parents[2] / "src"
+
+
+def findings_for(source: str, path: str = "module.py"):
+    return lint_source(source, path).findings
+
+
+def only_rule(findings, rule):
+    return [f for f in findings if f.rule == rule]
+
+
+class TestRL001UnseededRandom:
+    def test_legacy_global_call_flagged_with_line(self):
+        source = (
+            "import numpy as np\n"
+            "__all__ = []\n"
+            "\n"
+            "def draw():\n"
+            "    return np.random.rand(3)\n"
+        )
+        [finding] = only_rule(findings_for(source), "RL001")
+        assert finding.line == 5
+        assert finding.severity is Severity.ERROR
+        assert "np.random.rand" in finding.message
+
+    @pytest.mark.parametrize(
+        "call", ["np.random.seed(0)", "np.random.shuffle(x)", "numpy.random.normal()"]
+    )
+    def test_other_legacy_calls_flagged(self, call):
+        source = f"import numpy as np\nimport numpy\n__all__ = []\nx = [1]\ny = {call}\n"
+        assert only_rule(findings_for(source), "RL001")
+
+    def test_unseeded_default_rng_flagged(self):
+        source = "import numpy as np\n__all__ = []\nrng = np.random.default_rng()\n"
+        [finding] = only_rule(findings_for(source), "RL001")
+        assert finding.line == 3
+        assert "seed" in finding.message
+
+    def test_seeded_default_rng_clean(self):
+        source = (
+            "import numpy as np\n__all__ = []\n"
+            "a = np.random.default_rng(0)\n"
+            "b = np.random.default_rng(seed=1)\n"
+            "c = np.random.Generator(np.random.PCG64(2))\n"
+        )
+        assert not only_rule(findings_for(source), "RL001")
+
+    def test_unrelated_random_attribute_clean(self):
+        # Only the np/numpy aliases are in scope; other objects with a
+        # .random attribute are not.
+        source = "__all__ = []\nvalue = rng.random(3)\nother = obj.random.thing()\n"
+        assert not only_rule(findings_for(source), "RL001")
+
+
+class TestRL002DataMutation:
+    def test_plain_assignment_flagged(self):
+        source = "__all__ = []\n\ndef clobber(p):\n    p.data = p.data + 1\n"
+        [finding] = only_rule(findings_for(source), "RL002")
+        assert finding.line == 4
+
+    def test_augmented_and_subscript_assignment_flagged(self):
+        source = (
+            "__all__ = []\n"
+            "def a(p):\n"
+            "    p.data += 1\n"
+            "def b(p):\n"
+            "    p.data[0] = 3.0\n"
+        )
+        lines = [f.line for f in only_rule(findings_for(source), "RL002")]
+        assert lines == [3, 5]
+
+    def test_no_grad_block_clean(self):
+        source = (
+            "from repro.nn import no_grad\n"
+            "__all__ = []\n"
+            "def step(p):\n"
+            "    with no_grad():\n"
+            "        p.data -= 0.1 * p.grad\n"
+        )
+        assert not only_rule(findings_for(source), "RL002")
+
+    def test_qualified_no_grad_block_clean(self):
+        source = (
+            "from repro import nn\n"
+            "__all__ = []\n"
+            "def step(p):\n"
+            "    with nn.no_grad():\n"
+            "        p.data -= 0.1\n"
+        )
+        assert not only_rule(findings_for(source), "RL002")
+
+    def test_init_constructor_exempt(self):
+        source = (
+            "__all__ = []\n"
+            "class T:\n"
+            "    def __init__(self, data):\n"
+            "        self.data = data\n"
+        )
+        assert not only_rule(findings_for(source), "RL002")
+
+    def test_nested_function_inside_no_grad_not_exempt(self):
+        # The with-block wraps the *definition*, not the call: the closure
+        # body may run long after no_grad() exited.
+        source = (
+            "from repro.nn import no_grad\n"
+            "__all__ = []\n"
+            "def outer(p):\n"
+            "    with no_grad():\n"
+            "        def later():\n"
+            "            p.data += 1\n"
+            "        return later\n"
+        )
+        assert only_rule(findings_for(source), "RL002")
+
+
+BACKWARD_TEMPLATE = """\
+__all__ = []
+
+def multiply(a, b):
+    out_data = a.data * b.data
+
+    def backward(grad):
+{body}
+
+    return Tensor._make(out_data, (a, b), backward)
+"""
+
+
+class TestRL003Unbroadcast:
+    def test_missing_unbroadcast_flagged(self):
+        source = BACKWARD_TEMPLATE.format(
+            body="        a._accumulate(grad * b.data)\n"
+            "        b._accumulate(unbroadcast(grad * a.data, b.shape))"
+        )
+        [finding] = only_rule(findings_for(source), "RL003")
+        assert finding.line == 7
+        assert "unbroadcast" in finding.message
+
+    def test_unbroadcast_on_both_parents_clean(self):
+        source = BACKWARD_TEMPLATE.format(
+            body="        a._accumulate(unbroadcast(grad * b.data, a.shape))\n"
+            "        b._accumulate(unbroadcast(grad * a.data, b.shape))"
+        )
+        assert not only_rule(findings_for(source), "RL003")
+
+    def test_single_parent_op_exempt(self):
+        source = (
+            "__all__ = []\n"
+            "def exp(x):\n"
+            "    out_data = np.exp(x.data)\n"
+            "    def backward(grad):\n"
+            "        x._accumulate(grad * out_data)\n"
+            "    return Tensor._make(out_data, (x,), backward)\n"
+        )
+        assert not only_rule(findings_for(source), "RL003")
+
+    def test_sequence_parents_with_slice_clean(self):
+        # concat-style: parents arrive as a list variable, gradients are
+        # slices of grad — no broadcasting possible, allowed.
+        source = (
+            "__all__ = []\n"
+            "def concat(tensors):\n"
+            "    out_data = join(tensors)\n"
+            "    def backward(grad):\n"
+            "        for t in tensors:\n"
+            "            t._accumulate(grad[0:1])\n"
+            "    return Tensor._make(out_data, tensors, backward)\n"
+        )
+        assert not only_rule(findings_for(source), "RL003")
+
+    def test_grad_inplace_mutation_flagged(self):
+        source = BACKWARD_TEMPLATE.format(
+            body="        grad *= 2\n"
+            "        a._accumulate(unbroadcast(grad, a.shape))\n"
+            "        b._accumulate(unbroadcast(grad, b.shape))"
+        )
+        [finding] = only_rule(findings_for(source), "RL003")
+        assert "in-place mutation" in finding.message
+
+
+class TestRL004BareExcept:
+    def test_bare_except_flagged(self):
+        source = (
+            "__all__ = []\n"
+            "def risky():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except:\n"
+            "        pass\n"
+        )
+        [finding] = only_rule(findings_for(source), "RL004")
+        assert finding.line == 5
+
+    def test_typed_except_clean(self):
+        source = (
+            "__all__ = []\n"
+            "def risky():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except ValueError:\n"
+            "        pass\n"
+        )
+        assert not only_rule(findings_for(source), "RL004")
+
+
+class TestRL005MissingAll:
+    def test_module_without_all_flagged(self):
+        [finding] = only_rule(findings_for("x = 1\n", "src/repro/foo.py"), "RL005")
+        assert finding.line == 1
+        assert finding.severity is Severity.WARNING
+
+    def test_module_with_all_clean(self):
+        assert not findings_for("__all__ = ['x']\nx = 1\n", "src/repro/foo.py")
+
+    def test_test_and_bench_paths_exempt(self):
+        for path in ("tests/test_foo.py", "benchmarks/bench_foo.py", "examples/demo.py"):
+            assert not only_rule(findings_for("x = 1\n", path), "RL005")
+
+    def test_main_and_conftest_exempt(self):
+        for path in ("src/repro/__main__.py", "src/conftest.py"):
+            assert not only_rule(findings_for("x = 1\n", path), "RL005")
+
+
+class TestSuppression:
+    def test_line_level_disable(self):
+        source = (
+            "import numpy as np\n"
+            "__all__ = []\n"
+            "rng = np.random.default_rng()  # repro-lint: disable=RL001\n"
+        )
+        assert not findings_for(source)
+
+    def test_line_level_disable_wrong_rule_keeps_finding(self):
+        source = (
+            "import numpy as np\n"
+            "__all__ = []\n"
+            "rng = np.random.default_rng()  # repro-lint: disable=RL004\n"
+        )
+        assert only_rule(findings_for(source), "RL001")
+
+    def test_file_level_disable(self):
+        source = (
+            "# repro-lint: disable-file=RL005\n"
+            "x = 1\n"
+        )
+        assert not findings_for(source, "src/repro/foo.py")
+
+    def test_disable_all_keyword(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.random.rand()  # repro-lint: disable=all\n"
+        )
+        assert not only_rule(findings_for(source), "RL001")
+
+
+class TestDriver:
+    def test_planted_fixture_file_reports_all_rules(self, tmp_path):
+        """One file violating RL001–RL005 at known lines, via the public API."""
+        fixture = tmp_path / "planted.py"
+        fixture.write_text(
+            "import numpy as np\n"  # 1
+            "\n"  # 2  (no __all__ -> RL005 at line 1)
+            "def sample():\n"  # 3
+            "    return np.random.rand(4)\n"  # 4  RL001
+            "\n"
+            "def clobber(p):\n"  # 6
+            "    p.data += 1\n"  # 7  RL002
+            "\n"
+            "def mul(a, b):\n"  # 9
+            "    out = a.data * b.data\n"  # 10
+            "    def backward(grad):\n"  # 11
+            "        a._accumulate(grad * b.data)\n"  # 12  RL003
+            "    return Tensor._make(out, (a, b), backward)\n"  # 13
+            "\n"
+            "def swallow():\n"  # 15
+            "    try:\n"  # 16
+            "        mul(1, 2)\n"  # 17
+            "    except:\n"  # 18  RL004
+            "        pass\n"  # 19
+        )
+        result = lint_paths([tmp_path])
+        located = {(f.rule, f.line) for f in result.findings}
+        assert located == {
+            ("RL001", 4),
+            ("RL002", 7),
+            ("RL003", 12),
+            ("RL004", 18),
+            ("RL005", 1),
+        }
+        assert all(str(fixture) == f.path for f in result.findings)
+        assert result.exit_code() == 1
+
+    def test_select_restricts_rules(self, tmp_path):
+        fixture = tmp_path / "planted.py"
+        fixture.write_text("import numpy as np\nx = np.random.rand()\n")
+        result = lint_paths([fixture], select=["RL004"])
+        assert not result.findings
+
+    def test_unknown_select_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="RL999"):
+            lint_paths([tmp_path], select=["RL999"])
+
+    def test_missing_path_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no_such"):
+            lint_paths([tmp_path / "no_such"])
+
+    def test_syntax_error_is_parse_failure(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        result = lint_paths([bad])
+        assert result.parse_failures
+        assert result.exit_code() == 1
+
+    def test_warning_only_affects_exit_in_strict_mode(self):
+        result = lint_source("x = 1\n", "src/repro/foo.py")
+        assert result.warnings and not result.errors
+        assert result.exit_code() == 0
+        assert result.exit_code(strict=True) == 1
+
+    def test_cli_reports_rule_and_location(self, tmp_path):
+        fixture = tmp_path / "planted.py"
+        fixture.write_text("import numpy as np\n__all__ = []\nx = np.random.rand()\n")
+        process = subprocess.run(
+            [sys.executable, "-m", "repro.analysis.lint", str(fixture)],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(SRC_ROOT), "PATH": "/usr/bin:/bin"},
+        )
+        assert process.returncode == 1
+        assert f"{fixture}:3:4: RL001" in process.stdout
+
+    def test_rule_ids_are_stable(self):
+        assert rule_ids() == ["RL001", "RL002", "RL003", "RL004", "RL005"]

@@ -1,0 +1,214 @@
+"""Tape sanitizer tests: op-level attribution, drift detection, zero
+overhead on the default path, and the KGAG training-step integration."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import TapeAnomalyError, TapeSanitizer, sanitizer_active
+from repro.analysis.sanitizer import _PRISTINE_ACCUMULATE, _PRISTINE_MAKE
+from repro.core import KGAG, KGAGConfig, KGAGTrainer
+from repro.data import MovieLensLikeConfig, movielens_like, split_interactions
+from repro.nn import Tensor, no_grad
+from repro.nn import ops
+
+
+# These tests feed log(0) and 0/0 to ops on purpose; numpy's warnings
+# about it are the expected signal, not noise worth surfacing.
+@pytest.mark.filterwarnings("ignore::RuntimeWarning")
+class TestOpAttribution:
+    def test_injected_log_zero_pinpointed_to_log(self):
+        """log(0) -> -inf is reported at Tensor.log, not at the loss."""
+        x = Tensor([1.0, 0.0, 2.0], requires_grad=True)
+        with TapeSanitizer() as tape:
+            with pytest.raises(TapeAnomalyError) as excinfo:
+                # A deep chain after the bad op: attribution must still
+                # name log, the op that *produced* the non-finite value.
+                ((x.log() * 3.0) + 1.0).sum()
+        anomaly = excinfo.value.anomaly
+        assert anomaly.kind == "non-finite-forward"
+        assert "log" in anomaly.op
+        assert "tensor.py" in anomaly.location
+        assert tape.anomalies == [anomaly]
+
+    def test_nan_from_division_pinpointed(self):
+        x = Tensor([0.0], requires_grad=True)
+        y = Tensor([0.0])
+        with TapeSanitizer():
+            with pytest.raises(TapeAnomalyError) as excinfo:
+                x / y
+        assert "truediv" in excinfo.value.anomaly.op
+
+    def test_collect_mode_does_not_raise(self):
+        x = Tensor([0.0, 1.0], requires_grad=True)
+        with TapeSanitizer(raise_on_anomaly=False) as tape:
+            x.log()
+            x.log()
+        kinds = [a.kind for a in tape.anomalies]
+        assert kinds.count("non-finite-forward") == 2
+
+    def test_non_finite_gradient_reported_at_backward_closure(self):
+        x = Tensor([0.5, 1.0], requires_grad=True)
+        out = x.log()  # forward is finite
+        with no_grad():
+            x.data[0] = 0.0  # poison the captured array before backward
+        with TapeSanitizer(raise_on_anomaly=False) as tape:
+            out.sum().backward()
+        grads = [a for a in tape.anomalies if a.kind == "non-finite-grad"]
+        assert grads and any("log" in a.op for a in grads)
+
+    def test_finite_graph_is_silent(self):
+        x = Tensor(np.linspace(0.1, 1.0, 10), requires_grad=True)
+        with TapeSanitizer() as tape:
+            (x.log().exp() * x).sum().backward()
+        assert tape.anomalies == []
+
+
+class TestDriftAndShape:
+    def test_dtype_drift_recorded_as_warning(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        x.data = x.data.astype(np.float32)  # repro-lint: disable=RL002
+        with TapeSanitizer() as tape:
+            x * x
+        drift = [a for a in tape.anomalies if a.kind == "dtype-drift"]
+        assert drift and drift[0].severity == "warning"
+        assert "float32" in drift[0].message
+
+    def test_grad_shape_mismatch_flagged(self):
+        target = Tensor(np.zeros((3,)), requires_grad=True)
+        with TapeSanitizer(raise_on_anomaly=False) as tape:
+            target._accumulate(np.ones((2, 3)))  # a missing unbroadcast
+        kinds = [a.kind for a in tape.anomalies]
+        assert "grad-shape-mismatch" in kinds
+        assert "unbroadcast" in tape.anomalies[0].message
+
+    def test_untouched_parameter_reported(self):
+        used = Tensor([1.0], requires_grad=True, name="used")
+        idle = Tensor([1.0], requires_grad=True, name="idle")
+        with TapeSanitizer() as tape:
+            (used * 2.0).sum().backward()
+        found = tape.check_parameters([("used", used), ("idle", idle)])
+        assert [a.op for a in found] == ["idle"]
+        assert all(a.severity == "warning" for a in found)
+        assert "untouched" in tape.summary() or "idle" in tape.summary()
+
+
+class TestZeroOverheadWhenDisabled:
+    def test_default_path_is_pristine_identity(self):
+        """No wrapping outside the context: the benchmark-smoke assertion.
+
+        The hot path's cost model is 'zero overhead when disabled'; the
+        strongest cheap check is identity — the class attributes ARE the
+        original staticmethod/function objects captured at import, so the
+        default path executes the exact original code objects.
+        """
+        assert not sanitizer_active()
+        assert Tensor.__dict__["_make"] is _PRISTINE_MAKE
+        assert Tensor.__dict__["_accumulate"] is _PRISTINE_ACCUMULATE
+        with TapeSanitizer():
+            assert sanitizer_active()
+            assert Tensor.__dict__["_make"] is not _PRISTINE_MAKE
+        assert not sanitizer_active()
+        assert Tensor.__dict__["_make"] is _PRISTINE_MAKE
+        assert Tensor.__dict__["_accumulate"] is _PRISTINE_ACCUMULATE
+
+    def test_restored_even_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with TapeSanitizer():
+                raise RuntimeError("boom")
+        assert Tensor.__dict__["_make"] is _PRISTINE_MAKE
+        assert Tensor.__dict__["_accumulate"] is _PRISTINE_ACCUMULATE
+
+    def test_nested_contexts_restore_in_order(self):
+        with TapeSanitizer(raise_on_anomaly=False) as outer:
+            with TapeSanitizer() as inner:
+                assert sanitizer_active()
+            # Inner exit keeps the outer sanitizer active and patched.
+            assert sanitizer_active()
+            assert Tensor.__dict__["_make"] is not _PRISTINE_MAKE
+            Tensor([np.inf])._make(np.array([np.inf]), (), lambda g: None)
+        assert not sanitizer_active()
+        assert Tensor.__dict__["_make"] is _PRISTINE_MAKE
+        assert outer.anomalies  # the inf op was charged to the outer context
+
+    def test_results_identical_with_and_without_sanitizer(self):
+        def compute():
+            x = Tensor(np.linspace(0.5, 2.0, 8), requires_grad=True)
+            loss = (x.sigmoid() * x.tanh()).sum()
+            loss.backward()
+            return loss.item(), x.grad.copy()
+
+        plain_loss, plain_grad = compute()
+        with TapeSanitizer():
+            sanitized_loss, sanitized_grad = compute()
+        assert plain_loss == sanitized_loss
+        np.testing.assert_array_equal(plain_grad, sanitized_grad)
+
+
+@pytest.fixture(scope="module")
+def tiny_training_setup():
+    config = KGAGConfig(
+        embedding_dim=8,
+        num_layers=1,
+        num_neighbors=3,
+        epochs=1,
+        batch_size=64,
+        patience=0,
+        seed=0,
+    )
+    dataset = movielens_like(
+        "rand",
+        MovieLensLikeConfig(num_users=30, num_items=40, num_groups=12, seed=0),
+    )
+    split = split_interactions(dataset.group_item, rng=np.random.default_rng(0))
+    return config, dataset, split
+
+
+def build_trainer(config, dataset, split, sanitize):
+    model = KGAG(
+        dataset.kg,
+        dataset.num_users,
+        dataset.num_items,
+        dataset.user_item.pairs,
+        dataset.groups,
+        config,
+    )
+    return KGAGTrainer(
+        model, split.train, dataset.user_item, split.validation, sanitize=sanitize
+    )
+
+
+class TestTrainerIntegration:
+    def test_sanitized_training_step_runs_clean(self, tiny_training_setup):
+        config, dataset, split = tiny_training_setup
+        trainer = build_trainer(config, dataset, split, sanitize=True)
+        loss = trainer.train_epoch()
+        assert np.isfinite(loss)
+        assert trainer.untouched_parameters == []
+        # The context exited: the default path is pristine again.
+        assert Tensor.__dict__["_make"] is _PRISTINE_MAKE
+
+    def test_injected_nan_during_training_names_producing_op(
+        self, tiny_training_setup
+    ):
+        """Acceptance: a NaN injected into a KGAG training step raises at
+        the op that produced it, naming that op."""
+        config, dataset, split = tiny_training_setup
+        trainer = build_trainer(config, dataset, split, sanitize=True)
+        # Poison one entity embedding row: the first propagation gather
+        # that touches it produces the non-finite output.
+        weight = trainer.model.propagation.entity_embedding.weight
+        with no_grad():
+            weight.data[0, 0] = np.nan
+        with pytest.raises(TapeAnomalyError) as excinfo:
+            trainer.train_epoch()
+        anomaly = excinfo.value.anomaly
+        assert anomaly.kind in ("non-finite-forward", "non-finite-grad")
+        assert anomaly.op  # names the producing op
+        assert Tensor.__dict__["_make"] is _PRISTINE_MAKE  # cleaned up
+
+    def test_unsanitized_trainer_never_patches(self, tiny_training_setup):
+        config, dataset, split = tiny_training_setup
+        trainer = build_trainer(config, dataset, split, sanitize=False)
+        trainer.train_epoch()
+        assert Tensor.__dict__["_make"] is _PRISTINE_MAKE
+        assert Tensor.__dict__["_accumulate"] is _PRISTINE_ACCUMULATE

@@ -9,7 +9,7 @@ from repro.core.propagation import (
     InformationPropagation,
 )
 from repro.kg import NeighborSampler, chain_kg, random_kg, star_kg
-from repro.nn import Tensor
+from repro.nn import Tensor, no_grad
 
 RNG = np.random.default_rng(0)
 
@@ -158,7 +158,8 @@ class TestPropagation:
         seeds = np.array([0])
         query = Tensor(np.ones((1, 6)))
         before = block(seeds, query, sampler).data.copy()
-        block.entity_embedding.weight.data[1] += 1.0  # neighbor of 0
+        with no_grad():
+            block.entity_embedding.weight.data[1] += 1.0  # neighbor of 0
         after = block(seeds, query, sampler).data
         assert not np.allclose(before, after)
 
@@ -169,7 +170,8 @@ class TestPropagation:
         for layers, expect_change in ((1, False), (2, True)):
             block, sampler = make_block(kg, layers=layers, k=1, seed=0)
             before = block(np.array([0]), query, sampler).data.copy()
-            block.entity_embedding.weight.data[2] += 5.0  # 2 hops from 0
+            with no_grad():
+                block.entity_embedding.weight.data[2] += 5.0  # 2 hops from 0
             after = block(np.array([0]), query, sampler).data
             changed = not np.allclose(before, after)
             assert changed == expect_change, f"H={layers}"

@@ -41,7 +41,8 @@ class TestConstruction:
     def test_copy_is_deep(self):
         x = Tensor([1.0, 2.0])
         y = x.copy()
-        y.data[0] = 99.0
+        with no_grad():
+            y.data[0] = 99.0
         assert x.data[0] == 1.0
 
 

@@ -14,6 +14,13 @@ import repro
 
 PUBLIC_MODULES = [
     "repro",
+    "repro.rng",
+    "repro.analysis",
+    "repro.analysis.rules",
+    "repro.analysis.lint",
+    "repro.analysis.sanitizer",
+    "repro.analysis.graph",
+    "repro.analysis.report",
     "repro.nn",
     "repro.nn.tensor",
     "repro.nn.ops",

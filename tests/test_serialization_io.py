@@ -6,7 +6,7 @@ import pytest
 from repro.core import KGAG, KGAGConfig
 from repro.data import MovieLensLikeConfig, YelpLikeConfig, movielens_like, yelp_like
 from repro.data.io import load_dataset, save_dataset
-from repro.nn import Linear, Module, Parameter
+from repro.nn import Linear, Module, Parameter, no_grad
 from repro.nn.serialization import CheckpointError, load_checkpoint, save_checkpoint
 
 
@@ -100,7 +100,8 @@ class TestCheckpoint:
             dataset.kg, dataset.num_users, dataset.num_items,
             dataset.user_item.pairs, dataset.groups, config,
         )
-        fresh.propagation.entity_embedding.weight.data += 1.0  # clobber init
+        with no_grad():
+            fresh.propagation.entity_embedding.weight.data += 1.0  # clobber init
         load_checkpoint(fresh, path)
         after = fresh.group_item_scores([0, 1], [2, 3]).data
         np.testing.assert_allclose(before, after)
