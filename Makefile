@@ -3,7 +3,7 @@
 PYTHON ?= python
 PROFILE ?= default
 
-.PHONY: install dev test lint analysis-report bench bench-calibrated examples experiments clean
+.PHONY: install dev test lint analysis-report bench bench-calibrated serve-smoke examples experiments clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -25,6 +25,9 @@ bench:
 
 bench-calibrated:
 	REPRO_BENCH_PROFILE=$(PROFILE) $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.serve.smoke
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -19,6 +19,16 @@ Subcommands
 
     python -m repro recommend --data data/rand --checkpoint models/kgag.npz \
         --group 0 -k 5 --explain
+    python -m repro recommend --index models/kgag.index.npz --group 0 -k 5
+
+``build-index`` freeze a checkpoint into a serving index::
+
+    python -m repro build-index --data data/rand --checkpoint models/kgag.npz \
+        --out models/kgag.index.npz
+
+``serve`` answer recommendation requests over HTTP::
+
+    python -m repro serve --index models/kgag.index.npz --port 8080
 
 ``experiment`` regenerate a paper table/figure::
 
@@ -107,12 +117,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     # recommend ----------------------------------------------------------------
     recommend = subparsers.add_parser("recommend", help="top-k for one group")
-    recommend.add_argument("--data", required=True)
-    recommend.add_argument("--checkpoint", required=True)
+    recommend.add_argument("--data", help="dataset directory (with --checkpoint)")
+    recommend.add_argument("--checkpoint", help="model checkpoint (.npz)")
+    recommend.add_argument(
+        "--index", help="prebuilt serving index (.npz); answers without the model"
+    )
     recommend.add_argument("--group", type=int, required=True)
     recommend.add_argument("-k", type=int, default=5)
     recommend.add_argument("--explain", action="store_true")
     recommend.add_argument("--seed", type=int, default=0, help="split seed")
+
+    # build-index ----------------------------------------------------------------
+    build_index = subparsers.add_parser(
+        "build-index", help="freeze a checkpoint into a serving index"
+    )
+    build_index.add_argument("--data", required=True)
+    build_index.add_argument("--checkpoint", required=True)
+    build_index.add_argument("--out", required=True, help="index path (.npz)")
+    build_index.add_argument("--seed", type=int, default=0, help="split seed")
+
+    # serve ----------------------------------------------------------------
+    serve = subparsers.add_parser("serve", help="HTTP recommendation API")
+    serve.add_argument("--index", help="prebuilt serving index (.npz)")
+    serve.add_argument("--data", help="dataset directory (to build an index)")
+    serve.add_argument("--checkpoint", help="model checkpoint (to build an index)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--cache-size", type=int, default=256)
+    serve.add_argument("--deadline-ms", type=float, default=250.0)
+    serve.add_argument("--batch-wait-ms", type=float, default=2.0)
+    serve.add_argument("--seed", type=int, default=0, help="split seed")
 
     # experiment ----------------------------------------------------------------
     experiment = subparsers.add_parser("experiment", help="regenerate a paper result")
@@ -244,11 +278,35 @@ def _cmd_evaluate(args) -> int:
 
 
 def _cmd_recommend(args) -> int:
-    dataset, split, model = _restore(args)
-    recommender = GroupRecommender(model, split.train)
-    members = dataset.groups[args.group].tolist()
+    import time
+
+    if args.index:
+        from .serve import EmbeddingIndex
+
+        load_start = time.perf_counter()
+        index = EmbeddingIndex.load(args.index)
+        recommender = GroupRecommender(None, index=index)
+        members = index.group_members[args.group].tolist()
+        path_label = f"index {index.version}"
+        load_ms = (time.perf_counter() - load_start) * 1000.0
+    elif args.data and args.checkpoint:
+        load_start = time.perf_counter()
+        dataset, split, model = _restore(args)
+        recommender = GroupRecommender(model, split.train)
+        members = dataset.groups[args.group].tolist()
+        path_label = "full model"
+        load_ms = (time.perf_counter() - load_start) * 1000.0
+    else:
+        print(
+            "recommend needs either --index or both --data and --checkpoint",
+            file=sys.stderr,
+        )
+        return 2
+    score_start = time.perf_counter()
+    recommendations = recommender.recommend(args.group, k=args.k)
+    score_ms = (time.perf_counter() - score_start) * 1000.0
     print(f"group {args.group} (members {members}):")
-    for rank, rec in enumerate(recommender.recommend(args.group, k=args.k), start=1):
+    for rank, rec in enumerate(recommendations, start=1):
         print(f"  #{rank}: item {rec.item}  p={rec.probability:.4f}")
         if args.explain:
             explanation = recommender.explain(args.group, rec.item)
@@ -258,6 +316,60 @@ def _cmd_recommend(args) -> int:
                     f"(SP {influence.self_persistence:+.3f}, "
                     f"PI {influence.peer_influence:+.3f})"
                 )
+    print(
+        f"timing: load {load_ms:.1f} ms, scoring {score_ms:.1f} ms ({path_label})"
+    )
+    return 0
+
+
+def _cmd_build_index(args) -> int:
+    import time
+
+    from .serve import build_index
+
+    dataset, split, model = _restore(args)
+    start = time.perf_counter()
+    index = build_index(
+        model, train_interactions=split.train, user_interactions=dataset.user_item
+    )
+    build_ms = (time.perf_counter() - start) * 1000.0
+    path = index.save(args.out)
+    print(f"index written to {path} (built in {build_ms:.1f} ms)")
+    print(json.dumps(index.describe(), indent=2))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serve import EmbeddingIndex, RecommendationServer, RecommendationService, build_index
+
+    if args.index:
+        index = EmbeddingIndex.load(args.index)
+    elif args.data and args.checkpoint:
+        dataset, split, model = _restore(args)
+        index = build_index(
+            model, train_interactions=split.train, user_interactions=dataset.user_item
+        )
+    else:
+        print(
+            "serve needs either --index or both --data and --checkpoint",
+            file=sys.stderr,
+        )
+        return 2
+    service = RecommendationService(
+        index,
+        cache_capacity=args.cache_size,
+        deadline_ms=args.deadline_ms,
+        batch_wait_ms=args.batch_wait_ms,
+    )
+    server = RecommendationServer(service, host=args.host, port=args.port)
+    print(
+        f"serving index {index.version} on {server.url} "
+        f"(/recommend /explain /healthz /stats; Ctrl-C to stop)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
     return 0
 
 
@@ -282,6 +394,10 @@ def main(argv=None) -> int:
         return _cmd_evaluate(args)
     if args.command == "recommend":
         return _cmd_recommend(args)
+    if args.command == "build-index":
+        return _cmd_build_index(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     raise AssertionError(f"unhandled command {args.command!r}")

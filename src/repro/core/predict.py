@@ -77,20 +77,56 @@ class GroupRecommender:
     Parameters
     ----------
     model:
-        A trained model.
+        A trained model.  May be ``None`` when ``index`` is given: every
+        operation then runs from the frozen index alone.
     train_interactions:
-        Known group positives to exclude from recommendations.
+        Known group positives to exclude from recommendations.  When
+        omitted but an ``index`` is given, the exclusion mask frozen into
+        the index is used instead.
+    index:
+        Optional :class:`~repro.serve.index.EmbeddingIndex`.  When set,
+        scoring and explanation delegate to the tape-free
+        :class:`~repro.serve.engine.RankingEngine` (bit-exact with the
+        model path) instead of re-running the autograd forward.
     """
 
-    def __init__(self, model: KGAG, train_interactions: InteractionTable | None = None):
+    def __init__(
+        self,
+        model: KGAG | None,
+        train_interactions: InteractionTable | None = None,
+        index=None,
+    ):
+        if model is None and index is None:
+            raise ValueError("need a model, an index, or both")
         self.model = model
         self.train_interactions = train_interactions
+        self.index = index
+        self._engine = None
+        if index is not None:
+            from ..serve.engine import RankingEngine  # deferred import
+
+            self._engine = RankingEngine(index)
+
+    def _seen_items(self, group_id: int) -> np.ndarray:
+        if self.train_interactions is not None:
+            return self.train_interactions.items_of(int(group_id))
+        if self.index is not None:
+            return self.index.seen_items(int(group_id))
+        return np.zeros(0, dtype=np.int64)
+
+    def _require_model(self) -> KGAG:
+        if self.model is None:
+            raise ValueError("this GroupRecommender was built without a model")
+        return self.model
 
     def score(self, group_ids, item_ids) -> np.ndarray:
         """Raw ŷ scores for aligned id arrays."""
-        self.model.eval()
+        if self._engine is not None:
+            return self._engine.score_pairs(group_ids, item_ids)
+        model = self._require_model()
+        model.eval()
         with no_grad():
-            return self.model.group_item_scores(group_ids, item_ids).numpy()
+            return model.group_item_scores(group_ids, item_ids).numpy()
 
     def recommend(
         self, group_id: int, k: int = 5, exclude_seen: bool = True
@@ -98,15 +134,19 @@ class GroupRecommender:
         """Top-k items for one group, best first."""
         if k <= 0:
             raise ValueError("k must be positive")
-        self.model.eval()
-        with no_grad():
-            scores = score_all_items(
-                lambda g, v: self.model.group_item_scores(g, v).numpy(),
-                np.array([group_id]),
-                self.model.num_items,
-            )[int(group_id)]
-        if exclude_seen and self.train_interactions is not None:
-            seen = self.train_interactions.items_of(int(group_id))
+        if self._engine is not None:
+            scores = self._engine.scores_for_group(int(group_id))
+        else:
+            model = self._require_model()
+            model.eval()
+            with no_grad():
+                scores = score_all_items(
+                    lambda g, v: model.group_item_scores(g, v).numpy(),
+                    np.array([group_id]),
+                    model.num_items,
+                )[int(group_id)]
+        if exclude_seen:
+            seen = self._seen_items(group_id)
             if len(seen):
                 scores = scores.copy()
                 scores[seen] = -np.inf
@@ -123,9 +163,13 @@ class GroupRecommender:
 
     def explain(self, group_id: int, item_id: int) -> Explanation:
         """Attention-based explanation for one candidate (Fig. 6)."""
-        self.model.eval()
-        with no_grad():
-            raw = self.model.explain(group_id, item_id)
+        if self._engine is not None:
+            raw = self._engine.explain(group_id, item_id)
+        else:
+            model = self._require_model()
+            model.eval()
+            with no_grad():
+                raw = model.explain(group_id, item_id)
         influences = [
             MemberInfluence(
                 user=int(user),

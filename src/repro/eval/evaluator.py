@@ -30,25 +30,52 @@ def score_all_items(
     group_ids: np.ndarray,
     num_items: int,
     chunk_size: int = 4096,
+    index=None,
 ) -> dict[int, np.ndarray]:
     """Score every item for every group, chunked to bound memory.
+
+    The ``(group, item)`` id pairs are generated per chunk (groups-major,
+    items-minor), so peak working memory is ``O(chunk_size)`` plus the
+    returned score matrix — the full cross-product index arrays are never
+    materialized.
+
+    Parameters
+    ----------
+    index:
+        Optional prebuilt serving index — either a
+        :class:`~repro.serve.index.EmbeddingIndex` or a
+        :class:`~repro.serve.engine.RankingEngine`.  When given, scoring
+        reads the frozen propagation arrays instead of re-running the
+        model per chunk (``scorer`` is ignored), so the GCN extraction
+        happens once per index, not once per evaluation.
 
     Returns ``{group_id: (num_items,) score vector}``.
     """
     group_ids = np.unique(np.asarray(group_ids, dtype=np.int64))
-    all_items = np.arange(num_items, dtype=np.int64)
-    results: dict[int, np.ndarray] = {}
-    pending_groups = np.repeat(group_ids, num_items)
-    pending_items = np.tile(all_items, len(group_ids))
-    scores = np.empty(len(pending_groups), dtype=np.float64)
-    for start in range(0, len(pending_groups), chunk_size):
-        stop = start + chunk_size
+    if index is not None:
+        engine = _as_engine(index, chunk_size)
+        matrix = engine.scores_for_groups(group_ids)
+        return {int(group): matrix[row] for row, group in enumerate(group_ids)}
+    scores = np.empty(len(group_ids) * num_items, dtype=np.float64)
+    for start in range(0, len(scores), chunk_size):
+        stop = min(start + chunk_size, len(scores))
+        flat = np.arange(start, stop, dtype=np.int64)
         scores[start:stop] = np.asarray(
-            scorer(pending_groups[start:stop], pending_items[start:stop])
+            scorer(group_ids[flat // num_items], flat % num_items)
         )
-    for index, group in enumerate(group_ids):
-        results[int(group)] = scores[index * num_items : (index + 1) * num_items]
-    return results
+    return {
+        int(group): scores[row * num_items : (row + 1) * num_items]
+        for row, group in enumerate(group_ids)
+    }
+
+
+def _as_engine(index, chunk_size: int):
+    """Accept an EmbeddingIndex or a ready RankingEngine."""
+    if hasattr(index, "scores_for_groups"):
+        return index
+    from ..serve.engine import RankingEngine  # deferred: eval stays light
+
+    return RankingEngine(index, chunk_size=chunk_size)
 
 
 def evaluate_group_recommender(
@@ -57,6 +84,7 @@ def evaluate_group_recommender(
     k: int = 5,
     train_interactions: InteractionTable | None = None,
     chunk_size: int = 4096,
+    index=None,
 ) -> dict[str, float]:
     """hit@k / rec@k of a scorer on a test split.
 
@@ -70,12 +98,15 @@ def evaluate_group_recommender(
         If given, items the group already interacted with in training are
         masked to -inf before ranking (standard protocol: do not
         re-recommend known positives).
+    index:
+        Optional prebuilt serving index / engine; see
+        :func:`score_all_items`.
     """
     if test_interactions.num_interactions == 0:
         raise ValueError("test split is empty")
     groups = np.unique(test_interactions.pairs[:, 0])
     scores_by_group = score_all_items(
-        scorer, groups, test_interactions.num_cols, chunk_size=chunk_size
+        scorer, groups, test_interactions.num_cols, chunk_size=chunk_size, index=index
     )
     if train_interactions is not None:
         for group in groups:

@@ -150,6 +150,14 @@ class NeighborSampler:
         """Rows a relation embedding table needs (relations + self-loop)."""
         return max(self.kg.num_relations, self.self_relation) + 1
 
+    def neighbor_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        """The frozen ``(entities, relations)`` tables, both ``(E, K)``.
+
+        Exposed so the serving index can freeze the exact neighborhoods
+        the model was trained with (read-only copies).
+        """
+        return self._neighbor_entities.copy(), self._neighbor_relations.copy()
+
     def sampled_neighbors(self, entities) -> tuple[np.ndarray, np.ndarray]:
         """``(neighbor_entities, neighbor_relations)`` for an id array.
 

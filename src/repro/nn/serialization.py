@@ -19,13 +19,48 @@ import numpy as np
 
 from .module import Module
 
-__all__ = ["save_checkpoint", "load_checkpoint", "CheckpointError"]
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "CheckpointError",
+    "METADATA_KEY",
+    "pack_metadata",
+    "unpack_metadata",
+    "resolve_npz_path",
+]
 
-_METADATA_KEY = "__checkpoint_metadata__"
+METADATA_KEY = "__checkpoint_metadata__"
+_METADATA_KEY = METADATA_KEY  # backwards-compatible alias
 
 
 class CheckpointError(RuntimeError):
     """Raised when a checkpoint cannot be loaded into the given module."""
+
+
+def pack_metadata(metadata: dict) -> np.ndarray:
+    """Encode a JSON-serializable metadata dict as a uint8 array.
+
+    Shared by module checkpoints and the serving-layer index artifact so
+    every ``.npz`` the project writes carries its metadata the same way.
+    """
+    return np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8)
+
+
+def unpack_metadata(archive, key: str = METADATA_KEY) -> dict:
+    """Decode the metadata blob written by :func:`pack_metadata`."""
+    if key not in archive:
+        raise CheckpointError(f"archive has no {key!r} metadata blob")
+    return json.loads(bytes(archive[key].tobytes()).decode("utf-8"))
+
+
+def resolve_npz_path(path: str | Path) -> Path:
+    """Return ``path``, trying an appended ``.npz`` suffix if needed."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    if not path.exists():
+        raise FileNotFoundError(path)
+    return path
 
 
 def _config_to_dict(config) -> dict | None:
@@ -55,9 +90,7 @@ def save_checkpoint(module: Module, path: str | Path, config=None) -> Path:
         "parameters": sorted(state),
     }
     arrays = dict(state)
-    arrays[_METADATA_KEY] = np.frombuffer(
-        json.dumps(metadata).encode("utf-8"), dtype=np.uint8
-    )
+    arrays[_METADATA_KEY] = pack_metadata(metadata)
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez(path, **arrays)
     return path
@@ -74,15 +107,11 @@ def load_checkpoint(
         If True (default), refuse to load a checkpoint written by a
         different model class.
     """
-    path = Path(path)
-    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
-        path = path.with_suffix(path.suffix + ".npz")
-    if not path.exists():
-        raise FileNotFoundError(path)
+    path = resolve_npz_path(path)
     with np.load(path) as archive:
         if _METADATA_KEY not in archive:
             raise CheckpointError(f"{path} is not a repro checkpoint (no metadata)")
-        metadata = json.loads(bytes(archive[_METADATA_KEY].tobytes()).decode("utf-8"))
+        metadata = unpack_metadata(archive)
         state = {name: archive[name] for name in archive.files if name != _METADATA_KEY}
     if strict_class and metadata.get("model_class") != type(module).__name__:
         raise CheckpointError(

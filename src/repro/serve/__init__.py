@@ -1,0 +1,47 @@
+"""repro.serve — batched, cached, fault-tolerant recommendation serving.
+
+The training stack optimizes for gradient fidelity; this package
+optimizes for request latency.  The split follows the KGCN / SIAGR
+serving recipe: freeze the expensive knowledge-graph propagation into an
+offline artifact, keep only the cheap per-request group-attention math
+online.
+
+* :mod:`~repro.serve.index` — :class:`EmbeddingIndex`: the offline
+  artifact (frozen embeddings, weights, neighbor tables; ``.npz`` +
+  metadata + content fingerprint);
+* :mod:`~repro.serve.engine` — :class:`RankingEngine`: tape-free numpy
+  scoring with request micro-batching and seen-item masking;
+* :mod:`~repro.serve.cache` — :class:`ScoreCache`: bounded LRU of
+  per-group score vectors keyed on the index version;
+* :mod:`~repro.serve.fallback` — deadline, circuit breaker and the
+  popularity fallback;
+* :mod:`~repro.serve.server` — the stdlib HTTP JSON API
+  (``/recommend``, ``/explain``, ``/healthz``, ``/stats``);
+* :mod:`~repro.serve.smoke` — the end-to-end smoke check behind
+  ``make serve-smoke``.
+
+Build an index with ``python -m repro build-index`` and serve it with
+``python -m repro serve``; see ``docs/serving.md``.
+"""
+
+from .cache import CacheStats, ScoreCache
+from .engine import MicroBatcher, RankedItem, RankingEngine
+from .fallback import CircuitBreaker, FallbackAnswer, ResilientScorer
+from .index import EmbeddingIndex, build_index
+from .server import RecommendationServer, RecommendationService, ServiceError
+
+__all__ = [
+    "CacheStats",
+    "ScoreCache",
+    "MicroBatcher",
+    "RankedItem",
+    "RankingEngine",
+    "CircuitBreaker",
+    "FallbackAnswer",
+    "ResilientScorer",
+    "EmbeddingIndex",
+    "build_index",
+    "RecommendationServer",
+    "RecommendationService",
+    "ServiceError",
+]

@@ -1,0 +1,129 @@
+"""Bounded LRU cache for per-group score vectors.
+
+Serving traffic is heavily skewed — a few groups account for most
+requests — so caching the full-catalog score vector per group turns the
+common case into a dictionary lookup.  Entries are keyed by
+``(group_id, index_version)``: the version component means a reloaded
+(retrained) index never serves stale scores, and :meth:`ScoreCache.
+invalidate` supports explicit flushes (the server calls it on index
+reload).
+
+The cache is thread-safe (one lock around an ``OrderedDict``) and keeps
+hit/miss/eviction counters for the ``/stats`` endpoint and the serving
+benchmark.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CacheStats", "ScoreCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time cache counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    invalidations: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "size": self.size,
+            "capacity": self.capacity,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class ScoreCache:
+    """LRU cache mapping ``(group_id, index_version)`` to score vectors.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached vectors; the least-recently-used entry
+        is evicted when a put would exceed it.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._store: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    def get(self, key) -> np.ndarray | None:
+        """Cached vector for ``key``, refreshing recency; None on miss."""
+        with self._lock:
+            vector = self._store.get(key)
+            if vector is None:
+                self._misses += 1
+                return None
+            self._store.move_to_end(key)
+            self._hits += 1
+            return vector
+
+    def put(self, key, vector: np.ndarray) -> None:
+        """Insert (or refresh) ``key``; evicts LRU entries beyond capacity.
+
+        The vector is copied and frozen so later mutations by the caller
+        (e.g. ``-inf`` masking before ranking) cannot poison the cache.
+        """
+        frozen = np.asarray(vector, dtype=np.float64).copy()
+        frozen.setflags(write=False)
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+            self._store[key] = frozen
+            while len(self._store) > self.capacity:
+                self._store.popitem(last=False)
+                self._evictions += 1
+
+    def invalidate(self) -> int:
+        """Drop every entry (index reload); returns the count dropped."""
+        with self._lock:
+            dropped = len(self._store)
+            self._store.clear()
+            self._invalidations += 1
+            return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def __contains__(self, key) -> bool:
+        with self._lock:
+            return key in self._store
+
+    def stats(self) -> CacheStats:
+        """Snapshot of the counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                size=len(self._store),
+                capacity=self.capacity,
+            )

@@ -1,0 +1,358 @@
+"""The serving index: frozen model state as plain numpy arrays.
+
+Training needs the autograd tape; serving does not.  An
+:class:`EmbeddingIndex` runs the expensive extraction once over a
+trained :class:`~repro.core.model.KGAG` — zero-order entity/relation
+representations, per-layer aggregator weights, the SP/PI attention
+parameters, the fixed neighbor tables of the sampler, group membership
+and the train-time interacted-item mask — and materializes everything as
+read-only numpy arrays.  When the propagation is query-independent
+(``uniform_neighbor_weights`` or ``num_layers == 0``) the index
+additionally materializes the *final* propagated representation of every
+entity, so online scoring degenerates to gathers plus attention.
+
+The artifact is a single ``.npz`` file with a JSON metadata blob, using
+the same packing helpers as :mod:`repro.nn.serialization`, and carries a
+content fingerprint (``version``) that score caches key on: reloading a
+retrained index changes the version and implicitly invalidates every
+cached score vector.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+import numpy as np
+
+from ..nn.serialization import (
+    CheckpointError,
+    pack_metadata,
+    resolve_npz_path,
+    unpack_metadata,
+)
+
+__all__ = ["INDEX_FORMAT_VERSION", "IndexError_", "EmbeddingIndex", "build_index"]
+
+INDEX_FORMAT_VERSION = 1
+
+_METADATA_KEY = "__index_metadata__"
+
+# Arrays every index must carry (beyond the optional ones).
+_REQUIRED_ARRAYS = (
+    "entity_embeddings",
+    "relation_embeddings",
+    "neighbor_entities",
+    "neighbor_relations",
+    "attn_w_member",
+    "attn_w_peers",
+    "attn_bias",
+    "attn_context",
+    "group_members",
+    "item_entities",
+    "seen_pairs",
+    "item_popularity",
+)
+
+
+class IndexError_(CheckpointError):
+    """Raised when an index artifact is malformed or incompatible.
+
+    (Trailing underscore: the builtin ``IndexError`` is taken.)
+    """
+
+
+class EmbeddingIndex:
+    """Frozen, numpy-only view of a trained KGAG model for serving.
+
+    Parameters
+    ----------
+    arrays:
+        Mapping of array name to ``np.ndarray`` (see module docstring for
+        the catalogue).  Arrays are stored read-only.
+    metadata:
+        JSON-serializable descriptor: format version, model hyper-
+        parameters, counts, and the attention/aggregator switches.
+
+    Use :func:`build_index` (or :meth:`from_model`) rather than the raw
+    constructor.
+    """
+
+    def __init__(self, arrays: dict[str, np.ndarray], metadata: dict):
+        for name in _REQUIRED_ARRAYS:
+            if name not in arrays:
+                raise IndexError_(f"index is missing required array {name!r}")
+        if metadata.get("format_version") != INDEX_FORMAT_VERSION:
+            raise IndexError_(
+                f"unsupported index format version "
+                f"{metadata.get('format_version')!r} "
+                f"(this build reads version {INDEX_FORMAT_VERSION})"
+            )
+        self._arrays = {}
+        for name, array in arrays.items():
+            frozen = np.asarray(array).copy()
+            frozen.setflags(write=False)
+            self._arrays[name] = frozen
+        self.metadata = dict(metadata)
+        self.version = self.metadata.get("fingerprint") or self._fingerprint()
+        self.metadata["fingerprint"] = self.version
+        self._seen_by_group: dict[int, np.ndarray] | None = None
+
+    # -- array accessors -------------------------------------------------
+    def __getattr__(self, name: str) -> np.ndarray:
+        try:
+            return self.__dict__["_arrays"][name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    @property
+    def entity_final(self) -> np.ndarray | None:
+        """Final propagated representations, if query-independent."""
+        return self._arrays.get("entity_final")
+
+    @property
+    def aggregator_layers(self) -> list[tuple[np.ndarray, np.ndarray, str]]:
+        """Per-layer ``(weight, bias, activation)`` of the propagation."""
+        layers = []
+        for i, activation in enumerate(self.metadata["activations"]):
+            layers.append(
+                (self._arrays[f"agg_weight_{i}"], self._arrays[f"agg_bias_{i}"], activation)
+            )
+        return layers
+
+    # -- metadata shorthands ---------------------------------------------
+    @property
+    def dim(self) -> int:
+        return int(self.metadata["embedding_dim"])
+
+    @property
+    def num_layers(self) -> int:
+        return int(self.metadata["num_layers"])
+
+    @property
+    def num_neighbors(self) -> int:
+        return int(self.metadata["num_neighbors"])
+
+    @property
+    def num_users(self) -> int:
+        return int(self.metadata["num_users"])
+
+    @property
+    def num_items(self) -> int:
+        return int(self.metadata["num_items"])
+
+    @property
+    def num_groups(self) -> int:
+        return int(self.group_members.shape[0])
+
+    @property
+    def group_size(self) -> int:
+        return int(self.group_members.shape[1])
+
+    @property
+    def user_entity_offset(self) -> int:
+        return int(self.metadata["user_entity_offset"])
+
+    @property
+    def aggregator(self) -> str:
+        return str(self.metadata["aggregator"])
+
+    @property
+    def uniform_weights(self) -> bool:
+        return bool(self.metadata["uniform_neighbor_weights"])
+
+    @property
+    def use_sp(self) -> bool:
+        return bool(self.metadata["use_sp"])
+
+    @property
+    def use_pi(self) -> bool:
+        return bool(self.metadata["use_pi"])
+
+    @property
+    def pi_pooling(self) -> str:
+        return str(self.metadata["pi_pooling"])
+
+    def seen_items(self, group_id: int) -> np.ndarray:
+        """Items ``group_id`` interacted with at train time (sorted)."""
+        if self._seen_by_group is None:
+            by_group: dict[int, list[int]] = {}
+            for g, v in self.seen_pairs:
+                by_group.setdefault(int(g), []).append(int(v))
+            self._seen_by_group = {
+                g: np.array(sorted(items), dtype=np.int64)
+                for g, items in by_group.items()
+            }
+        return self._seen_by_group.get(int(group_id), np.zeros(0, dtype=np.int64))
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def from_model(cls, model, train_interactions=None, user_interactions=None):
+        """Extract a serving index from a trained model.
+
+        Parameters
+        ----------
+        model:
+            A trained :class:`~repro.core.model.KGAG` (duck-typed: any
+            object exposing ``propagation``, ``aggregation``, ``sampler``,
+            ``ckg``, ``groups`` and ``config``).
+        train_interactions:
+            Group-item train positives; becomes the serving-time
+            interacted-item exclusion mask.
+        user_interactions:
+            User-item interactions; feeds the popularity fallback scores
+            stored alongside the embeddings.
+        """
+        config = model.config
+        propagation = model.propagation
+        aggregation = model.aggregation
+        sampler = model.sampler
+
+        neighbor_entities, neighbor_relations = sampler.neighbor_tables()
+        arrays: dict[str, np.ndarray] = {
+            "entity_embeddings": propagation.entity_embedding.weight.data,
+            "relation_embeddings": propagation.relation_embedding.weight.data,
+            "neighbor_entities": neighbor_entities,
+            "neighbor_relations": neighbor_relations,
+            "attn_w_member": aggregation.w_member.data,
+            "attn_w_peers": aggregation.w_peers.data,
+            "attn_bias": aggregation.bias.data,
+            "attn_context": aggregation.context.data,
+            "peer_index": aggregation.peer_index,
+            "group_members": model.groups.members,
+            "item_entities": model.ckg.item_map.entities_of(
+                np.arange(model.num_items)
+            ),
+        }
+        activations = []
+        for i, aggregator in enumerate(propagation._aggregators):
+            arrays[f"agg_weight_{i}"] = aggregator.linear.weight.data
+            arrays[f"agg_bias_{i}"] = aggregator.linear.bias.data
+            activations.append(aggregator.activation)
+
+        if train_interactions is not None and train_interactions.num_interactions:
+            arrays["seen_pairs"] = train_interactions.pairs
+        else:
+            arrays["seen_pairs"] = np.zeros((0, 2), dtype=np.int64)
+
+        arrays["item_popularity"] = _popularity_scores(
+            model.num_items, user_interactions, train_interactions
+        )
+
+        depth = propagation.num_layers
+        metadata = {
+            "format_version": INDEX_FORMAT_VERSION,
+            "model_class": type(model).__name__,
+            "embedding_dim": int(config.embedding_dim),
+            "num_layers": int(depth),
+            "num_neighbors": int(sampler.num_neighbors),
+            "num_users": int(model.num_users),
+            "num_items": int(model.num_items),
+            "user_entity_offset": int(model.ckg.num_kg_entities),
+            "aggregator": str(config.aggregator),
+            "uniform_neighbor_weights": bool(config.uniform_neighbor_weights),
+            "use_sp": bool(aggregation.use_sp),
+            "use_pi": bool(aggregation.use_pi),
+            "pi_pooling": str(aggregation.pi_pooling),
+            "activations": activations,
+        }
+        index = cls(arrays, metadata)
+        if depth == 0 or config.uniform_neighbor_weights:
+            # Query-independent propagation: run the GCN once over every
+            # entity and freeze the outputs.
+            from .engine import propagate  # local import avoids a cycle
+
+            all_entities = np.arange(index.entity_embeddings.shape[0])
+            dummy_queries = np.zeros((len(all_entities), index.dim))
+            final = propagate(index, all_entities, dummy_queries)
+            final.setflags(write=False)
+            index._arrays["entity_final"] = final
+            index.version = index._fingerprint()
+            index.metadata["fingerprint"] = index.version
+        return index
+
+    # -- persistence -----------------------------------------------------
+    def _fingerprint(self) -> str:
+        digest = hashlib.sha256()
+        for name in sorted(self._arrays):
+            digest.update(name.encode("utf-8"))
+            digest.update(np.ascontiguousarray(self._arrays[name]).tobytes())
+        stable = {k: v for k, v in self.metadata.items() if k != "fingerprint"}
+        digest.update(repr(sorted(stable.items())).encode("utf-8"))
+        return digest.hexdigest()[:16]
+
+    def save(self, path: str | Path) -> Path:
+        """Write the index to ``path`` (``.npz`` appended if missing)."""
+        path = Path(path)
+        if path.suffix != ".npz":
+            path = path.with_suffix(path.suffix + ".npz")
+        payload = dict(self._arrays)
+        if _METADATA_KEY in payload:
+            raise ValueError(f"array name {_METADATA_KEY!r} is reserved")
+        payload[_METADATA_KEY] = pack_metadata(self.metadata)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez(path, **payload)
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "EmbeddingIndex":
+        """Load an index previously written by :meth:`save`."""
+        path = resolve_npz_path(path)
+        with np.load(path) as archive:
+            if _METADATA_KEY not in archive:
+                raise IndexError_(f"{path} is not a serving index (no metadata)")
+            metadata = unpack_metadata(archive, key=_METADATA_KEY)
+            arrays = {
+                name: archive[name]
+                for name in archive.files
+                if name != _METADATA_KEY
+            }
+        stored = metadata.get("fingerprint")
+        index = cls(arrays, metadata)
+        if stored is not None and index._fingerprint() != stored:
+            raise IndexError_(
+                f"{path} fingerprint mismatch: artifact corrupted or edited"
+            )
+        return index
+
+    def describe(self) -> dict:
+        """Human-readable summary (the ``build-index`` CLI prints this)."""
+        return {
+            "version": self.version,
+            "format_version": INDEX_FORMAT_VERSION,
+            "entities": int(self.entity_embeddings.shape[0]),
+            "dim": self.dim,
+            "num_layers": self.num_layers,
+            "num_neighbors": self.num_neighbors,
+            "num_users": self.num_users,
+            "num_items": self.num_items,
+            "num_groups": self.num_groups,
+            "group_size": self.group_size,
+            "query_independent": self.entity_final is not None,
+            "seen_pairs": int(self.seen_pairs.shape[0]),
+            "bytes": int(sum(a.nbytes for a in self._arrays.values())),
+        }
+
+
+def _popularity_scores(num_items, user_interactions, group_interactions) -> np.ndarray:
+    """Popularity fallback scores, reusing the baseline's weighting."""
+    if user_interactions is None and group_interactions is None:
+        return np.zeros(num_items, dtype=np.float64)
+    from ..baselines.popularity import PopularityRecommender
+    from ..data.interactions import InteractionTable
+
+    if user_interactions is None:
+        # Popularity from group interactions alone.
+        user_interactions = InteractionTable(1, num_items, [])
+    return PopularityRecommender(
+        user_interactions, group_train=group_interactions
+    ).scores.astype(np.float64)
+
+
+def build_index(model, train_interactions=None, user_interactions=None) -> EmbeddingIndex:
+    """Convenience alias for :meth:`EmbeddingIndex.from_model`."""
+    return EmbeddingIndex.from_model(
+        model,
+        train_interactions=train_interactions,
+        user_interactions=user_interactions,
+    )

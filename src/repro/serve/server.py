@@ -1,0 +1,396 @@
+"""JSON-over-HTTP serving API on the stdlib ``ThreadingHTTPServer``.
+
+Endpoints
+---------
+``GET /healthz``
+    Liveness probe: status, index version, uptime.
+``GET /recommend?group=G&k=K`` (also ``POST`` with a JSON body)
+    Top-K items for a group — micro-batched, cached, deadline-guarded
+    with popularity fallback.  The response names its ``source``
+    (``primary``, ``cache`` or ``fallback:*``).
+``GET /explain?group=G&item=V``
+    The SP/PI attention decomposition for one (group, item) pair —
+    the paper's Fig. 6 interpretability report, served online.
+``GET /stats``
+    Request counters, latency percentiles, cache and breaker state.
+
+The service layer (:class:`RecommendationService`) is framework-free and
+fully unit-testable without sockets; :class:`RecommendationServer` wires
+it to HTTP.  No third-party dependencies: the whole stack is stdlib +
+numpy.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+import numpy as np
+
+from .cache import ScoreCache
+from .engine import MicroBatcher, RankingEngine
+from .fallback import CircuitBreaker, ResilientScorer
+
+__all__ = ["ServiceError", "RecommendationService", "RecommendationServer"]
+
+
+class ServiceError(ValueError):
+    """Client error (bad group/item/parameter) — mapped to HTTP 4xx."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+class RecommendationService:
+    """The serving application: engine + cache + batching + fallback.
+
+    Parameters
+    ----------
+    index:
+        A loaded :class:`~repro.serve.index.EmbeddingIndex`.
+    cache_capacity:
+        Score-vector LRU capacity (0 disables caching).
+    deadline_ms:
+        Per-request primary deadline (None disables).
+    batch_wait_ms / max_batch:
+        Micro-batching window for concurrent requests (0 wait disables
+        coalescing in practice but keeps the code path uniform).
+    breaker:
+        Optional custom circuit breaker (tests inject a fake clock).
+    primary_override:
+        Test hook: replaces the primary ``group_id -> scores`` callable
+        (e.g. an injected failing scorer) while keeping the rest of the
+        stack — cache, breaker, fallback — intact.
+    """
+
+    def __init__(
+        self,
+        index,
+        cache_capacity: int = 256,
+        deadline_ms: float | None = 250.0,
+        batch_wait_ms: float = 2.0,
+        max_batch: int = 64,
+        breaker: CircuitBreaker | None = None,
+        primary_override=None,
+    ):
+        self.index = index
+        self.cache = ScoreCache(cache_capacity) if cache_capacity > 0 else None
+        self.engine = RankingEngine(index, cache=self.cache)
+        self.batcher = MicroBatcher(
+            self.engine, max_wait_ms=batch_wait_ms, max_batch=max_batch
+        )
+        primary = primary_override or self.batcher.scores_for_group
+        self.resilient = ResilientScorer(
+            primary,
+            self._fallback_scores,
+            deadline_ms=deadline_ms,
+            breaker=breaker,
+        )
+        self._lock = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=2048)
+        self._requests = 0
+        self._client_errors = 0
+        self._started = time.monotonic()
+
+    # -- primitives ------------------------------------------------------
+    def _fallback_scores(self, group_id: int) -> np.ndarray:
+        """Popularity scores frozen in the index (group-independent)."""
+        return self.index.item_popularity
+
+    def _check_group(self, group_id: int) -> int:
+        group_id = int(group_id)
+        if not 0 <= group_id < self.index.num_groups:
+            raise ServiceError(
+                f"group {group_id} out of range [0, {self.index.num_groups})",
+                status=404,
+            )
+        return group_id
+
+    # -- API operations ---------------------------------------------------
+    def recommend(self, group_id: int, k: int = 5, exclude_seen: bool = True) -> dict:
+        """Top-K answer for one group, degrading gracefully."""
+        group_id = self._check_group(group_id)
+        if k <= 0:
+            raise ServiceError("k must be positive")
+        start = time.perf_counter()
+        cached = (
+            self.cache.get((group_id, self.index.version))
+            if self.cache is not None
+            else None
+        )
+        if cached is not None:
+            scores, source = cached, "cache"
+        else:
+            answer = self.resilient.scores(group_id)
+            scores, source = answer.scores, answer.source
+        seen = self.index.seen_items(group_id) if exclude_seen else None
+        items = RankingEngine.rank(scores, seen, k)
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        with self._lock:
+            self._requests += 1
+            self._latencies.append(elapsed_ms)
+        return {
+            "group": group_id,
+            "k": int(k),
+            "source": source,
+            "index_version": self.index.version,
+            "latency_ms": round(elapsed_ms, 3),
+            "items": [
+                {
+                    "item": item.item,
+                    "score": item.score,
+                    "probability": item.probability,
+                }
+                for item in items
+            ],
+        }
+
+    def explain(self, group_id: int, item_id: int) -> dict:
+        """Attention decomposition endpoint payload."""
+        group_id = self._check_group(group_id)
+        item_id = int(item_id)
+        if not 0 <= item_id < self.index.num_items:
+            raise ServiceError(
+                f"item {item_id} out of range [0, {self.index.num_items})",
+                status=404,
+            )
+        raw = self.engine.explain(group_id, item_id)
+        return {
+            "group": raw["group"],
+            "item": raw["item"],
+            "score": raw["score"],
+            "probability": raw["probability"],
+            "members": [
+                {
+                    "user": int(user),
+                    "attention": float(raw["attention"][i]),
+                    "self_persistence": float(raw["sp"][i]),
+                    "peer_influence": float(raw["pi"][i]),
+                }
+                for i, user in enumerate(raw["members"])
+            ],
+        }
+
+    def healthz(self) -> dict:
+        """Liveness payload."""
+        return {
+            "status": "ok",
+            "index_version": self.index.version,
+            "uptime_s": round(time.monotonic() - self._started, 3),
+        }
+
+    def stats(self) -> dict:
+        """Counters for dashboards and the serving benchmark."""
+        with self._lock:
+            latencies = sorted(self._latencies)
+            requests = self._requests
+            client_errors = self._client_errors
+        def percentile(q: float) -> float:
+            if not latencies:
+                return 0.0
+            rank = min(len(latencies) - 1, int(round(q * (len(latencies) - 1))))
+            return round(latencies[rank], 3)
+        payload = {
+            "requests": requests,
+            "client_errors": client_errors,
+            "latency_ms": {
+                "p50": percentile(0.50),
+                "p95": percentile(0.95),
+                "p99": percentile(0.99),
+            },
+            "batching": {
+                "batches_run": self.batcher.batches_run,
+                "requests_served": self.batcher.requests_served,
+            },
+            "resilience": self.resilient.stats(),
+            "index": {
+                "version": self.index.version,
+                "num_groups": self.index.num_groups,
+                "num_items": self.index.num_items,
+            },
+        }
+        if self.cache is not None:
+            payload["cache"] = self.cache.stats().as_dict()
+        return payload
+
+    def reload_index(self, index) -> dict:
+        """Swap in a new index and invalidate every cached score."""
+        old_version = self.index.version
+        self.index = index
+        self.engine.index = index
+        dropped = self.cache.invalidate() if self.cache is not None else 0
+        return {
+            "old_version": old_version,
+            "new_version": index.version,
+            "cache_entries_dropped": dropped,
+        }
+
+    def note_client_error(self) -> None:
+        with self._lock:
+            self._client_errors += 1
+
+    def close(self) -> None:
+        self.resilient.close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP requests to the :class:`RecommendationService`."""
+
+    server_version = "repro-serve/1.0"
+
+    # Populated by RecommendationServer via a subclass attribute.
+    service: RecommendationService
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # keep pytest / smoke output clean
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _params(self) -> dict:
+        return {
+            key: values[-1]
+            for key, values in parse_qs(urlparse(self.path).query).items()
+        }
+
+    def _body_params(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if not length:
+            return {}
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise ServiceError(f"invalid JSON body: {error}") from error
+        if not isinstance(payload, dict):
+            raise ServiceError("JSON body must be an object")
+        return payload
+
+    def _dispatch(self, params: dict) -> None:
+        route = urlparse(self.path).path.rstrip("/") or "/"
+        try:
+            if route == "/healthz":
+                self._send_json(self.service.healthz())
+            elif route == "/stats":
+                self._send_json(self.service.stats())
+            elif route == "/recommend":
+                self._send_json(
+                    self.service.recommend(
+                        group_id=_as_int(params, "group"),
+                        k=_as_int(params, "k", default=5),
+                        exclude_seen=_as_bool(params, "exclude_seen", default=True),
+                    )
+                )
+            elif route == "/explain":
+                self._send_json(
+                    self.service.explain(
+                        group_id=_as_int(params, "group"),
+                        item_id=_as_int(params, "item"),
+                    )
+                )
+            else:
+                self._send_json({"error": f"unknown route {route}"}, status=404)
+        except ServiceError as error:
+            self.service.note_client_error()
+            self._send_json({"error": str(error)}, status=error.status)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch(self._params())
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            params = {**self._params(), **self._body_params()}
+        except ServiceError as error:
+            self.service.note_client_error()
+            self._send_json({"error": str(error)}, status=error.status)
+            return
+        self._dispatch(params)
+
+
+def _as_int(params: dict, name: str, default: int | None = None) -> int:
+    if name not in params:
+        if default is None:
+            raise ServiceError(f"missing required parameter {name!r}")
+        return default
+    try:
+        return int(params[name])
+    except (TypeError, ValueError):
+        raise ServiceError(f"parameter {name!r} must be an integer") from None
+
+
+def _as_bool(params: dict, name: str, default: bool) -> bool:
+    if name not in params:
+        return default
+    value = params[name]
+    if isinstance(value, bool):
+        return value
+    return str(value).lower() in ("1", "true", "yes", "on")
+
+
+class RecommendationServer:
+    """A threaded HTTP server around a :class:`RecommendationService`.
+
+    Parameters
+    ----------
+    service:
+        The application layer.
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (the bound port
+        is available as :attr:`port` — used by tests and the smoke
+        target).
+    """
+
+    def __init__(self, service: RecommendationService, host: str = "127.0.0.1", port: int = 0):
+        handler = type("BoundHandler", (_Handler,), {"service": service})
+        self.service = service
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "RecommendationServer":
+        """Serve in a daemon thread; returns self for chaining."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut down the listener and the service worker pool."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.service.close()
+
+    def serve_forever(self) -> None:
+        """Blocking serve loop (the ``repro serve`` CLI entry point)."""
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self._httpd.server_close()
+            self.service.close()

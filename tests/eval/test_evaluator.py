@@ -40,6 +40,35 @@ class TestScoreAllItems:
         scores = score_all_items(oracle_scorer(table), np.array([0, 0, 0]), 3)
         assert list(scores) == [0]
 
+    def test_prebuilt_index_matches_model_scorer(self):
+        from repro.core import KGAG, KGAGConfig
+        from repro.data import MovieLensLikeConfig, movielens_like
+        from repro.serve import build_index
+
+        dataset = movielens_like(
+            "rand",
+            MovieLensLikeConfig(num_users=20, num_items=15, num_groups=4, seed=3),
+        )
+        model = KGAG(
+            dataset.kg,
+            dataset.num_users,
+            dataset.num_items,
+            dataset.user_item.pairs,
+            dataset.groups,
+            KGAGConfig(embedding_dim=6, num_layers=1, num_neighbors=2, seed=3),
+        )
+        groups = np.arange(dataset.groups.num_groups)
+        direct = score_all_items(
+            lambda g, v: model.group_item_scores(g, v).numpy(),
+            groups,
+            dataset.num_items,
+        )
+        indexed = score_all_items(
+            None, groups, dataset.num_items, index=build_index(model)
+        )
+        for group in groups:
+            np.testing.assert_array_equal(direct[int(group)], indexed[int(group)])
+
 
 class TestEvaluateGroupRecommender:
     def test_oracle_achieves_perfect_metrics(self):

@@ -1,0 +1,40 @@
+"""Shared fixtures for the serving-layer tests: one tiny trained world."""
+
+import numpy as np
+import pytest
+
+from repro.core import KGAG, KGAGConfig
+from repro.data import MovieLensLikeConfig, movielens_like, split_interactions
+from repro.serve import build_index
+
+
+@pytest.fixture(scope="package")
+def dataset():
+    return movielens_like(
+        "rand",
+        MovieLensLikeConfig(num_users=36, num_items=48, num_groups=9, seed=11),
+    )
+
+
+@pytest.fixture(scope="package")
+def split(dataset):
+    return split_interactions(dataset.group_item, rng=np.random.default_rng(11))
+
+
+@pytest.fixture(scope="package")
+def model(dataset):
+    return KGAG(
+        dataset.kg,
+        dataset.num_users,
+        dataset.num_items,
+        dataset.user_item.pairs,
+        dataset.groups,
+        KGAGConfig(embedding_dim=8, num_layers=2, num_neighbors=3, seed=11),
+    )
+
+
+@pytest.fixture(scope="package")
+def index(model, dataset, split):
+    return build_index(
+        model, train_interactions=split.train, user_interactions=dataset.user_item
+    )

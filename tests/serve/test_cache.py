@@ -1,0 +1,79 @@
+"""ScoreCache: LRU semantics, counters, freezing, invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.serve import ScoreCache
+
+
+def _vec(seed):
+    return np.arange(4, dtype=np.float64) + seed
+
+
+class TestLRU:
+    def test_hit_and_miss_counters(self):
+        cache = ScoreCache(4)
+        assert cache.get(("g0", "v1")) is None
+        cache.put(("g0", "v1"), _vec(0))
+        np.testing.assert_array_equal(cache.get(("g0", "v1")), _vec(0))
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.size == 1
+        assert stats.hit_rate == 0.5
+
+    def test_eviction_is_least_recently_used(self):
+        cache = ScoreCache(2)
+        cache.put("a", _vec(1))
+        cache.put("b", _vec(2))
+        cache.get("a")  # refresh recency: "b" is now LRU
+        cache.put("c", _vec(3))
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.stats().evictions == 1
+
+    def test_put_refreshes_existing_key_without_eviction(self):
+        cache = ScoreCache(2)
+        cache.put("a", _vec(1))
+        cache.put("b", _vec(2))
+        cache.put("a", _vec(9))  # overwrite, still 2 entries
+        assert len(cache) == 2
+        assert cache.stats().evictions == 0
+        np.testing.assert_array_equal(cache.get("a"), _vec(9))
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ScoreCache(0)
+
+
+class TestSafety:
+    def test_cached_vector_is_frozen_copy(self):
+        cache = ScoreCache(4)
+        source = _vec(0)
+        cache.put("a", source)
+        source[0] = 99.0  # caller mutation must not reach the cache
+        stored = cache.get("a")
+        assert stored[0] == 0.0
+        with pytest.raises(ValueError):
+            stored[0] = -1.0
+
+    def test_version_keyed_entries_are_distinct(self):
+        cache = ScoreCache(4)
+        cache.put((3, "v1"), _vec(1))
+        cache.put((3, "v2"), _vec(2))
+        np.testing.assert_array_equal(cache.get((3, "v1")), _vec(1))
+        np.testing.assert_array_equal(cache.get((3, "v2")), _vec(2))
+
+
+class TestInvalidation:
+    def test_invalidate_drops_everything(self):
+        cache = ScoreCache(4)
+        cache.put("a", _vec(1))
+        cache.put("b", _vec(2))
+        assert cache.invalidate() == 2
+        assert len(cache) == 0
+        assert cache.get("a") is None
+        stats = cache.stats()
+        assert stats.invalidations == 1
+        assert stats.as_dict()["invalidations"] == 1

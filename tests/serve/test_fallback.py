@@ -1,0 +1,150 @@
+"""Resilience: circuit breaker transitions, deadlines, fallback answers."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import CircuitBreaker, ResilientScorer
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _fallback(group_id):
+    return np.full(5, -float(group_id), dtype=np.float64)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout=10.0, clock=FakeClock())
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow()
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_after_timeout_then_close_on_success(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=30.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.advance(29.0)
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.allow()  # half-open: one trial permitted
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=5, reset_timeout=10.0, clock=clock)
+        for _ in range(5):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()  # trial failed -> straight back to open
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout=-1.0)
+
+
+class TestResilientScorer:
+    def test_primary_path(self):
+        scorer = ResilientScorer(
+            primary=lambda g: np.full(5, float(g)),
+            fallback=_fallback,
+            deadline_ms=None,
+        )
+        answer = scorer.scores(3)
+        assert answer.source == "primary"
+        np.testing.assert_array_equal(answer.scores, np.full(5, 3.0))
+        assert scorer.stats()["primary_answers"] == 1
+        scorer.close()
+
+    def test_primary_error_falls_back_and_trips_breaker(self):
+        calls = {"n": 0}
+
+        def broken(group_id):
+            calls["n"] += 1
+            raise RuntimeError("model exploded")
+
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=60.0, clock=FakeClock())
+        scorer = ResilientScorer(
+            primary=broken, fallback=_fallback, deadline_ms=None, breaker=breaker
+        )
+        first = scorer.scores(4)
+        assert first.source == "fallback:error"
+        np.testing.assert_array_equal(first.scores, _fallback(4))
+        second = scorer.scores(4)
+        assert second.source == "fallback:error"
+        # Breaker is now open: the primary is no longer even attempted.
+        third = scorer.scores(4)
+        assert third.source == "fallback:circuit-open"
+        assert calls["n"] == 2
+        stats = scorer.stats()
+        assert stats["primary_errors"] == 2
+        assert stats["fallback_answers"] == 3
+        assert stats["breaker_state"] == CircuitBreaker.OPEN
+        scorer.close()
+
+    def test_deadline_miss_falls_back(self):
+        def slow(group_id):
+            time.sleep(0.25)
+            return np.zeros(5)
+
+        scorer = ResilientScorer(primary=slow, fallback=_fallback, deadline_ms=10.0)
+        answer = scorer.scores(1)
+        assert answer.source == "fallback:deadline"
+        np.testing.assert_array_equal(answer.scores, _fallback(1))
+        assert scorer.stats()["deadline_misses"] == 1
+        scorer.close()
+
+    def test_recovery_after_reset_timeout(self):
+        clock = FakeClock()
+        healthy = {"ok": False}
+
+        def flaky(group_id):
+            if not healthy["ok"]:
+                raise RuntimeError("down")
+            return np.full(5, 7.0)
+
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=5.0, clock=clock)
+        scorer = ResilientScorer(
+            primary=flaky, fallback=_fallback, deadline_ms=None, breaker=breaker
+        )
+        assert scorer.scores(0).source == "fallback:error"
+        assert scorer.scores(0).source == "fallback:circuit-open"
+        healthy["ok"] = True
+        clock.advance(5.0)  # half-open: trial request goes to the primary
+        answer = scorer.scores(0)
+        assert answer.source == "primary"
+        assert breaker.state == CircuitBreaker.CLOSED
+        scorer.close()
+
+    def test_invalid_deadline(self):
+        with pytest.raises(ValueError):
+            ResilientScorer(primary=lambda g: None, fallback=_fallback, deadline_ms=0.0)

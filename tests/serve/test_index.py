@@ -1,0 +1,108 @@
+"""EmbeddingIndex: extraction, persistence, versioning, validation."""
+
+import numpy as np
+import pytest
+
+from repro.core import KGAG, KGAGConfig
+from repro.serve import EmbeddingIndex, build_index
+from repro.serve.index import INDEX_FORMAT_VERSION, IndexError_
+
+
+class TestExtraction:
+    def test_describe_counts(self, index, dataset):
+        info = index.describe()
+        assert info["num_users"] == dataset.num_users
+        assert info["num_items"] == dataset.num_items
+        assert info["num_groups"] == dataset.groups.num_groups
+        assert info["group_size"] == dataset.groups.group_size
+        assert info["dim"] == 8
+        assert info["bytes"] > 0
+
+    def test_arrays_frozen(self, index):
+        with pytest.raises(ValueError):
+            index.entity_embeddings[0, 0] = 1.0
+
+    def test_arrays_are_copies(self, model, index):
+        original = model.propagation.entity_embedding.weight.data[0, 0]
+        assert index.entity_embeddings[0, 0] == original
+        assert (
+            index.entity_embeddings is not model.propagation.entity_embedding.weight.data
+        )
+
+    def test_seen_items_match_split(self, index, split):
+        for group in range(index.num_groups):
+            np.testing.assert_array_equal(
+                index.seen_items(group), split.train.items_of(group)
+            )
+
+    def test_popularity_vector(self, index, dataset):
+        assert index.item_popularity.shape == (dataset.num_items,)
+        assert (index.item_popularity >= 0).all()
+        assert index.item_popularity.max() > 0
+
+    def test_query_dependent_model_has_no_final(self, index):
+        assert index.entity_final is None
+
+    def test_query_independent_model_has_final(self, dataset):
+        model = KGAG(
+            dataset.kg,
+            dataset.num_users,
+            dataset.num_items,
+            dataset.user_item.pairs,
+            dataset.groups,
+            KGAGConfig(
+                embedding_dim=8, num_layers=1, num_neighbors=3,
+                uniform_neighbor_weights=True, seed=11,
+            ),
+        )
+        frozen = build_index(model)
+        assert frozen.entity_final is not None
+        assert frozen.entity_final.shape == frozen.entity_embeddings.shape
+
+
+class TestPersistence:
+    def test_roundtrip(self, index, tmp_path):
+        path = index.save(tmp_path / "model.index")
+        assert path.suffix == ".npz"
+        loaded = EmbeddingIndex.load(path)
+        assert loaded.version == index.version
+        assert loaded.metadata["format_version"] == INDEX_FORMAT_VERSION
+        np.testing.assert_array_equal(loaded.entity_embeddings, index.entity_embeddings)
+        np.testing.assert_array_equal(loaded.group_members, index.group_members)
+
+    def test_version_is_content_addressed(self, model, dataset, split):
+        a = build_index(model, train_interactions=split.train)
+        b = build_index(model, train_interactions=split.train)
+        assert a.version == b.version
+        c = build_index(model)  # different seen mask -> different artifact
+        assert c.version != a.version
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            EmbeddingIndex.load(tmp_path / "nope.npz")
+
+    def test_load_rejects_non_index_npz(self, tmp_path):
+        path = tmp_path / "random.npz"
+        np.savez(path, stuff=np.arange(3))
+        with pytest.raises(IndexError_):
+            EmbeddingIndex.load(path)
+
+    def test_load_rejects_tampered_artifact(self, index, tmp_path):
+        path = index.save(tmp_path / "model.index")
+        with np.load(path) as archive:
+            arrays = {name: archive[name].copy() for name in archive.files}
+        arrays["entity_embeddings"][0, 0] += 1.0
+        np.savez(path, **arrays)
+        with pytest.raises(IndexError_, match="fingerprint"):
+            EmbeddingIndex.load(path)
+
+    def test_wrong_format_version_rejected(self, index):
+        metadata = dict(index.metadata, format_version=INDEX_FORMAT_VERSION + 1)
+        with pytest.raises(IndexError_, match="format version"):
+            EmbeddingIndex(dict(index._arrays), metadata)
+
+    def test_missing_required_array_rejected(self, index):
+        arrays = dict(index._arrays)
+        del arrays["neighbor_entities"]
+        with pytest.raises(IndexError_, match="neighbor_entities"):
+            EmbeddingIndex(arrays, dict(index.metadata))

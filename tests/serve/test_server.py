@@ -1,0 +1,176 @@
+"""HTTP serving: endpoints, caching source, error handling, degradation."""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    CircuitBreaker,
+    RecommendationServer,
+    RecommendationService,
+    ServiceError,
+)
+
+
+@pytest.fixture()
+def service(index):
+    svc = RecommendationService(index, deadline_ms=None, batch_wait_ms=0.0)
+    yield svc
+    svc.close()
+
+
+@pytest.fixture()
+def server(index):
+    svc = RecommendationService(index, deadline_ms=None, batch_wait_ms=0.0)
+    srv = RecommendationServer(svc, port=0).start()
+    yield srv
+    srv.stop()
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+class TestService:
+    def test_recommend_payload(self, service, index):
+        payload = service.recommend(0, k=3)
+        assert payload["group"] == 0
+        assert payload["source"] == "primary"
+        assert payload["index_version"] == index.version
+        assert len(payload["items"]) == 3
+        scores = [item["score"] for item in payload["items"]]
+        assert scores == sorted(scores, reverse=True)
+        seen = set(index.seen_items(0).tolist())
+        assert seen.isdisjoint(item["item"] for item in payload["items"])
+
+    def test_second_request_is_cache_hit(self, service):
+        first = service.recommend(1, k=4)
+        second = service.recommend(1, k=4)
+        assert first["source"] == "primary"
+        assert second["source"] == "cache"
+        assert [i["item"] for i in first["items"]] == [
+            i["item"] for i in second["items"]
+        ]
+
+    def test_unknown_group_is_404_and_does_not_touch_breaker(self, service):
+        with pytest.raises(ServiceError) as excinfo:
+            service.recommend(10_000)
+        assert excinfo.value.status == 404
+        assert service.resilient.stats()["primary_errors"] == 0
+        assert service.resilient.breaker.state == CircuitBreaker.CLOSED
+
+    def test_invalid_k_rejected(self, service):
+        with pytest.raises(ServiceError):
+            service.recommend(0, k=0)
+
+    def test_explain_payload(self, service, index):
+        payload = service.explain(2, 3)
+        assert payload["group"] == 2
+        assert payload["item"] == 3
+        assert len(payload["members"]) == index.group_members.shape[1]
+        total = sum(member["attention"] for member in payload["members"])
+        assert total == pytest.approx(1.0, abs=1e-9)
+        with pytest.raises(ServiceError):
+            service.explain(2, index.num_items + 1)
+
+    def test_failing_primary_degrades_to_popularity(self, index):
+        def broken(group_id):
+            raise RuntimeError("scorer down")
+
+        svc = RecommendationService(
+            index,
+            deadline_ms=None,
+            breaker=CircuitBreaker(failure_threshold=1),
+            primary_override=broken,
+        )
+        try:
+            payload = svc.recommend(0, k=5)
+            assert payload["source"] == "fallback:error"
+            again = svc.recommend(0, k=5)
+            assert again["source"] == "fallback:circuit-open"
+            # Fallback order is popularity order (minus seen items).
+            seen = set(index.seen_items(0).tolist())
+            expected = [
+                int(i)
+                for i in np.argsort(-index.item_popularity, kind="stable")
+                if int(i) not in seen
+            ][:5]
+            assert [item["item"] for item in payload["items"]] == expected
+        finally:
+            svc.close()
+
+    def test_reload_index_invalidates_cache(self, service, index):
+        service.recommend(0, k=3)
+        assert len(service.cache) > 0
+        report = service.reload_index(index)
+        assert report["cache_entries_dropped"] >= 1
+        assert len(service.cache) == 0
+        assert service.recommend(0, k=3)["source"] == "primary"
+
+    def test_stats_shape(self, service):
+        service.recommend(0, k=2)
+        stats = service.stats()
+        assert stats["requests"] == 1
+        assert set(stats["latency_ms"]) == {"p50", "p95", "p99"}
+        assert stats["resilience"]["primary_answers"] == 1
+        assert stats["cache"]["capacity"] == 256
+        assert stats["index"]["version"]
+
+
+class TestHTTP:
+    def test_healthz(self, server, index):
+        status, payload = _get(f"{server.url}/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["index_version"] == index.version
+
+    def test_recommend_roundtrip(self, server):
+        status, payload = _get(f"{server.url}/recommend?group=0&k=3")
+        assert status == 200
+        assert payload["source"] == "primary"
+        assert len(payload["items"]) == 3
+        status, payload = _get(f"{server.url}/recommend?group=0&k=3")
+        assert payload["source"] == "cache"
+
+    def test_recommend_post_json_body(self, server):
+        request = urllib.request.Request(
+            f"{server.url}/recommend",
+            data=json.dumps({"group": 1, "k": 2}).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+        assert payload["group"] == 1
+        assert len(payload["items"]) == 2
+
+    def test_explain_endpoint(self, server):
+        status, payload = _get(f"{server.url}/explain?group=0&item=1")
+        assert status == 200
+        assert payload["members"]
+
+    def test_stats_endpoint(self, server):
+        _get(f"{server.url}/recommend?group=2&k=2")
+        status, payload = _get(f"{server.url}/stats")
+        assert status == 200
+        assert payload["requests"] >= 1
+        assert "cache" in payload
+
+    def test_missing_parameter_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{server.url}/recommend")
+        assert excinfo.value.code == 400
+
+    def test_unknown_group_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{server.url}/recommend?group=9999")
+        assert excinfo.value.code == 404
+
+    def test_unknown_route_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{server.url}/nope")
+        assert excinfo.value.code == 404

@@ -121,6 +121,49 @@ class TestTrainEvaluateRecommend:
             )
 
 
+class TestServeCommands:
+    @pytest.fixture(scope="class")
+    def index_path(self, dataset_dir, checkpoint, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "model.index"
+        code = main(
+            [
+                "build-index", "--data", str(dataset_dir),
+                "--checkpoint", str(checkpoint), "--out", str(path),
+            ]
+        )
+        assert code == 0
+        return path.parent / (path.name + ".npz")
+
+    def test_build_index_writes_artifact(self, index_path, capsys):
+        assert index_path.exists()
+        from repro.serve import EmbeddingIndex
+
+        index = EmbeddingIndex.load(index_path)
+        assert index.num_items == 30
+
+    def test_recommend_from_index_matches_checkpoint(
+        self, dataset_dir, checkpoint, index_path, capsys
+    ):
+        assert main(
+            [
+                "recommend", "--data", str(dataset_dir), "--checkpoint",
+                str(checkpoint), "--group", "0", "-k", "3",
+            ]
+        ) == 0
+        full = capsys.readouterr().out
+        assert main(["recommend", "--index", str(index_path), "--group", "0", "-k", "3"]) == 0
+        indexed = capsys.readouterr().out
+        ranked = [line for line in full.splitlines() if line.lstrip().startswith("#")]
+        assert ranked == [
+            line for line in indexed.splitlines() if line.lstrip().startswith("#")
+        ]
+        assert "timing:" in indexed
+
+    def test_recommend_requires_index_or_checkpoint(self, capsys):
+        assert main(["recommend", "--group", "0"]) == 2
+        assert "recommend needs" in capsys.readouterr().err
+
+
 class TestExperimentCommand:
     def test_table1_quick(self, capsys):
         assert main(["experiment", "table1", "--profile", "quick"]) == 0

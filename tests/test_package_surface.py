@@ -64,6 +64,13 @@ PUBLIC_MODULES = [
     "repro.eval.metrics",
     "repro.eval.evaluator",
     "repro.eval.significance",
+    "repro.serve",
+    "repro.serve.index",
+    "repro.serve.engine",
+    "repro.serve.cache",
+    "repro.serve.fallback",
+    "repro.serve.server",
+    "repro.serve.smoke",
     "repro.experiments",
     "repro.cli",
 ]
