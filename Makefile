@@ -3,7 +3,7 @@
 PYTHON ?= python
 PROFILE ?= default
 
-.PHONY: install dev test lint analysis-report bench bench-calibrated serve-smoke examples experiments clean
+.PHONY: install dev test lint docs-check verify analysis-report obs-report bench bench-calibrated serve-smoke examples experiments clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -17,8 +17,16 @@ test:
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis.lint src tests benchmarks examples
 
+docs-check:
+	PYTHONPATH=src $(PYTHON) tools/check_docs.py
+
+verify: test lint docs-check
+
 analysis-report:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis.report
+
+obs-report:
+	PYTHONPATH=src $(PYTHON) -m repro.obs.report
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -118,12 +118,37 @@ def test_group_scoring_throughput(benchmark, model, dataset):
 
 
 def test_training_step(benchmark, model, dataset):
-    """One optimizer step on a 64-triplet batch (training workload)."""
+    """One optimizer step on a 64-triplet batch (training workload).
+
+    Runs with the default no-op metrics registry — the baseline the
+    instrumented variant below is compared against (the disabled path
+    must stay within noise of this number).
+    """
     from repro.core.trainer import KGAGTrainer
     from repro.data import split_interactions
 
     split = split_interactions(dataset.group_item, rng=np.random.default_rng(0))
     trainer = KGAGTrainer(model, split.train, dataset.user_item)
+    batch = next(iter(trainer.loader.epoch()))
+
+    benchmark(lambda: trainer.train_step(batch))
+
+
+def test_training_step_with_metrics(benchmark, model, dataset):
+    """The same step with a live MetricsRegistry attached.
+
+    The delta against ``test_training_step`` is the full observability
+    overhead: step timing, loss gauge, and the pre-clip gradient-norm
+    reduction that only runs when metrics are enabled.
+    """
+    from repro.core.trainer import KGAGTrainer
+    from repro.data import split_interactions
+    from repro.obs import MetricsRegistry
+
+    split = split_interactions(dataset.group_item, rng=np.random.default_rng(0))
+    trainer = KGAGTrainer(
+        model, split.train, dataset.user_item, metrics=MetricsRegistry()
+    )
     batch = next(iter(trainer.loader.epoch()))
 
     benchmark(lambda: trainer.train_step(batch))

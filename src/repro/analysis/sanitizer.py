@@ -3,10 +3,14 @@
 The autograd tape in :mod:`repro.nn.tensor` funnels every op through two
 choke points: ``Tensor._make`` (node creation on the forward pass) and
 ``Tensor._accumulate`` (gradient accumulation on the backward pass).
-:class:`TapeSanitizer` patches both **only while its context is active**,
-so the default training path executes the exact original code objects —
-zero overhead when disabled (``tests/analysis/test_sanitizer.py`` pins
-this with an identity assertion).
+:class:`TapeSanitizer` observes both through the shared tape-hook
+registry (:func:`repro.nn.tensor.install_tape_hooks`) **only while its
+context is active**, so the default training path executes the exact
+original code objects — zero overhead when disabled
+(``tests/analysis/test_sanitizer.py`` pins this with an identity
+assertion).  Because the registry dispatches to every installed
+observer, a sanitizer can run concurrently with the op profiler of
+:mod:`repro.obs.profiler`.
 
 While active, the sanitizer detects:
 
@@ -42,7 +46,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..nn.tensor import DEFAULT_DTYPE, Tensor
+from ..nn.tensor import (
+    _PRISTINE_ACCUMULATE,
+    _PRISTINE_MAKE,
+    DEFAULT_DTYPE,
+    Tensor,
+    install_tape_hooks,
+    uninstall_tape_hooks,
+)
 
 __all__ = [
     "TapeAnomaly",
@@ -51,11 +62,10 @@ __all__ = [
     "sanitizer_active",
 ]
 
-# Pristine references captured once at import: the sanitizer restores
-# these on exit and the test-suite asserts the default path still *is*
-# them (no wrapping when disabled).
-_PRISTINE_MAKE = Tensor.__dict__["_make"]
-_PRISTINE_ACCUMULATE = Tensor.__dict__["_accumulate"]
+# The pristine tape functions (_PRISTINE_MAKE / _PRISTINE_ACCUMULATE)
+# live in repro.nn.tensor, which owns the hook registry; they are
+# imported above because the test-suite asserts the default path still
+# *is* them (no wrapping when disabled).
 
 _active: "TapeSanitizer | None" = None
 
@@ -96,23 +106,33 @@ def _op_site(depth: int) -> tuple[str, str]:
     return op, f"{code.co_filename}:{frame.f_lineno}"
 
 
-# Stack depth from _op_site up to the op that invoked the patched hook:
-# _op_site <- _check_* <- _checked_* <- op / backward closure.
-_OP_DEPTH = 3
+# Stack depth from _op_site up to the op that invoked the hook:
+# _op_site <- _check_* <- on_make/on_accumulate <- _hooked_* (tensor.py)
+# <- op / backward closure.
+_OP_DEPTH = 4
 
 
-def _checked_make(data, parents, backward):
-    if _active is not None:
-        # Inspect the raw op output: Tensor.__init__ coerces float32 back
-        # to DEFAULT_DTYPE, so drift is only visible before construction.
-        _active._check_forward(np.asarray(data))
-    return _PRISTINE_MAKE.__func__(data, parents, backward)
+class _SanitizerTapeHooks:
+    """The one hooks object the sanitizer keeps on the tape registry.
+
+    Events are charged to the innermost active sanitizer (``_active``),
+    so nested contexts keep their historical semantics while the
+    registry itself only sees a single observer.
+    """
+
+    def on_make(self, data, parents, backward) -> None:
+        if _active is not None:
+            # Inspect the raw op output: Tensor.__init__ coerces float32
+            # back to DEFAULT_DTYPE, so drift is only visible before
+            # construction.
+            _active._check_forward(np.asarray(data))
+
+    def on_accumulate(self, tensor, grad) -> None:
+        if _active is not None:
+            _active._check_grad(tensor, grad)
 
 
-def _checked_accumulate(tensor_self, grad):
-    if _active is not None:
-        _active._check_grad(tensor_self, grad)
-    return _PRISTINE_ACCUMULATE(tensor_self, grad)
+_SANITIZER_HOOKS = _SanitizerTapeHooks()
 
 
 class TapeSanitizer:
@@ -153,17 +173,16 @@ class TapeSanitizer:
         self._previous = _active
         _active = self
         if self._previous is None:
-            Tensor._make = staticmethod(_checked_make)
-            Tensor._accumulate = _checked_accumulate
+            install_tape_hooks(_SANITIZER_HOOKS)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         global _active
         _active = self._previous
         if _active is None:
-            # Restore the pristine, unwrapped code paths.
-            Tensor._make = _PRISTINE_MAKE
-            Tensor._accumulate = _PRISTINE_ACCUMULATE
+            # Drop our hooks; with no other observer installed the tape
+            # registry restores the pristine, unwrapped code paths.
+            uninstall_tape_hooks(_SANITIZER_HOOKS)
 
     # -- detectors ----------------------------------------------------------
     def _record(self, anomaly: TapeAnomaly) -> None:

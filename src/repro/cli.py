@@ -107,6 +107,11 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--beta", type=float, default=0.7)
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--quiet", action="store_true")
+    train.add_argument(
+        "--metrics-out",
+        help="write a JSONL run log (per-epoch loss/validation, diagnostics "
+        "snapshots, final metrics) to this path",
+    )
 
     # evaluate ----------------------------------------------------------------
     evaluate = subparsers.add_parser("evaluate", help="evaluate a checkpoint")
@@ -126,6 +131,11 @@ def build_parser() -> argparse.ArgumentParser:
     recommend.add_argument("-k", type=int, default=5)
     recommend.add_argument("--explain", action="store_true")
     recommend.add_argument("--seed", type=int, default=0, help="split seed")
+    recommend.add_argument(
+        "--metrics-out",
+        help="write load/score trace spans and a metrics snapshot (JSONL) "
+        "to this path",
+    )
 
     # build-index ----------------------------------------------------------------
     build_index = subparsers.add_parser(
@@ -147,6 +157,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--deadline-ms", type=float, default=250.0)
     serve.add_argument("--batch-wait-ms", type=float, default=2.0)
     serve.add_argument("--seed", type=int, default=0, help="split seed")
+    serve.add_argument(
+        "--metrics-out",
+        help="write a final registry snapshot (JSONL) to this path on shutdown",
+    )
 
     # experiment ----------------------------------------------------------------
     experiment = subparsers.add_parser("experiment", help="regenerate a paper result")
@@ -223,11 +237,34 @@ def _cmd_train(args) -> int:
         seed=args.seed,
     )
     model = _build_model(dataset, config)
-    trainer = KGAGTrainer(model, split.train, dataset.user_item, split.validation)
-    history = trainer.fit(verbose=not args.quiet)
-    metrics = trainer.evaluate(split.test)
+    registry = run_log = diagnostics = None
+    if args.metrics_out:
+        from .core.diagnostics import DiagnosticsRecorder
+        from .obs import JsonlRunLog, MetricsRegistry
+
+        registry = MetricsRegistry()
+        run_log = JsonlRunLog(args.metrics_out)
+        probe = split.train.pairs[: min(128, len(split.train.pairs))]
+        diagnostics = DiagnosticsRecorder(model, probe[:, 0], probe[:, 1])
+    try:
+        trainer = KGAGTrainer(
+            model,
+            split.train,
+            dataset.user_item,
+            split.validation,
+            metrics=registry,
+            run_log=run_log,
+            diagnostics=diagnostics,
+        )
+        history = trainer.fit(verbose=not args.quiet)
+        metrics = trainer.evaluate(split.test)
+    finally:
+        if run_log is not None:
+            run_log.close()
     path = save_checkpoint(model, args.out, config=config)
     print(f"checkpoint written to {path}")
+    if args.metrics_out:
+        print(f"run log written to {args.metrics_out}")
     print(
         f"test hit@5 {metrics['hit@5']:.4f}  rec@5 {metrics['rec@5']:.4f}  "
         f"(best epoch {history.best_epoch})"
@@ -280,19 +317,24 @@ def _cmd_evaluate(args) -> int:
 def _cmd_recommend(args) -> int:
     import time
 
+    from .obs import NULL_TRACER, Tracer
+
+    tracer = Tracer() if args.metrics_out else NULL_TRACER
     if args.index:
         from .serve import EmbeddingIndex
 
         load_start = time.perf_counter()
-        index = EmbeddingIndex.load(args.index)
-        recommender = GroupRecommender(None, index=index)
+        with tracer.span("load"):
+            index = EmbeddingIndex.load(args.index)
+            recommender = GroupRecommender(None, index=index)
         members = index.group_members[args.group].tolist()
         path_label = f"index {index.version}"
         load_ms = (time.perf_counter() - load_start) * 1000.0
     elif args.data and args.checkpoint:
         load_start = time.perf_counter()
-        dataset, split, model = _restore(args)
-        recommender = GroupRecommender(model, split.train)
+        with tracer.span("load"):
+            dataset, split, model = _restore(args)
+            recommender = GroupRecommender(model, split.train)
         members = dataset.groups[args.group].tolist()
         path_label = "full model"
         load_ms = (time.perf_counter() - load_start) * 1000.0
@@ -303,7 +345,8 @@ def _cmd_recommend(args) -> int:
         )
         return 2
     score_start = time.perf_counter()
-    recommendations = recommender.recommend(args.group, k=args.k)
+    with tracer.span("score"):
+        recommendations = recommender.recommend(args.group, k=args.k)
     score_ms = (time.perf_counter() - score_start) * 1000.0
     print(f"group {args.group} (members {members}):")
     for rank, rec in enumerate(recommendations, start=1):
@@ -319,6 +362,19 @@ def _cmd_recommend(args) -> int:
     print(
         f"timing: load {load_ms:.1f} ms, scoring {score_ms:.1f} ms ({path_label})"
     )
+    if args.metrics_out:
+        from .obs import JsonlRunLog
+
+        with JsonlRunLog(args.metrics_out) as log:
+            for span in tracer.spans:
+                log.emit(
+                    "span",
+                    name=span.name,
+                    duration_s=span.duration,
+                    depth=span.depth,
+                )
+            log.emit("breakdown", phases=tracer.breakdown())
+        print(f"run log written to {args.metrics_out}")
     return 0
 
 
@@ -355,21 +411,32 @@ def _cmd_serve(args) -> int:
             file=sys.stderr,
         )
         return 2
+    from .obs import MetricsRegistry
+
+    registry = MetricsRegistry()
     service = RecommendationService(
         index,
         cache_capacity=args.cache_size,
         deadline_ms=args.deadline_ms,
         batch_wait_ms=args.batch_wait_ms,
+        metrics=registry,
     )
     server = RecommendationServer(service, host=args.host, port=args.port)
     print(
         f"serving index {index.version} on {server.url} "
-        f"(/recommend /explain /healthz /stats; Ctrl-C to stop)"
+        f"(/recommend /explain /healthz /stats /metrics; Ctrl-C to stop)"
     )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down")
+    finally:
+        if args.metrics_out:
+            from .obs import JsonlRunLog
+
+            with JsonlRunLog(args.metrics_out) as log:
+                log.emit_snapshot(registry, kind="final_metrics")
+            print(f"run log written to {args.metrics_out}")
     return 0
 
 

@@ -16,7 +16,7 @@ to users chasing their own divergence.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -45,13 +45,25 @@ def attention_entropy(weights: np.ndarray) -> float:
 
 @dataclass
 class EpochDiagnostics:
-    """One epoch's health snapshot."""
+    """One epoch's health snapshot.
+
+    ``attention_entropy`` is *normalized* Shannon entropy in ``[0, 1]``
+    (see :func:`attention_entropy`).  The two gradient norms read
+    ``parameter.grad`` as left behind by the most recent ``backward()``
+    — they are ``None`` when no gradient is present (e.g. the snapshot
+    was taken after ``zero_grad()`` or before any training step).
+    """
 
     attention_entropy: float
     entity_norm_mean: float
     entity_norm_max: float
     relation_grad_norm: float | None
     parameter_grad_norm: float | None
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for the JSONL run-log exporter
+        (:class:`~repro.obs.metrics.JsonlRunLog`)."""
+        return asdict(self)
 
 
 @dataclass
@@ -115,7 +127,14 @@ class DiagnosticsRecorder:
         return snapshot
 
     def collapsed(self, threshold: float = 0.1) -> bool:
-        """Whether the latest snapshot shows attention collapse."""
+        """Whether the latest snapshot shows attention collapse.
+
+        ``threshold`` is in **normalized-entropy units** in ``[0, 1]``
+        (the scale of :func:`attention_entropy`: 1.0 = uniform member
+        attention, 0.0 = fully one-hot) — *not* nats.  The default 0.1
+        flags rows whose entropy has dropped below 10% of uniform.
+        Raises :class:`ValueError` if :meth:`record` was never called.
+        """
         if not self.history:
             raise ValueError("no snapshots recorded yet")
         return self.history[-1].attention_entropy < threshold

@@ -2,10 +2,18 @@
 
 Adam over mixed group+user mini-batches, optional early stopping on
 validation hit@5, per-epoch history for the experiment harnesses.
+Optional observability (`metrics=` / `run_log=` / `diagnostics=`): a
+:class:`~repro.obs.metrics.MetricsRegistry` receives loss, gradient
+norm and epoch/step timing series, and a
+:class:`~repro.obs.metrics.JsonlRunLog` collects per-epoch records plus
+:class:`~repro.core.diagnostics.DiagnosticsRecorder` snapshots in one
+file.  All three default to disabled no-ops (the ``sanitize=True``
+pattern): the unobserved path computes nothing extra.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -14,6 +22,7 @@ from ..data.interactions import InteractionTable
 from ..data.loader import MixedBatchLoader
 from ..eval.evaluator import evaluate_group_recommender
 from ..nn import Adam, Tensor, clip_grad_norm, no_grad
+from ..obs.metrics import NULL_REGISTRY
 from .losses import combined_loss
 from .model import KGAG
 
@@ -57,6 +66,23 @@ class KGAGTrainer:
         are recorded in :attr:`untouched_parameters`.  Off by default —
         the unsanitized path runs the pristine tape code with zero
         instrumentation overhead.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.  When
+        given, the trainer maintains ``train/steps_total`` and
+        ``train/epochs_total`` counters, ``train/loss`` and
+        ``train/grad_norm`` gauges, and ``train/step_seconds`` /
+        ``train/epoch_seconds`` histograms.  Defaults to the shared
+        no-op registry: disabled training computes no gradient norm and
+        installs no tape hooks.
+    run_log:
+        Optional :class:`~repro.obs.metrics.JsonlRunLog`.  ``fit()``
+        emits one ``epoch`` record per epoch (loss, validation metrics,
+        epoch seconds) and — when ``diagnostics`` is also given — one
+        ``diagnostics`` record per epoch, so metrics and diagnostics
+        land in a single run log.
+    diagnostics:
+        Optional :class:`~repro.core.diagnostics.DiagnosticsRecorder`
+        bound to ``model``; ``fit()`` records one snapshot per epoch.
     """
 
     def __init__(
@@ -66,6 +92,9 @@ class KGAGTrainer:
         user_train: InteractionTable,
         group_validation: InteractionTable | None = None,
         sanitize: bool = False,
+        metrics=None,
+        run_log=None,
+        diagnostics=None,
     ):
         self.model = model
         self.config = model.config
@@ -84,6 +113,29 @@ class KGAGTrainer:
         self._best_state: dict | None = None
         self.sanitize = sanitize
         self.untouched_parameters: list[str] = []
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.run_log = run_log
+        self.diagnostics = diagnostics
+        # Instruments are resolved once; with the null registry these are
+        # shared no-op singletons, so the hot loop pays only a method call.
+        self._m_steps = self.metrics.counter(
+            "train/steps_total", help="optimizer steps taken"
+        )
+        self._m_epochs = self.metrics.counter(
+            "train/epochs_total", help="training epochs completed"
+        )
+        self._m_loss = self.metrics.gauge("train/loss", help="last batch loss")
+        self._m_grad_norm = self.metrics.gauge(
+            "train/grad_norm", help="global gradient norm before clipping"
+        )
+        self._m_step_seconds = self.metrics.histogram(
+            "train/step_seconds", help="wall time per optimizer step"
+        )
+        self._m_epoch_seconds = self.metrics.histogram(
+            "train/epoch_seconds",
+            buckets=(0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0),
+            help="wall time per training epoch",
+        )
 
     # ------------------------------------------------------------------
     def train_step(self, batch) -> float:
@@ -94,6 +146,7 @@ class KGAGTrainer:
         anomalies raise at the producing op instead of surfacing as a
         corrupted metric epochs later.
         """
+        step_start = time.perf_counter() if self.metrics.enabled else 0.0
         if self.sanitize:
             # Imported lazily: the default path must not even load the
             # sanitizer machinery.
@@ -107,10 +160,26 @@ class KGAGTrainer:
             ]
         else:
             loss = self._forward_backward(batch)
+        if self.metrics.enabled:
+            # Pre-clipping global norm; guarded so the disabled path does
+            # not pay the extra reduction over every parameter.
+            self._m_grad_norm.set(self._gradient_norm())
         if self.config.max_grad_norm is not None:
             clip_grad_norm(self.model.parameters(), self.config.max_grad_norm)
         self.optimizer.step()
-        return float(loss.item())
+        value = float(loss.item())
+        self._m_steps.inc()
+        self._m_loss.set(value)
+        if self.metrics.enabled:
+            self._m_step_seconds.observe(time.perf_counter() - step_start)
+        return value
+
+    def _gradient_norm(self) -> float:
+        total = 0.0
+        for parameter in self.model.parameters():
+            if parameter.grad is not None:
+                total += float((parameter.grad**2).sum())
+        return float(np.sqrt(total))
 
     def _forward_backward(self, batch):
         """Compute the combined loss for one batch and run backward."""
@@ -142,8 +211,14 @@ class KGAGTrainer:
     def train_epoch(self) -> float:
         """One pass over the training data; returns the mean batch loss."""
         self.model.train()
+        epoch_start = time.perf_counter() if self.metrics.enabled else 0.0
         losses = [self.train_step(batch) for batch in self.loader.epoch()]
-        return float(np.mean(losses))
+        mean_loss = float(np.mean(losses))
+        self._m_epochs.inc()
+        if self.metrics.enabled:
+            self._m_epoch_seconds.observe(time.perf_counter() - epoch_start)
+            self._m_loss.set(mean_loss)
+        return mean_loss
 
     def validate(self, k: int = 5) -> dict[str, float]:
         """hit@k / rec@k on the validation split."""
@@ -175,8 +250,12 @@ class KGAGTrainer:
         for epoch in range(self.config.epochs):
             mean_loss = self.train_epoch()
             self.history.losses.append(mean_loss)
+            validation_metrics: dict[str, float] | None = None
             if self.group_validation is not None:
-                metrics = self.validate()
+                validation_metrics = self.validate()
+            self._observe_epoch(epoch, mean_loss, validation_metrics)
+            if validation_metrics is not None:
+                metrics = validation_metrics
                 self.history.validation.append(metrics)
                 metric = metrics["hit@5"] + metrics["rec@5"]
                 if verbose:
@@ -198,4 +277,24 @@ class KGAGTrainer:
                 print(f"epoch {epoch:3d}  loss {mean_loss:.4f}")
         if self._best_state is not None:
             self.model.load_state_dict(self._best_state)
+        if self.run_log is not None:
+            self.run_log.emit_snapshot(self.metrics, kind="final_metrics")
         return self.history
+
+    def _observe_epoch(
+        self, epoch: int, mean_loss: float, validation_metrics: dict[str, float] | None
+    ) -> None:
+        """Record one epoch in the diagnostics recorder and the run log."""
+        snapshot = None
+        if self.diagnostics is not None:
+            snapshot = self.diagnostics.record()
+        if self.run_log is None:
+            return
+        record = {"epoch": epoch, "loss": mean_loss}
+        if validation_metrics is not None:
+            record.update(validation_metrics)
+        if self.metrics.enabled:
+            record["grad_norm"] = self._m_grad_norm.value
+        self.run_log.emit("epoch", **record)
+        if snapshot is not None:
+            self.run_log.emit("diagnostics", epoch=epoch, **snapshot.as_dict())

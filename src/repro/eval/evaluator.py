@@ -9,11 +9,13 @@ expose that interface, so one evaluator serves the whole Table II.
 
 from __future__ import annotations
 
+import time
 from typing import Protocol
 
 import numpy as np
 
 from ..data.interactions import InteractionTable
+from ..obs.metrics import NULL_REGISTRY
 from .metrics import evaluate_rankings
 
 __all__ = ["GroupScorer", "score_all_items", "evaluate_group_recommender"]
@@ -85,6 +87,7 @@ def evaluate_group_recommender(
     train_interactions: InteractionTable | None = None,
     chunk_size: int = 4096,
     index=None,
+    metrics=None,
 ) -> dict[str, float]:
     """hit@k / rec@k of a scorer on a test split.
 
@@ -101,9 +104,16 @@ def evaluate_group_recommender(
     index:
         Optional prebuilt serving index / engine; see
         :func:`score_all_items`.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; maintains
+        an ``eval/groups_scored_total`` counter and an
+        ``eval/evaluation_seconds`` histogram.  Defaults to the shared
+        no-op registry (zero cost).
     """
     if test_interactions.num_interactions == 0:
         raise ValueError("test split is empty")
+    metrics = metrics if metrics is not None else NULL_REGISTRY
+    eval_start = time.perf_counter() if metrics.enabled else 0.0
     groups = np.unique(test_interactions.pairs[:, 0])
     scores_by_group = score_all_items(
         scorer, groups, test_interactions.num_cols, chunk_size=chunk_size, index=index
@@ -117,4 +127,12 @@ def evaluate_group_recommender(
     positives_by_group = {
         int(group): test_interactions.items_of(int(group)).tolist() for group in groups
     }
-    return evaluate_rankings(scores_by_group, positives_by_group, k=k)
+    result = evaluate_rankings(scores_by_group, positives_by_group, k=k)
+    if metrics.enabled:
+        metrics.counter(
+            "eval/groups_scored_total", help="groups ranked by the evaluator"
+        ).inc(len(groups))
+        metrics.histogram(
+            "eval/evaluation_seconds", help="wall time per full evaluation pass"
+        ).observe(time.perf_counter() - eval_start)
+    return result

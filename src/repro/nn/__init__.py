@@ -13,7 +13,15 @@ the equivalent differentiable-programming toolkit from scratch:
 * :mod:`repro.nn.gradcheck` — finite-difference validation helpers.
 """
 
-from .tensor import Tensor, as_tensor, no_grad, is_grad_enabled
+from .tensor import (
+    Tensor,
+    as_tensor,
+    no_grad,
+    is_grad_enabled,
+    install_tape_hooks,
+    uninstall_tape_hooks,
+    tape_hooks_active,
+)
 from .module import Module, Parameter
 from .layers import Linear, Embedding, Dropout, Sequential, Activation, MLP
 from .optim import SGD, Adam, StepLR, ExponentialLR, clip_grad_norm
@@ -46,6 +54,9 @@ __all__ = [
     "as_tensor",
     "no_grad",
     "is_grad_enabled",
+    "install_tape_hooks",
+    "uninstall_tape_hooks",
+    "tape_hooks_active",
     "Module",
     "Parameter",
     "Linear",

@@ -32,6 +32,9 @@ __all__ = [
     "is_grad_enabled",
     "unbroadcast",
     "as_tensor",
+    "install_tape_hooks",
+    "uninstall_tape_hooks",
+    "tape_hooks_active",
 ]
 
 DEFAULT_DTYPE = np.float64
@@ -576,3 +579,69 @@ class Tensor:
             self._accumulate(grad * mask)
 
         return Tensor._make(out_data, (self,), backward)
+
+
+# ---------------------------------------------------------------------------
+# tape hooks
+# ---------------------------------------------------------------------------
+# Every op funnels through two choke points: ``Tensor._make`` (node
+# creation on the forward pass) and ``Tensor._accumulate`` (gradient
+# write on the backward pass).  Observers — the tape sanitizer in
+# ``repro.analysis`` and the op profiler in ``repro.obs`` — register a
+# hooks object here instead of patching the class themselves, so several
+# observers can be active at once and each sees every event.  With no
+# hooks registered the class attributes ARE the pristine objects below;
+# the default path has zero added frames (tests assert identity).
+
+_PRISTINE_MAKE = Tensor.__dict__["_make"]
+_PRISTINE_ACCUMULATE = Tensor.__dict__["_accumulate"]
+
+_tape_hooks: list = []
+
+
+def _hooked_make(data, parents, backward):
+    for hooks in _tape_hooks:
+        hooks.on_make(data, parents, backward)
+    return _PRISTINE_MAKE.__func__(data, parents, backward)
+
+
+def _hooked_accumulate(tensor_self, grad):
+    for hooks in _tape_hooks:
+        hooks.on_accumulate(tensor_self, grad)
+    return _PRISTINE_ACCUMULATE(tensor_self, grad)
+
+
+def install_tape_hooks(hooks) -> None:
+    """Register a hooks object on the autograd tape.
+
+    ``hooks`` must provide ``on_make(data, parents, backward)`` (called
+    before each result node is created; ``data`` is the raw op output)
+    and ``on_accumulate(tensor, grad)`` (called before each gradient
+    write).  Hooks fire in registration order.  The first installation
+    swaps the tape choke points for dispatching wrappers; they are
+    restored to the pristine functions when the last hook is removed.
+    """
+    if any(existing is hooks for existing in _tape_hooks):
+        raise ValueError("tape hooks object is already installed")
+    _tape_hooks.append(hooks)
+    if len(_tape_hooks) == 1:
+        Tensor._make = staticmethod(_hooked_make)
+        Tensor._accumulate = _hooked_accumulate
+
+
+def uninstall_tape_hooks(hooks) -> None:
+    """Remove a previously installed hooks object (identity match)."""
+    for position, existing in enumerate(_tape_hooks):
+        if existing is hooks:
+            del _tape_hooks[position]
+            break
+    else:
+        raise ValueError("tape hooks object is not installed")
+    if not _tape_hooks:
+        Tensor._make = _PRISTINE_MAKE
+        Tensor._accumulate = _PRISTINE_ACCUMULATE
+
+
+def tape_hooks_active() -> bool:
+    """True while at least one hooks object is registered."""
+    return bool(_tape_hooks)

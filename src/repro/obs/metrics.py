@@ -1,0 +1,476 @@
+"""Thread-safe metrics instruments: counters, gauges, histograms.
+
+One :class:`MetricsRegistry` per process (or per server / trainer) holds
+every instrument by name; both the ``/stats`` JSON payload of
+:mod:`repro.serve.server` and its plain-text ``/metrics`` exposition
+render from this single source.  Three instrument kinds:
+
+* :class:`Counter` — a monotonically increasing total (requests served,
+  training steps taken);
+* :class:`Gauge` — a point-in-time value, either pushed with
+  :meth:`Gauge.set` or pulled from a callback (``fn=``) at snapshot time
+  — the callback form mirrors component-owned state (cache size,
+  breaker trips) into the registry without duplicating the counter;
+* :class:`Histogram` — fixed upper-edge buckets (``value <= edge``, a
+  la Prometheus ``le``) plus a bounded window of raw samples so exact
+  percentiles stay available for dashboards.
+
+Everything is stdlib-only and safe to call from server threads: each
+instrument carries its own lock.  The zero-cost-when-disabled story is
+:data:`NULL_REGISTRY` — a :class:`NullRegistry` whose instruments are
+shared no-op singletons, mirroring the ``sanitize=True`` opt-in pattern
+of :mod:`repro.analysis.sanitizer`.
+
+Exporters
+---------
+* :meth:`MetricsRegistry.render_text` — the ``/metrics`` plain-text
+  snapshot (Prometheus exposition style);
+* :class:`JsonlRunLog` — an append-only JSON-lines run log shared by
+  metric snapshots, per-epoch training records and
+  :class:`~repro.core.diagnostics.DiagnosticsRecorder` snapshots, so a
+  whole run lands in one file.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import threading
+import time
+from collections import deque
+from typing import Callable, IO, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "JsonlRunLog",
+    "DEFAULT_BUCKETS",
+    "LATENCY_MS_BUCKETS",
+]
+
+# Prometheus' classic seconds-oriented ladder; histogram callers with
+# millisecond units should pass LATENCY_MS_BUCKETS instead.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+LATENCY_MS_BUCKETS: tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0,
+)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the total."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge instead")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> dict:
+        return {"name": self.name, "kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value, pushed via :meth:`set` or pulled via ``fn``."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", fn: Callable[[], float] | None = None):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        if self._fn is not None:
+            raise ValueError(f"gauge {self.name!r} is callback-backed; cannot set()")
+        with self._lock:
+            self._value = float(value)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Switch to pull mode: ``fn()`` is evaluated at read time."""
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> dict:
+        return {"name": self.name, "kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with a bounded raw-sample window.
+
+    Parameters
+    ----------
+    buckets:
+        Strictly increasing upper edges; a sample ``v`` lands in the
+        first bucket with ``v <= edge`` (Prometheus ``le`` semantics),
+        or the implicit ``+Inf`` overflow bucket.
+    sample_window:
+        How many of the most recent raw samples to retain for
+        :meth:`percentile`; 0 disables the window (percentiles then
+        return 0.0).
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        help: str = "",
+        sample_window: int = 2048,
+    ):
+        edges = tuple(float(edge) for edge in buckets)
+        if not edges:
+            raise ValueError("at least one bucket edge is required")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError("bucket edges must be strictly increasing")
+        self.name = name
+        self.help = help
+        self.edges = edges
+        self._lock = threading.Lock()
+        self._bucket_counts = [0] * (len(edges) + 1)  # + the +Inf bucket
+        self._count = 0
+        self._sum = 0.0
+        self._window: deque[float] | None = (
+            deque(maxlen=int(sample_window)) if sample_window > 0 else None
+        )
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        position = bisect.bisect_left(self.edges, value)
+        with self._lock:
+            self._bucket_counts[position] += 1
+            self._count += 1
+            self._sum += value
+            if self._window is not None:
+                self._window.append(value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def bucket_counts(self) -> list[int]:
+        """Per-bucket (non-cumulative) counts; last entry is ``+Inf``."""
+        with self._lock:
+            return list(self._bucket_counts)
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_edge, cumulative_count)`` pairs, ending with +Inf."""
+        with self._lock:
+            counts = list(self._bucket_counts)
+        running = 0
+        pairs: list[tuple[float, int]] = []
+        for edge, count in zip(self.edges + (float("inf"),), counts):
+            running += count
+            pairs.append((edge, running))
+        return pairs
+
+    def percentile(self, q: float) -> float:
+        """Exact percentile over the raw-sample window.
+
+        Uses the nearest-rank formula ``min(n - 1, round(q * (n - 1)))``
+        — the same one the serving layer's ``/stats`` payload has always
+        used, so migrating it onto the registry stays byte-compatible.
+        """
+        with self._lock:
+            samples = sorted(self._window) if self._window else []
+        if not samples:
+            return 0.0
+        rank = min(len(samples) - 1, int(round(q * (len(samples) - 1))))
+        return samples[rank]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            counts = list(self._bucket_counts)
+            count, total = self._count, self._sum
+        running = 0
+        buckets = {}
+        for edge, bucket_count in zip(self.edges + (float("inf"),), counts):
+            running += bucket_count
+            buckets["+Inf" if edge == float("inf") else repr(edge)] = running
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "count": count,
+            "sum": total,
+            "buckets": buckets,
+        }
+
+
+class _NullInstrument:
+    """Shared do-nothing instrument handed out by :class:`NullRegistry`."""
+
+    name = "<null>"
+    help = ""
+    value = 0.0
+    count = 0
+    sum = 0.0
+    mean = 0.0
+    edges: tuple[float, ...] = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_function(self, fn) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, q: float) -> float:
+        return 0.0
+
+    def bucket_counts(self) -> list[int]:
+        return []
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        return []
+
+    def snapshot(self) -> dict:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Named instruments plus snapshot / text / JSONL exporters.
+
+    Instrument getters are get-or-create and type-checked: asking for an
+    existing name with a different kind raises, so two subsystems cannot
+    silently alias one name to incompatible instruments.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    # -- get-or-create -----------------------------------------------------
+    def _get_or_create(self, name: str, kind: type, factory):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, kind):
+                raise ValueError(
+                    f"instrument {name!r} already registered as "
+                    f"{instrument.kind}, not {kind.kind}"
+                )
+            return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name, help))
+
+    def gauge(
+        self, name: str, help: str = "", fn: Callable[[], float] | None = None
+    ) -> Gauge:
+        gauge = self._get_or_create(name, Gauge, lambda: Gauge(name, help, fn=fn))
+        if fn is not None and gauge._fn is not fn:
+            gauge.set_function(fn)
+        return gauge
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        help: str = "",
+        sample_window: int = 2048,
+    ) -> Histogram:
+        return self._get_or_create(
+            name, Histogram, lambda: Histogram(name, buckets, help, sample_window)
+        )
+
+    def get(self, name: str):
+        """The instrument registered under ``name``, or None."""
+        with self._lock:
+            return self._instruments.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return list(self._instruments)
+
+    # -- exporters ---------------------------------------------------------
+    def snapshot(self) -> dict[str, dict]:
+        """``{name: instrument snapshot}`` for every instrument."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        return {instrument.name: instrument.snapshot() for instrument in instruments}
+
+    def render_text(self) -> str:
+        """Plain-text exposition (Prometheus style) — the ``/metrics`` body.
+
+        Metric names are sanitized to ``[a-zA-Z0-9_:]`` (``/`` and ``-``
+        become ``_``); histograms expand to ``_bucket{le=...}`` /
+        ``_sum`` / ``_count`` series.
+        """
+        with self._lock:
+            instruments = list(self._instruments.values())
+        lines: list[str] = []
+        for instrument in instruments:
+            name = _text_name(instrument.name)
+            if instrument.help:
+                lines.append(f"# HELP {name} {instrument.help}")
+            lines.append(f"# TYPE {name} {instrument.kind}")
+            if isinstance(instrument, Histogram):
+                for edge, cumulative in instrument.cumulative_buckets():
+                    label = "+Inf" if edge == float("inf") else _format_number(edge)
+                    lines.append(f'{name}_bucket{{le="{label}"}} {cumulative}')
+                lines.append(f"{name}_sum {_format_number(instrument.sum)}")
+                lines.append(f"{name}_count {instrument.count}")
+            else:
+                lines.append(f"{name} {_format_number(instrument.value)}")
+        return "\n".join(lines) + "\n"
+
+
+def _text_name(name: str) -> str:
+    return "".join(
+        ch if (ch.isalnum() or ch in "_:") else "_" for ch in name
+    )
+
+
+def _format_number(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class NullRegistry:
+    """The zero-cost default: every getter returns a shared no-op.
+
+    ``enabled`` is False so instrumented code can skip *computing* a
+    metric (e.g. a gradient norm) rather than merely skip recording it.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "", fn=None) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(
+        self, name: str, buckets=DEFAULT_BUCKETS, help: str = "", sample_window: int = 2048
+    ) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def get(self, name: str) -> None:
+        return None
+
+    def names(self) -> list[str]:
+        return []
+
+    def snapshot(self) -> dict:
+        return {}
+
+    def render_text(self) -> str:
+        return ""
+
+
+NULL_REGISTRY = NullRegistry()
+
+
+class JsonlRunLog:
+    """Append-only JSON-lines run log.
+
+    One record per line; every record carries the ``kind`` discriminator
+    plus a monotonically increasing ``seq`` and a wall-clock ``ts``
+    (seconds since the epoch), so interleaved producers — per-epoch
+    training records, diagnostics snapshots, final metric dumps — sort
+    deterministically within one file.
+
+    Usage::
+
+        with JsonlRunLog(path) as log:
+            log.emit("epoch", epoch=0, loss=0.43)
+            log.emit_snapshot(registry, kind="final_metrics")
+    """
+
+    def __init__(self, path_or_stream, clock: Callable[[], float] = time.time):
+        if hasattr(path_or_stream, "write"):
+            self._stream: IO[str] = path_or_stream
+            self._owns_stream = False
+            self.path = None
+        else:
+            self.path = path_or_stream
+            self._stream = open(path_or_stream, "w", encoding="utf-8")
+            self._owns_stream = True
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    def emit(self, kind: str, **fields) -> dict:
+        """Write one record; returns the dict that was serialized."""
+        with self._lock:
+            record = {"kind": kind, "seq": self._seq, "ts": self._clock(), **fields}
+            self._seq += 1
+            self._stream.write(json.dumps(record, default=_jsonable) + "\n")
+            self._stream.flush()
+        return record
+
+    def emit_snapshot(self, registry, kind: str = "metrics", **fields) -> dict:
+        """Write the registry's full snapshot as a single record."""
+        return self.emit(kind, metrics=registry.snapshot(), **fields)
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "JsonlRunLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def _jsonable(value):
+    # numpy scalars and similar objects expose item(); fall back to str.
+    if hasattr(value, "item"):
+        return value.item()
+    return str(value)

@@ -1,0 +1,194 @@
+"""Wall-time spans: where does a request or a training step spend time.
+
+A :class:`Tracer` records named, nestable spans measured on a monotonic
+clock (``time.perf_counter`` by default; injectable for deterministic
+tests).  Spans are created with a context manager or the
+:meth:`Tracer.traced` decorator::
+
+    tracer = Tracer()
+    with tracer.span("train_epoch"):
+        with tracer.span("forward"):
+            ...
+        with tracer.span("backward"):
+            ...
+    print(tracer.render())          # indented tree with durations
+    tracer.breakdown()              # {name: {"total": s, "self": s, ...}}
+
+Semantics
+---------
+* a span's **total** time is inclusive (covers its children); its
+  **self** time is total minus the totals of its direct children;
+* nesting is tracked per thread (a thread-local stack), so concurrent
+  server threads each get a consistent parent chain;
+* a span closed by an exception is still recorded (the context manager
+  finalizes in ``finally``) — trace data survives failed steps.
+
+:data:`NULL_TRACER` is the zero-cost disabled default: its ``span()``
+returns a shared reusable no-op context manager and ``traced`` returns
+the function unchanged.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import functools
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+@dataclass
+class Span:
+    """One completed (or still-open) span."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    depth: int
+    start: float
+    end: float | None = None
+    thread: str = ""
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (0.0 while still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+
+class _ThreadStack(threading.local):
+    # threading.local subclasses re-run __init__ in every thread that
+    # touches the instance, so each server thread sees its own stack.
+    def __init__(self):
+        self.stack: list[Span] = []
+
+
+class Tracer:
+    """Collects :class:`Span` records on an injectable monotonic clock."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._local = _ThreadStack()
+        self.spans: list[Span] = []  # completed spans, in completion order
+
+    @contextlib.contextmanager
+    def span(self, name: str):
+        stack = self._local.stack
+        parent = stack[-1] if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        record = Span(
+            name=name,
+            span_id=span_id,
+            parent_id=parent.span_id if parent else None,
+            depth=len(stack),
+            start=self._clock(),
+            thread=threading.current_thread().name,
+        )
+        stack.append(record)
+        try:
+            yield record
+        finally:
+            record.end = self._clock()
+            stack.pop()
+            with self._lock:
+                self.spans.append(record)
+
+    def traced(self, name: str | None = None):
+        """Decorator form: the span is named after the function."""
+
+        def decorate(fn):
+            label = name or fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                with self.span(label):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    # -- reporting ---------------------------------------------------------
+    def breakdown(self) -> dict[str, dict[str, float]]:
+        """Aggregate per span name: calls, total (inclusive), self time."""
+        with self._lock:
+            spans = list(self.spans)
+        child_total: dict[int, float] = {}
+        for span in spans:
+            if span.parent_id is not None:
+                child_total[span.parent_id] = (
+                    child_total.get(span.parent_id, 0.0) + span.duration
+                )
+        result: dict[str, dict[str, float]] = {}
+        for span in spans:
+            entry = result.setdefault(
+                span.name, {"calls": 0, "total": 0.0, "self": 0.0}
+            )
+            entry["calls"] += 1
+            entry["total"] += span.duration
+            entry["self"] += span.duration - child_total.get(span.span_id, 0.0)
+        return result
+
+    def total(self) -> float:
+        """Summed wall time of the root spans (depth 0)."""
+        with self._lock:
+            return sum(span.duration for span in self.spans if span.depth == 0)
+
+    def render(self) -> str:
+        """Indented tree of spans in start order, with durations in ms."""
+        with self._lock:
+            spans = sorted(self.spans, key=lambda span: (span.start, span.span_id))
+        if not spans:
+            return "trace: no spans recorded"
+        width = max(len("  " * span.depth + span.name) for span in spans)
+        lines = ["trace:"]
+        for span in spans:
+            label = "  " * span.depth + span.name
+            lines.append(f"  {label:<{width}}  {span.duration * 1e3:10.3f} ms")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Drop every completed span (open spans keep recording)."""
+        with self._lock:
+            self.spans.clear()
+
+
+@contextlib.contextmanager
+def _null_span():
+    yield None
+
+
+class NullTracer:
+    """Disabled tracer: no spans, no clock reads, reusable everywhere."""
+
+    spans: list[Span] = []
+
+    def span(self, name: str):
+        return _null_span()
+
+    def traced(self, name: str | None = None):
+        def decorate(fn):
+            return fn
+
+        return decorate
+
+    def breakdown(self) -> dict:
+        return {}
+
+    def total(self) -> float:
+        return 0.0
+
+    def render(self) -> str:
+        return "trace: disabled"
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

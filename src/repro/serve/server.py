@@ -13,6 +13,10 @@ Endpoints
     the paper's Fig. 6 interpretability report, served online.
 ``GET /stats``
     Request counters, latency percentiles, cache and breaker state.
+``GET /metrics``
+    The same counters as plain-text exposition
+    (:meth:`~repro.obs.metrics.MetricsRegistry.render_text`) — both
+    endpoints render from the one shared registry.
 
 The service layer (:class:`RecommendationService`) is framework-free and
 fully unit-testable without sockets; :class:`RecommendationServer` wires
@@ -25,12 +29,12 @@ from __future__ import annotations
 import json
 import threading
 import time
-from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 import numpy as np
 
+from ..obs.metrics import LATENCY_MS_BUCKETS, MetricsRegistry
 from .cache import ScoreCache
 from .engine import MicroBatcher, RankingEngine
 from .fallback import CircuitBreaker, ResilientScorer
@@ -66,6 +70,12 @@ class RecommendationService:
         Test hook: replaces the primary ``group_id -> scores`` callable
         (e.g. an injected failing scorer) while keeping the rest of the
         stack — cache, breaker, fallback — intact.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; defaults
+        to a fresh private one.  Request/error counters and the latency
+        histogram live in the registry, and callback gauges mirror
+        component-owned state (batcher, breaker, index version), so
+        ``/stats`` and ``/metrics`` render from a single source.
     """
 
     def __init__(
@@ -77,6 +87,7 @@ class RecommendationService:
         max_batch: int = 64,
         breaker: CircuitBreaker | None = None,
         primary_override=None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.index = index
         self.cache = ScoreCache(cache_capacity) if cache_capacity > 0 else None
@@ -91,11 +102,77 @@ class RecommendationService:
             deadline_ms=deadline_ms,
             breaker=breaker,
         )
-        self._lock = threading.Lock()
-        self._latencies: deque[float] = deque(maxlen=2048)
-        self._requests = 0
-        self._client_errors = 0
         self._started = time.monotonic()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_requests = self.metrics.counter(
+            "serve/requests_total", help="recommendation requests served"
+        )
+        self._m_client_errors = self.metrics.counter(
+            "serve/client_errors_total", help="requests rejected with HTTP 4xx"
+        )
+        # Same 2048-sample window the old hand-rolled deque used, so the
+        # /stats percentiles are byte-identical after the migration.
+        self._m_latency = self.metrics.histogram(
+            "serve/request_latency_ms",
+            buckets=LATENCY_MS_BUCKETS,
+            sample_window=2048,
+            help="end-to-end recommend latency (milliseconds)",
+        )
+        # Callback gauges mirror component-owned counters into the
+        # registry without double bookkeeping in the request path.
+        self.metrics.gauge(
+            "serve/batches_run",
+            fn=lambda: self.batcher.batches_run,
+            help="micro-batches executed",
+        )
+        self.metrics.gauge(
+            "serve/batched_requests",
+            fn=lambda: self.batcher.requests_served,
+            help="requests served through the micro-batcher",
+        )
+        self.metrics.gauge(
+            "serve/breaker_open",
+            fn=lambda: 0.0 if self.resilient.breaker.state == "closed" else 1.0,
+            help="1 when the circuit breaker is open or half-open",
+        )
+        self.metrics.gauge(
+            "serve/breaker_trips",
+            fn=lambda: self.resilient.breaker.trips,
+            help="times the circuit breaker has opened",
+        )
+        # index.version is a hex digest, not a number — /stats carries it;
+        # the registry mirrors the numeric index dimensions instead.
+        self.metrics.gauge(
+            "serve/index_groups",
+            fn=lambda: self.index.num_groups,
+            help="groups in the live embedding index",
+        )
+        self.metrics.gauge(
+            "serve/index_items",
+            fn=lambda: self.index.num_items,
+            help="items in the live embedding index",
+        )
+        self.metrics.gauge(
+            "serve/uptime_seconds",
+            fn=lambda: time.monotonic() - self._started,
+            help="seconds since service construction",
+        )
+        if self.cache is not None:
+            self.metrics.gauge(
+                "serve/cache_entries",
+                fn=lambda: self.cache.stats().size,
+                help="cached score vectors",
+            )
+            self.metrics.gauge(
+                "serve/cache_hits",
+                fn=lambda: self.cache.stats().hits,
+                help="cache hits",
+            )
+            self.metrics.gauge(
+                "serve/cache_misses",
+                fn=lambda: self.cache.stats().misses,
+                help="cache misses",
+            )
 
     # -- primitives ------------------------------------------------------
     def _fallback_scores(self, group_id: int) -> np.ndarray:
@@ -131,9 +208,8 @@ class RecommendationService:
         seen = self.index.seen_items(group_id) if exclude_seen else None
         items = RankingEngine.rank(scores, seen, k)
         elapsed_ms = (time.perf_counter() - start) * 1000.0
-        with self._lock:
-            self._requests += 1
-            self._latencies.append(elapsed_ms)
+        self._m_requests.inc()
+        self._m_latency.observe(elapsed_ms)
         return {
             "group": group_id,
             "k": int(k),
@@ -185,23 +261,20 @@ class RecommendationService:
         }
 
     def stats(self) -> dict:
-        """Counters for dashboards and the serving benchmark."""
-        with self._lock:
-            latencies = sorted(self._latencies)
-            requests = self._requests
-            client_errors = self._client_errors
-        def percentile(q: float) -> float:
-            if not latencies:
-                return 0.0
-            rank = min(len(latencies) - 1, int(round(q * (len(latencies) - 1))))
-            return round(latencies[rank], 3)
+        """Counters for dashboards and the serving benchmark.
+
+        Rendered from the shared :attr:`metrics` registry — the same
+        instruments behind ``/metrics``.  The field names, ``int``
+        casts, 3-decimal rounding and nearest-rank percentile formula
+        are kept byte-identical to the pre-registry payload.
+        """
         payload = {
-            "requests": requests,
-            "client_errors": client_errors,
+            "requests": int(self._m_requests.value),
+            "client_errors": int(self._m_client_errors.value),
             "latency_ms": {
-                "p50": percentile(0.50),
-                "p95": percentile(0.95),
-                "p99": percentile(0.99),
+                "p50": round(self._m_latency.percentile(0.50), 3),
+                "p95": round(self._m_latency.percentile(0.95), 3),
+                "p99": round(self._m_latency.percentile(0.99), 3),
             },
             "batching": {
                 "batches_run": self.batcher.batches_run,
@@ -231,8 +304,7 @@ class RecommendationService:
         }
 
     def note_client_error(self) -> None:
-        with self._lock:
-            self._client_errors += 1
+        self._m_client_errors.inc()
 
     def close(self) -> None:
         self.resilient.close()
@@ -256,6 +328,14 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_text(self, body: str, status: int = 200) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
 
     def _params(self) -> dict:
         return {
@@ -282,6 +362,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(self.service.healthz())
             elif route == "/stats":
                 self._send_json(self.service.stats())
+            elif route == "/metrics":
+                self._send_text(self.service.metrics.render_text())
             elif route == "/recommend":
                 self._send_json(
                     self.service.recommend(

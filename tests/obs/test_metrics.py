@@ -1,0 +1,199 @@
+"""Instrument semantics: counters, gauges, histograms, registry, run log."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    JsonlRunLog,
+    MetricsRegistry,
+    NULL_REGISTRY,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        counter = Counter("c")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1.0)
+
+    def test_concurrent_increments_are_not_lost(self):
+        counter = Counter("c")
+        increments_per_thread = 5000
+
+        def worker():
+            for _ in range(increments_per_thread):
+                counter.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8 * increments_per_thread
+
+
+class TestGauge:
+    def test_set_and_read(self):
+        gauge = Gauge("g")
+        gauge.set(4.2)
+        assert gauge.value == 4.2
+
+    def test_callback_mode_reads_live_value(self):
+        state = {"v": 1.0}
+        gauge = Gauge("g", fn=lambda: state["v"])
+        assert gauge.value == 1.0
+        state["v"] = 7.0
+        assert gauge.value == 7.0
+
+    def test_set_on_callback_gauge_raises(self):
+        gauge = Gauge("g", fn=lambda: 0.0)
+        with pytest.raises(ValueError, match="callback-backed"):
+            gauge.set(1.0)
+
+
+class TestHistogram:
+    def test_bucket_edges_are_upper_inclusive(self):
+        # Prometheus `le` semantics: v lands in the first bucket v <= edge.
+        hist = Histogram("h", buckets=(1.0, 2.0, 5.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 5.0, 99.0):
+            hist.observe(value)
+        # buckets: <=1.0 gets {0.5, 1.0}; <=2.0 gets {1.5, 2.0};
+        # <=5.0 gets {5.0}; +Inf gets {99.0}.
+        assert hist.bucket_counts() == [2, 2, 1, 1]
+        assert hist.cumulative_buckets() == [
+            (1.0, 2),
+            (2.0, 4),
+            (5.0, 5),
+            (float("inf"), 6),
+        ]
+
+    def test_edges_must_be_strictly_increasing(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("h", buckets=())
+
+    def test_count_sum_mean(self):
+        hist = Histogram("h", buckets=(10.0,))
+        for value in (1.0, 2.0, 3.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.sum == 6.0
+        assert hist.mean == 2.0
+
+    def test_percentile_matches_serving_nearest_rank_formula(self):
+        # The historical /stats formula: rank = min(n-1, round(q*(n-1))).
+        hist = Histogram("h", buckets=(1000.0,))
+        samples = [float(v) for v in range(1, 101)]
+        for value in samples:
+            hist.observe(value)
+        ordered = sorted(samples)
+
+        def expected(q):
+            rank = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+            return ordered[rank]
+
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert hist.percentile(q) == expected(q)
+
+    def test_percentile_empty_window_is_zero(self):
+        assert Histogram("h", buckets=(1.0,)).percentile(0.5) == 0.0
+        no_window = Histogram("h", buckets=(1.0,), sample_window=0)
+        no_window.observe(3.0)
+        assert no_window.percentile(0.5) == 0.0
+
+    def test_sample_window_is_bounded(self):
+        hist = Histogram("h", buckets=(1e9,), sample_window=4)
+        for value in range(100):
+            hist.observe(float(value))
+        # Only the 4 most recent samples remain: 96..99.
+        assert hist.percentile(0.0) == 96.0
+        assert hist.count == 100  # bucket counts are not windowed
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+
+    def test_snapshot_covers_all_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(2)
+        registry.gauge("b").set(1.5)
+        registry.histogram("c", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["a"]["value"] == 2
+        assert snapshot["b"]["value"] == 1.5
+        assert snapshot["c"]["count"] == 1
+
+    def test_render_text_sanitizes_names_and_expands_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("serve/requests_total", help="total").inc(3)
+        registry.histogram("lat-ms", buckets=(1.0,)).observe(0.5)
+        text = registry.render_text()
+        assert "# TYPE serve_requests_total counter" in text
+        assert "serve_requests_total 3" in text
+        assert 'lat_ms_bucket{le="1"} 1' in text
+        assert 'lat_ms_bucket{le="+Inf"} 1' in text
+        assert "lat_ms_count 1" in text
+
+    def test_null_registry_is_disabled_and_inert(self):
+        assert NULL_REGISTRY.enabled is False
+        counter = NULL_REGISTRY.counter("x")
+        counter.inc()
+        assert counter.value == 0.0
+        hist = NULL_REGISTRY.histogram("y")
+        hist.observe(1.0)
+        assert hist.percentile(0.5) == 0.0
+        assert NULL_REGISTRY.snapshot() == {}
+        assert NULL_REGISTRY.render_text() == ""
+        # All getters hand out the same shared no-op singleton.
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.gauge("b")
+
+
+class TestJsonlRunLog:
+    def test_records_carry_kind_seq_ts(self):
+        buffer = io.StringIO()
+        clock = iter(float(t) for t in range(10))
+        log = JsonlRunLog(buffer, clock=lambda: next(clock))
+        log.emit("epoch", epoch=0, loss=0.5)
+        log.emit("epoch", epoch=1, loss=0.4)
+        records = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        assert [r["kind"] for r in records] == ["epoch", "epoch"]
+        assert [r["seq"] for r in records] == [0, 1]
+        assert [r["ts"] for r in records] == [0.0, 1.0]
+        assert records[1]["loss"] == 0.4
+
+    def test_emit_snapshot_embeds_registry_state(self):
+        registry = MetricsRegistry()
+        registry.counter("steps").inc(7)
+        buffer = io.StringIO()
+        JsonlRunLog(buffer).emit_snapshot(registry, kind="final_metrics")
+        record = json.loads(buffer.getvalue())
+        assert record["kind"] == "final_metrics"
+        assert record["metrics"]["steps"]["value"] == 7
+
+    def test_file_path_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with JsonlRunLog(path) as log:
+            log.emit("epoch", epoch=0)
+        assert json.loads(path.read_text())["epoch"] == 0

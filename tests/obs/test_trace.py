@@ -1,0 +1,125 @@
+"""Span semantics: nesting, clock injection, decorator, exception safety."""
+
+import threading
+
+import pytest
+
+from repro.obs import NULL_TRACER, Tracer
+
+
+class FakeClock:
+    """Deterministic monotonic clock advanced by the test."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestSpans:
+    def test_nested_spans_record_depth_and_parent(self, clock):
+        tracer = Tracer(clock=clock)
+        with tracer.span("outer") as outer:
+            clock.advance(1.0)
+            with tracer.span("inner") as inner:
+                clock.advance(2.0)
+            clock.advance(1.0)
+        assert outer.depth == 0 and inner.depth == 1
+        assert inner.parent_id == outer.span_id
+        assert inner.duration == 2.0
+        assert outer.duration == 4.0
+
+    def test_breakdown_self_time_excludes_children(self, clock):
+        tracer = Tracer(clock=clock)
+        with tracer.span("outer"):
+            clock.advance(1.0)
+            with tracer.span("inner"):
+                clock.advance(3.0)
+        breakdown = tracer.breakdown()
+        assert breakdown["outer"]["total"] == 4.0
+        assert breakdown["outer"]["self"] == 1.0
+        assert breakdown["inner"]["self"] == 3.0
+
+    def test_total_sums_only_root_spans(self, clock):
+        tracer = Tracer(clock=clock)
+        with tracer.span("a"):
+            clock.advance(1.0)
+            with tracer.span("child"):
+                clock.advance(1.0)
+        with tracer.span("b"):
+            clock.advance(2.0)
+        assert tracer.total() == 4.0
+
+    def test_span_closed_on_exception(self, clock):
+        tracer = Tracer(clock=clock)
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                clock.advance(1.0)
+                raise RuntimeError("boom")
+        (span,) = tracer.spans
+        assert span.end is not None and span.duration == 1.0
+
+    def test_decorator_names_span_after_function(self, clock):
+        tracer = Tracer(clock=clock)
+
+        @tracer.traced()
+        def work():
+            clock.advance(0.5)
+            return 42
+
+        assert work() == 42
+        assert tracer.spans[0].name.endswith("work")
+        assert tracer.breakdown()[tracer.spans[0].name]["calls"] == 1
+
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer()
+        seen_depths = []
+
+        def worker():
+            with tracer.span("thread-root") as span:
+                seen_depths.append(span.depth)
+
+        with tracer.span("main-root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        # The worker's span must not nest under the main thread's open span.
+        assert seen_depths == [0]
+
+    def test_reset_clears_completed_spans(self, clock):
+        tracer = Tracer(clock=clock)
+        with tracer.span("a"):
+            clock.advance(1.0)
+        tracer.reset()
+        assert tracer.spans == [] and tracer.total() == 0.0
+
+    def test_render_lists_spans(self, clock):
+        tracer = Tracer(clock=clock)
+        with tracer.span("phase"):
+            clock.advance(0.25)
+        rendered = tracer.render()
+        assert "phase" in rendered and "250.000 ms" in rendered
+
+
+class TestNullTracer:
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("anything") as span:
+            assert span is None
+        assert NULL_TRACER.spans == []
+        assert NULL_TRACER.breakdown() == {}
+        assert NULL_TRACER.total() == 0.0
+
+    def test_null_traced_returns_function_unchanged(self):
+        def fn():
+            return 1
+
+        assert NULL_TRACER.traced()(fn) is fn

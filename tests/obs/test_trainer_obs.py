@@ -1,0 +1,141 @@
+"""Trainer observability: metrics series, JSONL run log, diagnostics."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import KGAG, KGAGConfig, KGAGTrainer
+from repro.core.diagnostics import DiagnosticsRecorder
+from repro.data import MovieLensLikeConfig, movielens_like, split_interactions
+from repro.nn import tape_hooks_active
+from repro.obs import JsonlRunLog, MetricsRegistry
+
+
+@pytest.fixture(scope="module")
+def world():
+    dataset = movielens_like(
+        "rand",
+        MovieLensLikeConfig(num_users=30, num_items=40, num_groups=12, seed=3),
+    )
+    split = split_interactions(dataset.group_item, rng=np.random.default_rng(3))
+    return dataset, split
+
+
+def make_trainer(world, **kwargs):
+    dataset, split = world
+    model = KGAG(
+        dataset.kg,
+        dataset.num_users,
+        dataset.num_items,
+        dataset.user_item.pairs,
+        dataset.groups,
+        KGAGConfig(
+            embedding_dim=8,
+            num_layers=1,
+            num_neighbors=3,
+            epochs=2,
+            batch_size=64,
+            patience=0,
+            seed=3,
+        ),
+    )
+    return KGAGTrainer(
+        model, split.train, dataset.user_item, split.validation, **kwargs
+    )
+
+
+class TestTrainerMetrics:
+    def test_registry_series_after_fit(self, world):
+        registry = MetricsRegistry()
+        trainer = make_trainer(world, metrics=registry)
+        trainer.fit()
+        assert registry.get("train/epochs_total").value == 2
+        steps = registry.get("train/steps_total").value
+        assert steps > 0
+        assert registry.get("train/step_seconds").count == steps
+        assert registry.get("train/epoch_seconds").count == 2
+        assert registry.get("train/grad_norm").value > 0.0
+        assert np.isfinite(registry.get("train/loss").value)
+
+    def test_default_trainer_is_unobserved(self, world):
+        trainer = make_trainer(world)
+        assert trainer.metrics.enabled is False
+        trainer.train_epoch()
+        # No tape hooks and no metric state on the default path.
+        assert not tape_hooks_active()
+        assert trainer.metrics.snapshot() == {}
+
+    def test_loss_series_matches_history(self, world):
+        registry = MetricsRegistry()
+        trainer = make_trainer(world, metrics=registry)
+        history = trainer.fit()
+        assert registry.get("train/loss").value == pytest.approx(
+            history.losses[-1]
+        )
+
+
+class TestRunLog:
+    def test_epoch_and_final_records(self, world):
+        buffer = io.StringIO()
+        registry = MetricsRegistry()
+        trainer = make_trainer(world, metrics=registry, run_log=JsonlRunLog(buffer))
+        history = trainer.fit()
+        records = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        epochs = [r for r in records if r["kind"] == "epoch"]
+        assert [r["epoch"] for r in epochs] == [0, 1]
+        assert epochs[0]["loss"] == pytest.approx(history.losses[0])
+        assert "hit@5" in epochs[0] and "grad_norm" in epochs[0]
+        final = [r for r in records if r["kind"] == "final_metrics"]
+        assert len(final) == 1
+        assert final[0]["metrics"]["train/epochs_total"]["value"] == 2
+
+    def test_diagnostics_snapshots_flow_into_run_log(self, world):
+        dataset, split = world
+        buffer = io.StringIO()
+        trainer = make_trainer(world, run_log=JsonlRunLog(buffer))
+        probe = split.train.pairs[:16]
+        trainer.diagnostics = DiagnosticsRecorder(
+            trainer.model, probe[:, 0], probe[:, 1]
+        )
+        trainer.fit()
+        records = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        diag = [r for r in records if r["kind"] == "diagnostics"]
+        assert [r["epoch"] for r in diag] == [0, 1]
+        assert 0.0 <= diag[0]["attention_entropy"] <= 1.0
+        assert diag[0]["entity_norm_mean"] > 0.0
+        # One recorder snapshot per epoch lands in .history too.
+        assert len(trainer.diagnostics.history) == 2
+
+
+class TestDiagnosticsApi:
+    def test_as_dict_round_trips_through_json(self, world):
+        dataset, split = world
+        trainer = make_trainer(world)
+        probe = split.train.pairs[:16]
+        recorder = DiagnosticsRecorder(trainer.model, probe[:, 0], probe[:, 1])
+        trainer.train_epoch()
+        snapshot = recorder.record()
+        payload = json.loads(json.dumps(snapshot.as_dict()))
+        assert set(payload) == {
+            "attention_entropy",
+            "entity_norm_mean",
+            "entity_norm_max",
+            "relation_grad_norm",
+            "parameter_grad_norm",
+        }
+        assert payload["attention_entropy"] == snapshot.attention_entropy
+
+    def test_collapsed_uses_normalized_entropy_threshold(self, world):
+        dataset, split = world
+        trainer = make_trainer(world)
+        probe = split.train.pairs[:16]
+        recorder = DiagnosticsRecorder(trainer.model, probe[:, 0], probe[:, 1])
+        with pytest.raises(ValueError, match="no snapshots"):
+            recorder.collapsed()
+        snapshot = recorder.record()
+        # Threshold is on the [0, 1] normalized scale: a threshold just
+        # above the recorded entropy flags collapse, just below does not.
+        assert recorder.collapsed(threshold=snapshot.attention_entropy + 1e-9)
+        assert not recorder.collapsed(threshold=snapshot.attention_entropy - 1e-9)

@@ -120,6 +120,60 @@ class TestService:
         assert stats["cache"]["capacity"] == 256
         assert stats["index"]["version"]
 
+    def test_stats_and_metrics_share_one_registry(self, service):
+        for _ in range(3):
+            service.recommend(0, k=2)
+        # note_client_error is the handler-layer hook (HTTP 4xx path).
+        service.note_client_error()
+        stats = service.stats()
+        registry = service.metrics
+        # /stats fields are rendered from the same instruments /metrics
+        # exposes — counters agree exactly.
+        assert stats["requests"] == 3
+        assert stats["requests"] == int(
+            registry.get("serve/requests_total").value
+        )
+        assert stats["client_errors"] == 1
+        assert stats["client_errors"] == int(
+            registry.get("serve/client_errors_total").value
+        )
+        latency = registry.get("serve/request_latency_ms")
+        assert latency.count == 3
+        assert stats["latency_ms"]["p50"] == round(latency.percentile(0.50), 3)
+        # Callback gauges mirror component-owned state live.
+        assert registry.get("serve/batches_run").value == float(
+            service.batcher.batches_run
+        )
+        assert registry.get("serve/cache_hits").value == float(
+            stats["cache"]["hits"]
+        )
+        assert registry.get("serve/breaker_open").value == 0.0
+
+    def test_stats_types_are_byte_compatible(self, service):
+        # The migration onto the registry must not change JSON shapes:
+        # counters stay ints, percentiles stay 3-decimal floats.
+        service.recommend(0, k=2)
+        stats = service.stats()
+        assert isinstance(stats["requests"], int)
+        assert isinstance(stats["client_errors"], int)
+        for value in stats["latency_ms"].values():
+            assert isinstance(value, float)
+            assert value == round(value, 3)
+
+    def test_injected_registry_is_used(self, index):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        svc = RecommendationService(
+            index, deadline_ms=None, batch_wait_ms=0.0, metrics=registry
+        )
+        try:
+            svc.recommend(0, k=1)
+            assert svc.metrics is registry
+            assert registry.get("serve/requests_total").value == 1
+        finally:
+            svc.close()
+
 
 class TestHTTP:
     def test_healthz(self, server, index):
@@ -159,6 +213,20 @@ class TestHTTP:
         assert status == 200
         assert payload["requests"] >= 1
         assert "cache" in payload
+
+    def test_metrics_endpoint_serves_plain_text_exposition(self, server):
+        _get(f"{server.url}/recommend?group=1&k=2")
+        request = urllib.request.Request(f"{server.url}/metrics")
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith("text/plain")
+            body = response.read().decode("utf-8")
+        assert "# TYPE serve_requests_total counter" in body
+        assert "serve_requests_total 1" in body
+        assert 'serve_request_latency_ms_bucket{le="+Inf"} 1' in body
+        # /stats and /metrics agree on the shared counter.
+        _, stats = _get(f"{server.url}/stats")
+        assert stats["requests"] == 1
 
     def test_missing_parameter_is_400(self, server):
         with pytest.raises(urllib.error.HTTPError) as excinfo:

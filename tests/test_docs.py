@@ -1,0 +1,52 @@
+"""Tier-1 docs gate: links resolve, names exist, runnable fences execute.
+
+Imports the checker from ``tools/check_docs.py`` (the same code behind
+``make docs-check``) so documentation drift fails the test suite at the
+offending file.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+
+def test_markdown_corpus_is_nonempty():
+    files = check_docs.collect_markdown(ROOT)
+    names = {path.name for path in files}
+    assert "README.md" in names
+    assert "observability.md" in names and "architecture.md" in names
+
+
+@pytest.mark.parametrize(
+    "path",
+    check_docs.collect_markdown(ROOT),
+    ids=lambda path: path.name,
+)
+def test_intra_repo_links_resolve(path):
+    assert check_docs.check_links(path, ROOT) == []
+
+
+@pytest.mark.parametrize(
+    "path",
+    check_docs.collect_markdown(ROOT),
+    ids=lambda path: path.name,
+)
+def test_referenced_modules_and_make_targets_exist(path):
+    problems = check_docs.check_module_references(path, ROOT)
+    problems += check_docs.check_make_targets(path, ROOT)
+    assert problems == []
+
+
+@pytest.mark.parametrize(
+    "path",
+    check_docs.collect_markdown(ROOT),
+    ids=lambda path: path.name,
+)
+def test_runnable_fences_execute(path):
+    assert check_docs.check_runnable_fences(path, ROOT) == []

@@ -64,6 +64,11 @@ PUBLIC_MODULES = [
     "repro.eval.metrics",
     "repro.eval.evaluator",
     "repro.eval.significance",
+    "repro.obs",
+    "repro.obs.metrics",
+    "repro.obs.trace",
+    "repro.obs.profiler",
+    "repro.obs.report",
     "repro.serve",
     "repro.serve.index",
     "repro.serve.engine",
