@@ -3,7 +3,7 @@
 PYTHON ?= python
 PROFILE ?= default
 
-.PHONY: install dev test lint docs-check verify analysis-report obs-report bench bench-calibrated serve-smoke examples experiments clean
+.PHONY: install dev test lint docs-check verify analysis-report obs-report bench bench-calibrated bench-report bench-smoke serve-smoke examples experiments clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -33,6 +33,14 @@ bench:
 
 bench-calibrated:
 	REPRO_BENCH_PROFILE=$(PROFILE) $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Timed hot-path report: merges medians + profiler table into BENCH_PR4.json.
+bench-report:
+	PYTHONPATH=src $(PYTHON) tools/bench_report.py --record after
+
+# Correctness-only pass over every benchmark body (no timing loops).
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/ tests/test_bench_smoke.py --benchmark-disable -q
 
 serve-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.serve.smoke

@@ -99,8 +99,16 @@ class TapeAnomalyError(RuntimeError):
 
 
 def _op_site(depth: int) -> tuple[str, str]:
-    """(op qualname, file:line) of the frame ``depth`` levels up."""
+    """(op qualname, file:line) of the frame ``depth`` levels up.
+
+    Accumulation dispatch helpers (``_accumulate_exclusive`` falling
+    back to the hooked path, ``_give``) are skipped so anomalies are
+    charged to the backward closure that produced the gradient, not the
+    plumbing between it and the hook.
+    """
     frame = sys._getframe(depth)
+    while frame.f_code.co_name in _DISPATCH_FRAMES and frame.f_back is not None:
+        frame = frame.f_back
     code = frame.f_code
     op = getattr(code, "co_qualname", code.co_name)
     return op, f"{code.co_filename}:{frame.f_lineno}"
@@ -110,6 +118,10 @@ def _op_site(depth: int) -> tuple[str, str]:
 # _op_site <- _check_* <- on_make/on_accumulate <- _hooked_* (tensor.py)
 # <- op / backward closure.
 _OP_DEPTH = 4
+
+# Gradient-routing helpers in tensor.py that may sit between the hook
+# and the real backward closure.
+_DISPATCH_FRAMES = frozenset({"_accumulate_exclusive", "_give"})
 
 
 class _SanitizerTapeHooks:

@@ -22,7 +22,7 @@ from ..data.groups import GroupSet
 from ..kg.collaborative import ItemEntityMap, build_collaborative_graph
 from ..kg.graph import KnowledgeGraph
 from ..kg.sampling import NeighborSampler
-from ..nn import Module, Tensor
+from ..nn import Module, Tensor, broadcast_to, concat
 from .attention import AttentionBreakdown, PreferenceAggregation
 from .config import KGAGConfig
 from .propagation import InformationPropagation
@@ -113,10 +113,11 @@ class KGAG(Module):
         dim = self.config.embedding_dim
         flat_members = member_entities.reshape(-1)
         # i_e for a user seed = the candidate item of her group (Eq. 2).
+        # Zero-copy broadcast; bit-identical to the old ones-multiply
+        # tiling (v * 1.0 == v) without the multiply or its backward.
         item_queries = self.propagation.zero_order(item_entities)  # (batch, d)
-        flat_queries = (
-            item_queries.reshape(batch, 1, dim)
-            * Tensor(np.ones((1, size, 1)))
+        flat_queries = broadcast_to(
+            item_queries.reshape(batch, 1, dim), (batch, size, dim)
         ).reshape(batch * size, dim)
         flat = self.propagation(flat_members, flat_queries, self.sampler)
         return flat.reshape(batch, size, dim)
@@ -151,6 +152,66 @@ class KGAG(Module):
         group_vectors = self.aggregation(member_vectors, item_vectors)
         return (group_vectors * item_vectors).sum(axis=-1)
 
+    def group_item_scores_pair(
+        self, group_ids, pos_item_ids, neg_item_ids
+    ) -> tuple[Tensor, Tensor]:
+        """Fused (positive, negative) scores for one training batch.
+
+        The pairwise loss (Eq. 17) scores the *same* groups against a
+        positive and a negative candidate.  Calling
+        :meth:`group_item_scores` twice duplicates the member lookups,
+        the receptive-field gathers and the tape for both passes; here
+        the member seeds propagate once with ``shared_factor=2`` (their
+        receptive field is gathered a single time and shared between the
+        positive and negative query sets) while the two candidate item
+        sets run as one concatenated seed batch, then the score vector
+        is split back.  Per-row math is unchanged (propagation is
+        row-independent), so scores match the two-call path to float
+        round-off and gradients are equal up to summation order.
+        """
+        group_ids = np.asarray(group_ids, dtype=np.int64)
+        pos_item_ids = np.asarray(pos_item_ids, dtype=np.int64)
+        neg_item_ids = np.asarray(neg_item_ids, dtype=np.int64)
+        if (
+            group_ids.shape != pos_item_ids.shape
+            or group_ids.shape != neg_item_ids.shape
+            or group_ids.ndim != 1
+        ):
+            raise ValueError(
+                "group_ids, pos_item_ids and neg_item_ids must be aligned 1-D arrays"
+            )
+        batch = len(group_ids)
+        dim = self.config.embedding_dim
+        members = self.groups.members_of(group_ids)  # (B, S)
+        member_entities = self.ckg.user_entities(members)
+        size = member_entities.shape[1]
+        doubled = 2 * batch
+        item_entities = self.ckg.item_entities(
+            np.concatenate([pos_item_ids, neg_item_ids])
+        )  # (2B,)
+
+        # Queries (Eq. 2): candidate item zero-order for member seeds;
+        # mean member zero-order — looked up once, reused for both
+        # candidate sets — for item seeds.
+        item_queries = self.propagation.zero_order(item_entities)  # (2B, d)
+        member_queries = broadcast_to(
+            item_queries.reshape(doubled, 1, dim), (doubled, size, dim)
+        ).reshape(doubled * size, dim)  # pos half rows, then neg half
+        member_zero = self.propagation.zero_order(member_entities)  # (B, S, d)
+        group_query = member_zero.mean(axis=1)  # (B, d)
+        item_seed_queries = concat([group_query, group_query], axis=0)
+
+        member_vectors = self.propagation(
+            member_entities.reshape(-1),
+            member_queries,
+            self.sampler,
+            shared_factor=2,
+        ).reshape(doubled, size, dim)
+        item_vectors = self.propagation(item_entities, item_seed_queries, self.sampler)
+        group_vectors = self.aggregation(member_vectors, item_vectors)
+        scores = (group_vectors * item_vectors).sum(axis=-1)
+        return scores[:batch], scores[batch:]
+
     def user_item_scores(self, user_ids, item_ids) -> Tensor:
         """ŷ^U_{u,v} = u · v (Eq. 19) for aligned id arrays."""
         user_ids = np.asarray(user_ids, dtype=np.int64)
@@ -159,11 +220,18 @@ class KGAG(Module):
             raise ValueError("user_ids and item_ids must be aligned 1-D arrays")
         user_entities = self.ckg.user_entities(user_ids)
         item_entities = self.ckg.item_entities(item_ids)
-        # Mutual interaction-object queries (Eq. 2).
+        # Mutual interaction-object queries (Eq. 2); user and item seeds
+        # propagate in one fused pass (row-independent, so values match
+        # the two-pass formulation) and the result is split.
+        batch = len(user_ids)
         user_queries = self.propagation.zero_order(item_entities)
         item_queries = self.propagation.zero_order(user_entities)
-        user_vectors = self.propagation(user_entities, user_queries, self.sampler)
-        item_vectors = self.propagation(item_entities, item_queries, self.sampler)
+        seeds = np.concatenate([user_entities, item_entities])
+        vectors = self.propagation(
+            seeds, concat([user_queries, item_queries], axis=0), self.sampler
+        )
+        user_vectors = vectors[:batch]
+        item_vectors = vectors[batch:]
         return (user_vectors * item_vectors).sum(axis=-1)
 
     def forward(self, group_ids, item_ids) -> Tensor:

@@ -130,6 +130,22 @@ class InformationPropagation(Module):
             self._aggregators.append(module)
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _spread(vectors: Tensor, factor: int) -> Tensor:
+        """Repeat a ``(rows, ...)`` tensor ``factor`` times along a new
+        leading axis and flatten back to ``(factor * rows, ...)``.
+
+        The forward repeat is a zero-copy broadcast view (materialized
+        lazily by the following reshape); the backward pass sums the
+        factor axis, so the shared embedding rows receive one fused
+        gradient instead of ``factor`` separate scatters.
+        """
+        if factor == 1:
+            return vectors
+        shape = vectors.shape
+        spread = ops.broadcast_to(vectors.reshape((1,) + shape), (factor,) + shape)
+        return spread.reshape((factor * shape[0],) + shape[1:])
+
     def zero_order(self, entity_ids) -> Tensor:
         """e^0 — the trainable base embeddings (used for queries and
         by the KGAG-KG ablation)."""
@@ -140,50 +156,61 @@ class InformationPropagation(Module):
         seed_entities: np.ndarray,
         query_vectors: Tensor,
         sampler: NeighborSampler,
+        shared_factor: int = 1,
     ) -> Tensor:
         """Propagate H layers and return ``(batch, d)`` representations.
 
         Parameters
         ----------
         seed_entities:
-            ``(batch,)`` entity ids whose representation is wanted.
+            ``(rows,)`` entity ids whose representation is wanted.
         query_vectors:
-            ``(batch, d)`` representations of each seed's interaction
-            object i_e (Eq. 2) — candidate item embedding for user seeds,
-            mean member embedding for item seeds.
+            ``(shared_factor * rows, d)`` representations of each seed's
+            interaction object i_e (Eq. 2) — candidate item embedding
+            for user seeds, mean member embedding for item seeds.
         sampler:
             Fixed-K neighbor sampler over the same graph the embeddings
             index.
+        shared_factor:
+            Number of query sets evaluated against the *same* seed
+            batch.  The receptive field is gathered (and its gradient
+            scattered) once for the ``rows`` seeds and broadcast across
+            the factor, so scoring one group batch against F candidate
+            sets pays one embedding gather instead of F.  The output is
+            ``(shared_factor * rows, d)`` laid out query-set-major,
+            matching ``np.concatenate`` of the per-set calls; values are
+            identical to ``shared_factor=1`` on pre-tiled seeds.
         """
         seeds = np.asarray(seed_entities, dtype=np.int64)
         if seeds.ndim != 1:
             raise ValueError("seed_entities must be 1-D")
-        if query_vectors.shape != (len(seeds), self.dim):
+        factor = int(shared_factor)
+        if factor < 1:
+            raise ValueError("shared_factor must be >= 1")
+        rows = len(seeds)
+        batch = factor * rows
+        if query_vectors.shape != (batch, self.dim):
             raise ValueError(
-                f"query_vectors must be (batch, d) = ({len(seeds)}, {self.dim}), "
+                f"query_vectors must be (batch, d) = ({batch}, {self.dim}), "
                 f"got {query_vectors.shape}"
             )
         if self.num_layers == 0:
-            return self.zero_order(seeds)
+            return self._spread(self.zero_order(seeds), factor)
 
         field = sampler.receptive_field(seeds, self.num_layers)
-        batch = len(seeds)
         k = sampler.num_neighbors
 
-        # Embed every level of the receptive field.
+        # Embed every entity level of the receptive field (once per seed
+        # row, shared across the query sets).
         entity_vectors = [
-            self.entity_embedding(level).reshape(batch, -1, self.dim)
-            if level.ndim > 1
-            else self.entity_embedding(level).reshape(batch, 1, self.dim)
+            self._spread(
+                self.entity_embedding(level).reshape(rows, -1, self.dim), factor
+            )
             for level in field.entities
         ]
-        relation_vectors = [
-            self.relation_embedding(level).reshape(batch, -1, self.dim)
-            for level in field.relations
-        ]
-
-        # Query broadcast to weight relations: (batch, 1, d).
-        query = query_vectors.reshape(batch, 1, self.dim)
+        # π̃ depends only on (hop, query), not on the layer iteration, so
+        # the weight tensors are built once and reused by every layer.
+        hop_weights = self._hop_weights(field.relations, query_vectors, factor, k)
 
         for iteration in range(self.num_layers):
             aggregator = self._aggregators[iteration]
@@ -191,9 +218,8 @@ class InformationPropagation(Module):
             hops_remaining = self.num_layers - iteration
             for hop in range(hops_remaining):
                 neighbors = entity_vectors[hop + 1].reshape(batch, -1, k, self.dim)
-                relations = relation_vectors[hop].reshape(batch, -1, k, self.dim)
-                weights = self._neighbor_weights(relations, query, k)
-                neighborhood = (weights * neighbors).sum(axis=2)  # (B, K^hop, d)
+                # e_{N_e} of Eqs. 1/7: (B, K^hop, d) convex combination.
+                neighborhood = ops.neighbor_mix(hop_weights[hop], neighbors)
                 updated = aggregator(
                     entity_vectors[hop].reshape(-1, self.dim),
                     neighborhood.reshape(-1, self.dim),
@@ -202,13 +228,40 @@ class InformationPropagation(Module):
             entity_vectors = next_vectors
         return entity_vectors[0].reshape(batch, self.dim)
 
-    def _neighbor_weights(self, relations: Tensor, query: Tensor, k: int) -> Tensor:
-        """π̃ of Eq. 3: softmax over each K-neighborhood of i_e · r."""
+    def _hop_weights(
+        self,
+        relation_levels: list[np.ndarray],
+        query_vectors: Tensor,
+        factor: int,
+        k: int,
+    ) -> list[Tensor]:
+        """π̃ of Eq. 3 for every hop, each as a ``(B, K^hop, K)`` tensor.
+
+        The i_e · r logits come from one ``(B, R)`` GEMM of the queries
+        against the whole (small) relation table; each sampled edge then
+        gathers its scalar logit by relation id
+        (:func:`repro.nn.ops.row_gather`).  This never materializes
+        per-edge relation embedding rows — the heaviest gather (and
+        backward scatter) of the old formulation — and the relation
+        table's gradient arrives dense through the GEMM instead.
+        """
+        batch = query_vectors.shape[0]
         if self.uniform_weights:
-            batch, width = relations.shape[0], relations.shape[1]
-            return Tensor(np.full((batch, width, k, 1), 1.0 / k))
-        # (B, W, K, d) · (B, 1, 1, d) -> (B, W, K)
-        scores = (relations * query.reshape(query.shape[0], 1, 1, self.dim)).sum(axis=-1)
-        return softmax(scores, axis=-1).reshape(
-            scores.shape[0], scores.shape[1], k, 1
-        )
+            return [
+                Tensor(
+                    np.full(
+                        (batch, level.reshape(len(level), -1).shape[1] // k, k),
+                        1.0 / k,
+                    )
+                )
+                for level in relation_levels
+            ]
+        logit_table = query_vectors @ self.relation_embedding.weight.transpose()
+        weights = []
+        for level in relation_levels:
+            cols = level.reshape(len(level), -1)
+            if factor > 1:
+                cols = np.tile(cols, (factor, 1))
+            scores = ops.row_gather(logit_table, cols).reshape(batch, -1, k)
+            weights.append(softmax(scores, axis=-1))
+        return weights

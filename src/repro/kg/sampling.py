@@ -102,48 +102,140 @@ class NeighborSampler:
 
         count = kg.num_entities
         k = self.num_neighbors
-        self._neighbor_entities = np.empty((count, k), dtype=np.int64)
-        self._neighbor_relations = np.empty((count, k), dtype=np.int64)
-        for entity in range(count):
-            edges = kg.neighbors(entity)
-            if not edges:
-                self._neighbor_entities[entity] = entity
-                self._neighbor_relations[entity] = self.self_relation
-                continue
-            chosen = self._choose_edges(edges, k, rng)
-            for slot, edge_index in enumerate(chosen):
-                relation, neighbor = edges[edge_index]
-                self._neighbor_entities[entity, slot] = neighbor
-                self._neighbor_relations[entity, slot] = relation
+        # Self-loop defaults: isolated entities keep these rows untouched,
+        # so the fill passes below only ever visit entities with edges.
+        self._neighbor_entities = np.tile(
+            np.arange(count, dtype=np.int64)[:, None], (1, k)
+        )
+        self._neighbor_relations = np.full(
+            (count, k), self.self_relation, dtype=np.int64
+        )
 
-    def _choose_edges(self, edges, k: int, rng: np.random.Generator) -> list[int]:
-        """Pick k edge indices, optionally stratified by relation type."""
-        degree = len(edges)
-        if not self.stratify_by_relation:
+        src, dst, edge_rel = self._edge_arrays(kg)
+        if len(src) == 0:
+            return
+        degrees = np.bincount(src, minlength=count)
+        offsets = np.concatenate(([0], np.cumsum(degrees)))
+        if self.stratify_by_relation:
+            self._fill_stratified(src, dst, edge_rel, degrees, offsets, k, rng)
+        else:
+            self._fill_uniform(dst, edge_rel, degrees, offsets, k, rng)
+
+    @staticmethod
+    def _edge_arrays(
+        kg: KnowledgeGraph,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flat ``(src, dst, relation)`` edge arrays, sorted by source.
+
+        Mirrors the graph's adjacency index: one forward edge per triple
+        plus — on bidirectional graphs — a reverse edge whenever head and
+        tail differ.
+        """
+        triples = kg.triples
+        if len(triples) == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty, empty
+        heads, rels, tails = triples[:, 0], triples[:, 1], triples[:, 2]
+        if kg.bidirectional:
+            rev = heads != tails
+            src = np.concatenate([heads, tails[rev]])
+            dst = np.concatenate([tails, heads[rev]])
+            edge_rel = np.concatenate([rels, rels[rev]])
+        else:
+            src, dst, edge_rel = heads, tails, rels
+        order = np.argsort(src, kind="stable")
+        return src[order], dst[order], edge_rel[order]
+
+    def _fill_uniform(
+        self,
+        dst: np.ndarray,
+        edge_rel: np.ndarray,
+        degrees: np.ndarray,
+        offsets: np.ndarray,
+        k: int,
+        rng: np.random.Generator,
+    ) -> None:
+        """Plain uniform sampling, batched over entities of equal degree.
+
+        Degree >= k entities draw k *distinct* edges (random-key top-k,
+        the vectorized equivalent of ``choice(..., replace=False)``);
+        smaller degrees sample with replacement, as before.
+        """
+        active = np.flatnonzero(degrees)
+        for degree in np.unique(degrees[active]):
+            rows = active[degrees[active] == degree]
+            m = len(rows)
             if degree >= k:
-                return list(rng.choice(degree, size=k, replace=False))
-            return list(rng.choice(degree, size=k, replace=True))
-        by_relation: dict[int, list[int]] = {}
-        for index, (relation, _) in enumerate(edges):
-            by_relation.setdefault(relation, []).append(index)
-        pools = [rng.permutation(indices).tolist() for indices in by_relation.values()]
-        rng.shuffle(pools)
-        chosen: list[int] = []
-        # Round-robin across relation types until k slots are filled;
-        # exhausted pools are refilled (sampling with replacement).
-        while len(chosen) < k:
-            progressed = False
-            for pool in pools:
-                if len(chosen) == k:
-                    break
-                if not pool:
-                    continue
-                chosen.append(pool.pop())
-                progressed = True
-            if not progressed:
-                # Every pool exhausted: resample with replacement.
-                chosen.append(int(rng.integers(degree)))
-        return chosen
+                keys = rng.random((m, int(degree)))
+                picks = np.argpartition(keys, k - 1, axis=1)[:, :k]
+            else:
+                picks = (rng.random((m, k)) * degree).astype(np.int64)
+            flat = (offsets[rows][:, None] + picks).reshape(-1)
+            self._neighbor_entities[rows] = dst[flat].reshape(m, k)
+            self._neighbor_relations[rows] = edge_rel[flat].reshape(m, k)
+
+    def _fill_stratified(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        edge_rel: np.ndarray,
+        degrees: np.ndarray,
+        offsets: np.ndarray,
+        k: int,
+        rng: np.random.Generator,
+    ) -> None:
+        """Relation-stratified round-robin sampling, batched.
+
+        Per entity, each (entity, relation) pool is randomly permuted and
+        the pools visited round-robin in a random order — an edge popped
+        in round ``q`` from the ``p``-th pool sorts at key ``(q, p)``, so
+        one triple-key lexsort reproduces the per-entity round-robin walk
+        for *all* entities at once.  Entities with degree < k pre-fill
+        every slot with replacement draws, then the first ``degree``
+        slots are overwritten by the distinct round-robin picks.
+        """
+        num_edges = len(src)
+        # Within-pool pop order: random permutation inside each
+        # (entity, relation) pool.
+        order = np.lexsort((rng.random(num_edges), edge_rel, src))
+        s_src = src[order]
+        s_rel = edge_rel[order]
+        new_pool = np.concatenate(
+            ([True], (s_src[1:] != s_src[:-1]) | (s_rel[1:] != s_rel[:-1]))
+        )
+        pool_ids = np.cumsum(new_pool) - 1
+        pool_starts = np.flatnonzero(new_pool)
+        within_pool = np.arange(num_edges) - pool_starts[pool_ids]
+
+        # Pool visit order: shuffle each entity's pools.
+        num_pools = int(pool_ids[-1]) + 1
+        pool_entity = s_src[pool_starts]
+        pool_order = np.lexsort((rng.random(num_pools), pool_entity))
+        p_src = pool_entity[pool_order]
+        p_new = np.concatenate(([True], p_src[1:] != p_src[:-1]))
+        p_starts = np.flatnonzero(p_new)
+        pool_rank = np.empty(num_pools, dtype=np.int64)
+        pool_rank[pool_order] = np.arange(num_pools) - p_starts[np.cumsum(p_new) - 1]
+
+        # Round-robin order: per entity, sort edges by (round, pool rank).
+        rr = np.lexsort((pool_rank[pool_ids], within_pool, s_src))
+        rr_src = s_src[rr]
+        slot = np.arange(num_edges) - offsets[rr_src]
+
+        # Replacement pre-fill for entities that cannot fill k slots.
+        short = np.flatnonzero((degrees > 0) & (degrees < k))
+        if len(short):
+            draws = (rng.random((len(short), k)) * degrees[short][:, None]).astype(
+                np.int64
+            )
+            flat = (offsets[short][:, None] + draws).reshape(-1)
+            self._neighbor_entities[short] = dst[flat].reshape(-1, k)
+            self._neighbor_relations[short] = edge_rel[flat].reshape(-1, k)
+
+        keep = slot < k
+        edge_idx = order[rr[keep]]
+        self._neighbor_entities[rr_src[keep], slot[keep]] = dst[edge_idx]
+        self._neighbor_relations[rr_src[keep], slot[keep]] = edge_rel[edge_idx]
 
     @property
     def num_relation_slots(self) -> int:
@@ -157,6 +249,15 @@ class NeighborSampler:
         the model was trained with (read-only copies).
         """
         return self._neighbor_entities.copy(), self._neighbor_relations.copy()
+
+    def neighbor_table_views(self) -> tuple[np.ndarray, np.ndarray]:
+        """Zero-copy ``(entities, relations)`` table views, both ``(E, K)``.
+
+        Used by the live-model serving index, which must track the
+        sampler's tables without a snapshot copy.  Callers must treat the
+        arrays as read-only.
+        """
+        return self._neighbor_entities, self._neighbor_relations
 
     def sampled_neighbors(self, entities) -> tuple[np.ndarray, np.ndarray]:
         """``(neighbor_entities, neighbor_relations)`` for an id array.

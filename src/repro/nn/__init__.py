@@ -39,6 +39,8 @@ from .ops import (
     where,
     maximum,
     minimum,
+    broadcast_to,
+    tile,
 )
 from .losses import (
     bce_with_logits,
@@ -85,6 +87,8 @@ __all__ = [
     "where",
     "maximum",
     "minimum",
+    "broadcast_to",
+    "tile",
     "bce_with_logits",
     "bpr_loss",
     "sigmoid_margin_loss",

@@ -12,7 +12,7 @@ from typing import Sequence
 
 import numpy as np
 
-from .tensor import Tensor, as_tensor, unbroadcast
+from .tensor import Tensor, _give, as_tensor, unbroadcast
 
 __all__ = [
     "concat",
@@ -33,6 +33,11 @@ __all__ = [
     "batched_dot",
     "gather_rows",
     "outer_ones",
+    "broadcast_to",
+    "tile",
+    "neighbor_scores",
+    "neighbor_mix",
+    "row_gather",
 ]
 
 
@@ -48,7 +53,8 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
             if tensor.requires_grad:
                 index = [slice(None)] * grad.ndim
                 index[axis] = slice(start, stop)
-                tensor._accumulate(grad[tuple(index)])
+                # Disjoint slices of the node's grad: exclusive per parent.
+                tensor._accumulate_exclusive(grad[tuple(index)])
 
     return Tensor._make(out_data, tensors, backward)
 
@@ -62,7 +68,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
         slices = np.moveaxis(grad, axis, 0)
         for tensor, piece in zip(tensors, slices):
             if tensor.requires_grad:
-                tensor._accumulate(piece)
+                tensor._accumulate_exclusive(piece)
 
     return Tensor._make(out_data, tensors, backward)
 
@@ -79,9 +85,11 @@ def where(condition, a, b) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate(unbroadcast(grad * cond, a.shape))
+            a._accumulate_exclusive(unbroadcast(grad * cond, a.shape))
         if b.requires_grad:
-            b._accumulate(unbroadcast(grad * (~cond if cond.dtype == bool else 1 - cond), b.shape))
+            b._accumulate_exclusive(
+                unbroadcast(grad * (~cond if cond.dtype == bool else 1 - cond), b.shape)
+            )
 
     return Tensor._make(out_data, (a, b), backward)
 
@@ -95,9 +103,9 @@ def maximum(a, b) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate(unbroadcast(grad * a_wins, a.shape))
+            a._accumulate_exclusive(unbroadcast(grad * a_wins, a.shape))
         if b.requires_grad:
-            b._accumulate(unbroadcast(grad * ~a_wins, b.shape))
+            b._accumulate_exclusive(unbroadcast(grad * ~a_wins, b.shape))
 
     return Tensor._make(out_data, (a, b), backward)
 
@@ -119,7 +127,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
             return
         # d softmax: s * (grad - sum(grad * s))
         inner = (grad * out_data).sum(axis=axis, keepdims=True)
-        x._accumulate(out_data * (grad - inner))
+        x._accumulate_exclusive(out_data * (grad - inner))
 
     return Tensor._make(out_data, (x,), backward)
 
@@ -135,7 +143,7 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         if not x.requires_grad:
             return
-        x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+        x._accumulate_exclusive(grad - soft * grad.sum(axis=axis, keepdims=True))
 
     return Tensor._make(out_data, (x,), backward)
 
@@ -162,7 +170,7 @@ def masked_softmax(x: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
         if not x.requires_grad:
             return
         inner = (grad * out_data).sum(axis=axis, keepdims=True)
-        x._accumulate(out_data * (grad - inner))
+        x._accumulate_exclusive(out_data * (grad - inner))
 
     return Tensor._make(out_data, (x,), backward)
 
@@ -194,7 +202,7 @@ def leaky_relu(x, negative_slope: float = 0.01) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
-            x._accumulate(grad * np.where(x.data > 0, 1.0, negative_slope))
+            x._accumulate_exclusive(grad * np.where(x.data > 0, 1.0, negative_slope))
 
     return Tensor._make(out_data, (x,), backward)
 
@@ -227,3 +235,134 @@ def gather_rows(table: Tensor, indices: np.ndarray) -> Tensor:
 def outer_ones(shape: tuple[int, ...]) -> Tensor:
     """Constant tensor of ones — occasionally useful as a mask seed."""
     return Tensor(np.ones(shape))
+
+
+def broadcast_to(x: Tensor, shape: Sequence[int]) -> Tensor:
+    """Broadcast ``x`` to ``shape`` without copying (differentiable).
+
+    The forward pass is a zero-copy ``np.broadcast_to`` view; the
+    backward pass sums the gradient back to ``x``'s shape.  This is the
+    replacement for the ``x * ones(shape)`` tiling idiom, which paid a
+    full multiply (and its backward) just to materialize the repeats.
+    Since ``v * 1.0 == v`` bitwise under IEEE-754, swapping the idiom
+    for this op leaves forward values bit-identical.
+    """
+    x = as_tensor(x)
+    shape = tuple(int(s) for s in shape)
+    out_data = np.broadcast_to(x.data, shape)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            _give(x, unbroadcast(grad, x.shape), grad)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def neighbor_scores(relations: Tensor, query: Tensor) -> Tensor:
+    """Fused attention logits ``einsum('bwkd,bd->bwk')`` (differentiable).
+
+    One contraction replaces the ``(relations * query).sum(-1)``
+    broadcast-multiply idiom, which materialized a full
+    ``(batch, width, K, d)`` product (and two more on the backward pass)
+    just to reduce it away again.  The contraction runs through BLAS
+    dot kernels and the backward pass produces each parent's gradient
+    directly at its own shape.
+    """
+    relations = as_tensor(relations)
+    query = as_tensor(query)
+    out_data = np.einsum("bwkd,bd->bwk", relations.data, query.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if relations.requires_grad:
+            relations._accumulate_exclusive(
+                np.einsum("bwk,bd->bwkd", grad, query.data)
+            )
+        if query.requires_grad:
+            query._accumulate_exclusive(
+                np.einsum("bwk,bwkd->bd", grad, relations.data)
+            )
+
+    return Tensor._make(out_data, (relations, query), backward)
+
+
+def neighbor_mix(weights: Tensor, neighbors: Tensor) -> Tensor:
+    """Fused neighborhood aggregation ``einsum('bwk,bwkd->bwd')``.
+
+    The differentiable counterpart of the ``(weights * neighbors).sum(2)``
+    idiom (Eqs. 1/7): the K-neighborhood convex combination as a single
+    batched contraction, with no ``(batch, width, K, d)`` temporaries on
+    either pass.
+    """
+    weights = as_tensor(weights)
+    neighbors = as_tensor(neighbors)
+    out_data = np.einsum("bwk,bwkd->bwd", weights.data, neighbors.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if weights.requires_grad:
+            weights._accumulate_exclusive(
+                np.einsum("bwd,bwkd->bwk", grad, neighbors.data)
+            )
+        if neighbors.requires_grad:
+            neighbors._accumulate_exclusive(
+                np.einsum("bwk,bwd->bwkd", weights.data, grad)
+            )
+
+    return Tensor._make(out_data, (weights, neighbors), backward)
+
+
+def row_gather(table: Tensor, cols) -> Tensor:
+    """Per-row gather ``out[i, j] = table[i, cols[i, j]]`` (differentiable).
+
+    ``table`` is ``(B, R)`` and ``cols`` an integer ``(B, m)`` index
+    array.  The backward pass scatters with a single dense bincount
+    over the flattened ``B * R`` cells — sized for small R, like the
+    per-query relation-logit table of the propagation block, where the
+    gathered scalars replace per-edge relation-embedding rows.
+    """
+    table = as_tensor(table)
+    cols = np.asarray(cols, dtype=np.int64)
+    if table.ndim != 2 or cols.ndim != 2 or cols.shape[0] != table.shape[0]:
+        raise ValueError(
+            f"need (B, R) table and (B, m) cols, got {table.shape} and {cols.shape}"
+        )
+    batch, width = table.shape
+    out_data = np.take_along_axis(table.data, cols, axis=1)
+
+    def backward(grad: np.ndarray) -> None:
+        if table.requires_grad:
+            cells = cols + np.arange(batch, dtype=np.int64)[:, None] * width
+            full = np.bincount(
+                cells.ravel(), weights=grad.ravel(), minlength=batch * width
+            ).reshape(batch, width)
+            table._accumulate_exclusive(full)
+
+    return Tensor._make(out_data, (table,), backward)
+
+
+def tile(x: Tensor, reps: int | Sequence[int]) -> Tensor:
+    """Repeat ``x`` like :func:`np.tile` (differentiable).
+
+    For repeats along existing non-unit axes — where :func:`broadcast_to`
+    cannot express the copy — the backward pass folds the gradient into
+    interleaved ``(rep, size)`` blocks and sums over the rep axes.
+    """
+    x = as_tensor(x)
+    reps = (int(reps),) if np.isscalar(reps) else tuple(int(r) for r in reps)
+    if any(r < 0 for r in reps):
+        raise ValueError("tile repetitions must be non-negative")
+    out_data = np.tile(x.data, reps)
+    # np.tile left-pads the shorter of (reps, x.shape) with ones.
+    ndim = max(x.ndim, len(reps))
+    base = (1,) * (ndim - x.ndim) + x.shape
+    full_reps = (1,) * (ndim - len(reps)) + reps
+    interleaved: list[int] = []
+    for rep, size in zip(full_reps, base):
+        interleaved.extend((rep, size))
+    rep_axes = tuple(range(0, 2 * ndim, 2))
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            folded = grad.reshape(interleaved).sum(axis=rep_axes)
+            x._accumulate_exclusive(folded.reshape(x.shape))
+
+    return Tensor._make(out_data, (x,), backward)

@@ -8,8 +8,9 @@ small tape-based autograd value holding a numpy array.
 Design notes
 ------------
 * Reverse-mode only.  Each operation records its parents and a backward
-  closure; :meth:`Tensor.backward` runs a topological sort and accumulates
-  gradients into ``Tensor.grad``.
+  closure; :meth:`Tensor.backward` schedules the closures in reverse
+  topological order (iterative dependency counting, no recursion) and
+  accumulates gradients into ``Tensor.grad``.
 * Gradients are plain ``numpy.ndarray`` objects (not Tensors): higher-order
   differentiation is out of scope for the reproduction.
 * Broadcasting follows numpy semantics.  Backward passes reduce gradients
@@ -82,6 +83,69 @@ def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     if reduce_axes:
         grad = grad.sum(axis=reduce_axes, keepdims=True)
     return grad.reshape(shape)
+
+
+def _give(tensor: "Tensor", grad: np.ndarray, source: np.ndarray) -> None:
+    """Accumulate ``grad`` into ``tensor``, donating it when possible.
+
+    ``source`` is the incoming (possibly shared) gradient of the firing
+    node.  When ``grad`` is a different object — i.e. :func:`unbroadcast`
+    allocated a reduction — the buffer is fresh and exclusively ours, so
+    it can be handed over without the defensive copy; when it IS the
+    source object it may also be flowing to a sibling parent, so the
+    general copying path is required.
+    """
+    if grad is source:
+        tensor._accumulate(grad)
+    else:
+        tensor._accumulate_exclusive(grad)
+
+
+def _index_add(full: np.ndarray, key, grad: np.ndarray) -> None:
+    """Scatter-add ``grad`` into ``full`` at ``key`` (repeats accumulate).
+
+    For integer-array keys — the embedding-lookup case — two vectorized
+    strategies replace ``np.add.at`` (whose elementwise inner loop is
+    orders of magnitude slower):
+
+    * dense-ish scatters (``rows.size * 4 >= len(full)``, the training
+      hot path where a small table absorbs a large batch) run one
+      ``np.bincount`` over flattened ``(row, column)`` keys, which
+      segment-sums every cell in a single C pass;
+    * sparse scatters fall back to a stable sort + ``np.add.reduceat``
+      segment-sum, touching only the rows actually indexed.
+
+    Every other key kind (slices, masks, tuples, scalars) keeps the
+    ``np.add.at`` path; the accumulation semantics are identical either
+    way (only the float summation order within a segment differs).
+    """
+    if not (isinstance(key, np.ndarray) and key.dtype.kind in "iu"):
+        np.add.at(full, key, grad)
+        return
+    rows = key.reshape(-1)
+    if rows.size == 0:
+        return
+    if rows.dtype.kind == "i" and rows.min() < 0:
+        rows = np.where(rows < 0, rows + full.shape[0], rows)
+    target = full.reshape(full.shape[0], -1)
+    flat = np.ascontiguousarray(grad).reshape(rows.size, -1)
+    if rows.size == 1:
+        target[rows[0]] += flat[0]
+        return
+    if rows.size * 4 >= full.shape[0] and target.dtype == np.float64:
+        width = target.shape[1]
+        cells = (rows * width)[:, None] + np.arange(width)
+        dense = np.bincount(
+            cells.reshape(-1), weights=flat.reshape(-1), minlength=target.size
+        )
+        target += dense.reshape(target.shape)
+        return
+    order = np.argsort(rows, kind="stable")
+    sorted_rows = rows[order]
+    starts = np.flatnonzero(
+        np.concatenate(([True], sorted_rows[1:] != sorted_rows[:-1]))
+    )
+    target[sorted_rows[starts]] += np.add.reduceat(flat[order], starts, axis=0)
 
 
 def _coerce_array(value, dtype=None) -> np.ndarray:
@@ -202,8 +266,42 @@ class Tensor:
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
             self.grad = grad.astype(self.data.dtype, copy=True)
+        elif grad.shape == self.grad.shape and self.grad.flags.writeable:
+            # The first accumulation made a private copy (or was handed
+            # an exclusive buffer), so adding in place is safe and saves
+            # one temporary per fan-out edge.
+            np.add(self.grad, grad, out=self.grad)
         else:
+            # Shape mismatch (broadcast pending) or a read-only donated
+            # view: rebuild out of place.
             self.grad = self.grad + grad
+
+    def _accumulate_exclusive(self, grad: np.ndarray) -> None:
+        """Gradient write that may take ownership of ``grad``.
+
+        Backward closures call this instead of :meth:`_accumulate` when
+        the array they pass is exclusively theirs to give away: freshly
+        allocated inside the closure, or a view of the firing node's
+        gradient that no other tensor will ever observe (single-parent
+        reshapes, disjoint concat slices — the scheduler drops the
+        node's own reference right after the closure runs).  Storing by
+        reference skips the defensive copy the general path must make,
+        which on embedding-heavy graphs is a large share of backward
+        time.  Falls back to :meth:`_accumulate` for second
+        accumulations, dtype mismatches, and whenever tape hooks are
+        installed (observers must see every write).  Read-only views
+        (e.g. ``sum``'s broadcast gradient) may be stored: the in-place
+        branch of :meth:`_accumulate` checks writeability and falls back
+        to an out-of-place add for them.
+        """
+        if (
+            self.grad is None
+            and Tensor._accumulate is _PRISTINE_ACCUMULATE
+            and grad.dtype == self.data.dtype
+        ):
+            self.grad = grad
+        else:
+            self._accumulate(grad)
 
     # ------------------------------------------------------------------
     # backward pass
@@ -227,34 +325,54 @@ class Tensor:
         if grad.shape != self.shape:
             grad = np.broadcast_to(grad, self.shape).astype(self.data.dtype)
 
-        # Topological order over the subgraph reachable from self.
-        order: list[Tensor] = []
-        visited: set[int] = set()
-        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        # Reverse-topological scheduling by dependency counting (Kahn's
+        # algorithm).  One dict doubles as the visited marker and the
+        # pending-consumer count, and one list is reused first as the
+        # discovery stack and then as the ready stack — no order list,
+        # no (node, flag) pairs, no recursion.  A node fires only after
+        # every consumer reachable from ``self`` has propagated into it,
+        # which is the same guarantee the previous sort-then-reverse
+        # implementation gave.
+        pending: dict[Tensor, int] = {}
+        stack: list[Tensor] = [self]
         while stack:
-            node, processed = stack.pop()
-            if processed:
-                order.append(node)
-                continue
-            if id(node) in visited:
-                continue
-            visited.add(id(node))
-            stack.append((node, True))
+            node = stack.pop()
             for parent in node._parents:
-                if parent.requires_grad and id(parent) not in visited:
-                    stack.append((parent, False))
+                if parent.requires_grad:
+                    count = pending.get(parent)
+                    if count is None:
+                        pending[parent] = 1
+                        stack.append(parent)
+                    else:
+                        pending[parent] = count + 1
 
         self._accumulate(grad)
-        for node in reversed(order):
-            if node._backward is None or node.grad is None:
-                continue
-            node._backward(node.grad)
-            # Free intermediate gradients and the tape edge: leaves keep
-            # their grad (they have no _backward), interior nodes do not
-            # need theirs after propagation.
-            node._backward = None
-            node._parents = ()
-            node.grad = None if node is not self else node.grad
+        stack.append(self)
+        while stack:
+            node = stack.pop()
+            node_backward = node._backward
+            parents = node._parents
+            if node_backward is not None:
+                if node.grad is not None:
+                    # The root keeps its grad after backward; hand its
+                    # closure a private copy so donated views derived
+                    # from it can never alias the kept array.
+                    node_backward(
+                        node.grad if node is not self else node.grad.copy()
+                    )
+                # Free intermediate gradients and the tape edge: leaves
+                # keep their grad (they have no _backward), interior
+                # nodes do not need theirs after propagation.
+                node._backward = None
+                node._parents = ()
+                if node is not self:
+                    node.grad = None
+            for parent in parents:
+                if parent.requires_grad:
+                    remaining = pending[parent] - 1
+                    pending[parent] = remaining
+                    if remaining == 0:
+                        stack.append(parent)
 
     # ------------------------------------------------------------------
     # arithmetic
@@ -264,10 +382,14 @@ class Tensor:
         out_data = self.data + other.data
 
         def backward(grad: np.ndarray) -> None:
+            # The self branch may donate even the pass-through grad
+            # object: the other branch routes a pass-through grad to the
+            # copying accumulate (see _give), so there is never a second
+            # reference-holder for the same array.
             if self.requires_grad:
-                self._accumulate(unbroadcast(grad, self.shape))
+                self._accumulate_exclusive(unbroadcast(grad, self.shape))
             if other.requires_grad:
-                other._accumulate(unbroadcast(grad, other.shape))
+                _give(other, unbroadcast(grad, other.shape), grad)
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -278,10 +400,12 @@ class Tensor:
         out_data = self.data - other.data
 
         def backward(grad: np.ndarray) -> None:
+            # As in __add__: the other branch negates into a fresh
+            # array, so self may take the pass-through grad by reference.
             if self.requires_grad:
-                self._accumulate(unbroadcast(grad, self.shape))
+                self._accumulate_exclusive(unbroadcast(grad, self.shape))
             if other.requires_grad:
-                other._accumulate(unbroadcast(-grad, other.shape))
+                other._accumulate_exclusive(unbroadcast(-grad, other.shape))
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -294,9 +418,9 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(unbroadcast(grad * other.data, self.shape))
+                self._accumulate_exclusive(unbroadcast(grad * other.data, self.shape))
             if other.requires_grad:
-                other._accumulate(unbroadcast(grad * self.data, other.shape))
+                other._accumulate_exclusive(unbroadcast(grad * self.data, other.shape))
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -308,9 +432,9 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(unbroadcast(grad / other.data, self.shape))
+                self._accumulate_exclusive(unbroadcast(grad / other.data, self.shape))
             if other.requires_grad:
-                other._accumulate(
+                other._accumulate_exclusive(
                     unbroadcast(-grad * self.data / (other.data**2), other.shape)
                 )
 
@@ -324,7 +448,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(-grad)
+                self._accumulate_exclusive(-grad)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -335,7 +459,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+                self._accumulate_exclusive(grad * exponent * self.data ** (exponent - 1))
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -353,7 +477,7 @@ class Tensor:
                     grad_a = grad @ np.swapaxes(b.data, -1, -2)
                 if a.data.ndim == 1 and grad_a.ndim > 1:
                     grad_a = grad_a.sum(axis=tuple(range(grad_a.ndim - 1)))
-                a._accumulate(unbroadcast(grad_a, a.shape))
+                a._accumulate_exclusive(unbroadcast(grad_a, a.shape))
             if b.requires_grad:
                 if a.data.ndim == 1:
                     grad_b = np.outer(a.data, grad) if grad.ndim == 1 else (
@@ -364,7 +488,7 @@ class Tensor:
                     grad_b = (np.expand_dims(grad, -1) * a.data).reshape(-1, a.shape[-1]).sum(axis=0)
                 else:
                     grad_b = np.swapaxes(a.data, -1, -2) @ grad
-                b._accumulate(unbroadcast(grad_b, b.shape))
+                b._accumulate_exclusive(unbroadcast(grad_b, b.shape))
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -402,7 +526,9 @@ class Tensor:
                 axes = tuple(a % len(input_shape) for a in axes)
                 for a in sorted(axes):
                     g = np.expand_dims(g, a)
-            self._accumulate(np.broadcast_to(g, input_shape).astype(self.data.dtype))
+            # Donated as a read-only broadcast view: downstream closures
+            # only read gradients, so nothing is materialized here.
+            self._accumulate_exclusive(np.broadcast_to(g, input_shape))
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -434,7 +560,7 @@ class Tensor:
             mask = mask / mask.sum(
                 axis=axis if axis is not None else None, keepdims=True
             ) if axis is not None else mask / mask.sum()
-            self._accumulate(mask * g)
+            self._accumulate_exclusive(mask * g)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -452,7 +578,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad.reshape(original))
+                self._accumulate_exclusive(grad.reshape(original))
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -466,7 +592,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad.transpose(inverse))
+                self._accumulate_exclusive(grad.transpose(inverse))
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -475,7 +601,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(np.squeeze(grad, axis=axis))
+                self._accumulate_exclusive(np.squeeze(grad, axis=axis))
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -485,7 +611,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad.reshape(original))
+                self._accumulate_exclusive(grad.reshape(original))
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -493,8 +619,9 @@ class Tensor:
         """Differentiable indexing (slices, int arrays, masks).
 
         Integer-array indexing is the embedding-lookup primitive; its
-        backward is a scatter-add (``np.add.at``) so repeated indices
-        accumulate correctly.
+        backward is a scatter-add (sort + ``np.add.reduceat`` segment
+        sum, see :func:`_index_add`) so repeated indices accumulate
+        correctly.
         """
         if isinstance(key, Tensor):
             key = key.data
@@ -505,9 +632,23 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             if not self.requires_grad:
                 return
+            if (
+                self.grad is not None
+                and Tensor._accumulate is _PRISTINE_ACCUMULATE
+                and self.grad.flags.writeable
+                and self.grad.shape == self.data.shape
+                and self.grad.dtype == self.data.dtype
+            ):
+                # Repeat gathers from the same table (the receptive-field
+                # levels) scatter straight into the existing grad buffer
+                # instead of materializing a dense zeros + add per call.
+                # Skipped while tape hooks are installed so observers see
+                # every accumulation.
+                _index_add(self.grad, key, grad)
+                return
             full = np.zeros_like(self.data)
-            np.add.at(full, key, grad)
-            self._accumulate(full)
+            _index_add(full, key, grad)
+            self._accumulate_exclusive(full)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -519,7 +660,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * out_data)
+                self._accumulate_exclusive(grad * out_data)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -528,7 +669,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad / self.data)
+                self._accumulate_exclusive(grad / self.data)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -540,7 +681,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * (1.0 - out_data**2))
+                self._accumulate_exclusive(grad * (1.0 - out_data**2))
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -552,7 +693,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * out_data * (1.0 - out_data))
+                self._accumulate_exclusive(grad * out_data * (1.0 - out_data))
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -561,7 +702,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * (self.data > 0))
+                self._accumulate_exclusive(grad * (self.data > 0))
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -576,7 +717,7 @@ class Tensor:
                 mask = mask * (self.data >= low)
             if high is not None:
                 mask = mask * (self.data <= high)
-            self._accumulate(grad * mask)
+            self._accumulate_exclusive(grad * mask)
 
         return Tensor._make(out_data, (self,), backward)
 

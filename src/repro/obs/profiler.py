@@ -143,7 +143,15 @@ class TapeProfiler:
         now = self._clock()
         # Frames: 0 = on_accumulate, 1 = _hooked_accumulate, 2 = the
         # backward closure (or Tensor.backward seeding the output grad).
-        code = sys._getframe(2).f_code
+        # Gradient-routing helpers (_accumulate_exclusive / _give) may
+        # sit in between; skip them so time lands on the real op.
+        frame = sys._getframe(2)
+        while (
+            frame.f_code.co_name in ("_accumulate_exclusive", "_give")
+            and frame.f_back is not None
+        ):
+            frame = frame.f_back
+        code = frame.f_code
         name = getattr(code, "co_qualname", code.co_name)
         if name.endswith(_BACKWARD_SUFFIX):
             name = name[: -len(_BACKWARD_SUFFIX)]

@@ -25,7 +25,13 @@ Build an index with ``python -m repro build-index`` and serve it with
 """
 
 from .cache import CacheStats, ScoreCache
-from .engine import MicroBatcher, RankedItem, RankingEngine
+from .engine import (
+    LiveModelIndex,
+    MicroBatcher,
+    RankedItem,
+    RankingEngine,
+    engine_supports,
+)
 from .fallback import CircuitBreaker, FallbackAnswer, ResilientScorer
 from .index import EmbeddingIndex, build_index
 from .server import RecommendationServer, RecommendationService, ServiceError
@@ -33,6 +39,8 @@ from .server import RecommendationServer, RecommendationService, ServiceError
 __all__ = [
     "CacheStats",
     "ScoreCache",
+    "LiveModelIndex",
+    "engine_supports",
     "MicroBatcher",
     "RankedItem",
     "RankingEngine",

@@ -28,7 +28,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["RankedItem", "propagate", "RankingEngine", "MicroBatcher"]
+__all__ = [
+    "RankedItem",
+    "propagate",
+    "engine_supports",
+    "LiveModelIndex",
+    "RankingEngine",
+    "MicroBatcher",
+]
 
 
 @dataclass(frozen=True)
@@ -96,25 +103,32 @@ def propagate(index, seed_entities: np.ndarray, query_vectors: np.ndarray) -> np
     entity_vectors = [
         index.entity_embeddings[level].reshape(batch, -1, dim) for level in entities
     ]
-    relation_vectors = [
-        index.relation_embeddings[level].reshape(batch, -1, dim) for level in relations
-    ]
-    query = query_vectors.reshape(batch, 1, dim)
+    query = query_vectors.reshape(batch, dim)
+    # Same formulation as the tape path (one (B, R) logit GEMM against
+    # the relation table, per-edge scalar gathers, weights hoisted out
+    # of the layer loop), so the two stay bit-identical.
+    if index.uniform_weights:
+        hop_weights = [
+            np.full((batch, level.shape[1] // k, k), 1.0 / k) for level in relations
+        ]
+    else:
+        logit_table = query @ index.relation_embeddings.T
+        hop_weights = [
+            _softmax(
+                np.take_along_axis(logit_table, level, axis=1).reshape(
+                    batch, -1, k
+                ),
+                axis=-1,
+            )
+            for level in relations
+        ]
 
     for iteration in range(depth):
         weight, bias, activation = layers[iteration]
         next_vectors: list[np.ndarray] = []
         for hop in range(depth - iteration):
             neighbors = entity_vectors[hop + 1].reshape(batch, -1, k, dim)
-            rels = relation_vectors[hop].reshape(batch, -1, k, dim)
-            if index.uniform_weights:
-                weights = np.full((batch, rels.shape[1], k, 1), 1.0 / k)
-            else:
-                scores = (rels * query.reshape(batch, 1, 1, dim)).sum(axis=-1)
-                weights = _softmax(scores, axis=-1).reshape(
-                    scores.shape[0], scores.shape[1], k, 1
-                )
-            neighborhood = (weights * neighbors).sum(axis=2)
+            neighborhood = np.einsum("bwk,bwkd->bwd", hop_weights[hop], neighbors)
             self_vectors = entity_vectors[hop].reshape(-1, dim)
             neighbor_flat = neighborhood.reshape(-1, dim)
             if aggregator == "gcn":
@@ -128,6 +142,197 @@ def propagate(index, seed_entities: np.ndarray, query_vectors: np.ndarray) -> np
             next_vectors.append(updated.reshape(batch, -1, dim))
         entity_vectors = next_vectors
     return entity_vectors[0].reshape(batch, dim)
+
+
+def _catalog_propagate(index, seed_rows: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    """Shared-receptive-field propagation for full-catalog scoring.
+
+    ``seed_rows`` is ``(M, S)`` — M independent seed tuples (one group's
+    members, or one item) whose receptive fields are gathered **once**
+    — and ``queries`` is ``(Q, d)`` — Q interaction-object queries, each
+    applied against every seed tuple.  Returns ``(M, S, Q, d)`` final
+    representations.
+
+    This computes the same per-row math as :func:`propagate` over the
+    full ``M x Q`` cross product, but without materializing the cross
+    product's index tensors: the entity gathers are per seed tuple, the
+    relation-attention logits come from one ``(R, d) @ (d, Q)`` GEMM
+    against the whole relation table (each edge gathers its scalar
+    column), and the neighborhood mixing is a batched matmul.  Only the
+    float summation order inside dot products differs, so results agree
+    with :func:`propagate` to round-off, not bit-for-bit.
+    """
+    m_rows, _size = seed_rows.shape
+    q_rows, dim = queries.shape
+    k = index.num_neighbors
+    depth = index.num_layers
+    layers = index.aggregator_layers
+    aggregator = index.aggregator
+
+    entities = [seed_rows]
+    relations: list[np.ndarray] = []
+    for _hop in range(depth):
+        current = entities[-1]
+        entities.append(index.neighbor_entities[current].reshape(m_rows, -1))
+        relations.append(index.neighbor_relations[current].reshape(m_rows, -1))
+    # hidden[h] is (M, n_h, d) while query-independent and gains a Q
+    # axis — (M, n_h, Q, d) — after the first aggregation layer.
+    hidden: list[np.ndarray] = [index.entity_embeddings[level] for level in entities]
+
+    # Per-hop attention weights (M, n, Q, K), built once: logits for
+    # every (relation, query) pair come from one small GEMM, then each
+    # sampled edge gathers its column.
+    if index.uniform_weights:
+        hop_weights = [
+            np.full((m_rows, entities[hop].shape[1], q_rows, k), 1.0 / k)
+            for hop in range(depth)
+        ]
+    else:
+        rel_logits = index.relation_embeddings @ queries.T  # (R, Q)
+        hop_weights = [
+            _softmax(
+                np.swapaxes(
+                    rel_logits[relations[hop]].reshape(
+                        m_rows, entities[hop].shape[1], k, q_rows
+                    ),
+                    2,
+                    3,
+                ),
+                axis=-1,
+            )
+            for hop in range(depth)
+        ]
+
+    for iteration in range(depth):
+        weight, bias, activation = layers[iteration]
+        next_hidden: list[np.ndarray] = []
+        for hop in range(depth - iteration):
+            n = entities[hop].shape[1]
+            weights = hop_weights[hop]
+            neighbors = hidden[hop + 1]
+            if neighbors.ndim == 3:  # query-independent: batched GEMM
+                neighborhood = np.matmul(
+                    weights, neighbors.reshape(m_rows, n, k, dim)
+                )  # (M, n, Q, d)
+            else:  # already query-dependent: contract K per (m, n, q)
+                nb = neighbors.reshape(m_rows, n, k, q_rows, dim)
+                neighborhood = np.einsum("mnqk,mnkqd->mnqd", weights, nb)
+            self_vectors = hidden[hop]
+            if self_vectors.ndim == 3:
+                self_vectors = np.broadcast_to(
+                    self_vectors[:, :, None, :], neighborhood.shape
+                )
+            if aggregator == "gcn":
+                updated = (self_vectors + neighborhood).reshape(-1, dim) @ weight.T + bias
+            else:  # graphsage
+                stacked = np.concatenate([self_vectors, neighborhood], axis=-1)
+                updated = stacked.reshape(-1, 2 * dim) @ weight.T + bias
+            updated = _activate(updated, activation)
+            next_hidden.append(updated.reshape(m_rows, n, q_rows, dim))
+        hidden = next_hidden
+    return hidden[0]  # (M, S, Q, d)
+
+
+def engine_supports(model) -> bool:
+    """Whether the engine's numpy mirror covers ``model``'s config.
+
+    The engine reproduces the KGAG scoring matrix exactly: GCN or
+    GraphSage aggregation, attentive or uniform neighbor weights, any
+    propagation depth (including the ``use_kg`` off case), SP and/or PI
+    attention with concat or mean peer pooling.  Anything outside that —
+    a different model class, an unknown aggregator or pooling mode —
+    returns False so callers (the trainer's tape-free evaluation) can
+    fall back to the tape path.
+    """
+    config = getattr(model, "config", None)
+    if config is None:
+        return False
+    for attribute in ("propagation", "aggregation", "sampler", "ckg", "groups"):
+        if not hasattr(model, attribute):
+            return False
+    if getattr(config, "aggregator", None) not in ("gcn", "graphsage"):
+        return False
+    if getattr(model.aggregation, "pi_pooling", None) not in ("concat", "mean"):
+        return False
+    known = {"tanh", "relu", "sigmoid", "identity"}
+    for aggregator in model.propagation._aggregators:
+        if aggregator.activation not in known:
+            return False
+    return True
+
+
+class LiveModelIndex:
+    """Zero-copy engine view over a live (possibly training) model.
+
+    Exposes the same attribute surface as
+    :class:`~repro.serve.index.EmbeddingIndex` but reads the model's
+    parameter arrays **in place**: no array copies, no fingerprint
+    hashing, no ``.npz`` round-trip.  Building one per validation pass
+    costs microseconds, which is what makes per-epoch tape-free
+    evaluation practical.  The view is only coherent while the
+    parameters are not being updated — score, then let the optimizer
+    step, then build a fresh view.
+    """
+
+    def __init__(self, model, train_interactions=None):
+        if not engine_supports(model):
+            raise ValueError(
+                "model config is outside the engine's supported matrix "
+                "(check engine_supports(model) before building a live view)"
+            )
+        propagation = model.propagation
+        aggregation = model.aggregation
+        self.entity_embeddings = propagation.entity_embedding.weight.data
+        self.relation_embeddings = propagation.relation_embedding.weight.data
+        tables = model.sampler.neighbor_table_views()
+        self.neighbor_entities, self.neighbor_relations = tables
+        self.attn_w_member = aggregation.w_member.data
+        self.attn_w_peers = aggregation.w_peers.data
+        self.attn_bias = aggregation.bias.data
+        self.attn_context = aggregation.context.data
+        self.peer_index = aggregation.peer_index
+        self.group_members = model.groups.members
+        self.item_entities = model.ckg.item_map.entities_of(
+            np.arange(model.num_items)
+        )
+        self.dim = int(model.config.embedding_dim)
+        self.num_layers = int(propagation.num_layers)
+        self.num_neighbors = int(model.sampler.num_neighbors)
+        self.num_groups = int(model.groups.num_groups)
+        self.num_items = int(model.num_items)
+        self.user_entity_offset = int(model.ckg.num_kg_entities)
+        self.aggregator = str(model.config.aggregator)
+        self.uniform_weights = bool(propagation.uniform_weights)
+        self.use_sp = bool(aggregation.use_sp)
+        self.use_pi = bool(aggregation.use_pi)
+        self.pi_pooling = str(aggregation.pi_pooling)
+        self.aggregator_layers = [
+            (agg.linear.weight.data, agg.linear.bias.data, agg.activation)
+            for agg in propagation._aggregators
+        ]
+        self.version = f"live-{id(model):x}"
+        self.entity_final = None
+        if self.num_layers > 0 and self.uniform_weights:
+            # Query-independent propagation: run the GCN once over every
+            # entity so scoring degenerates to gathers plus attention.
+            all_entities = np.arange(self.entity_embeddings.shape[0])
+            self.entity_final = propagate(
+                self, all_entities, np.zeros((len(all_entities), self.dim))
+            )
+        self._train_interactions = train_interactions
+        self._seen_by_group: dict[int, np.ndarray] | None = None
+
+    def seen_items(self, group_id: int) -> np.ndarray:
+        """Items the group interacted with at train time (sorted)."""
+        if self._seen_by_group is None:
+            by_group: dict[int, np.ndarray] = {}
+            if self._train_interactions is not None:
+                pairs = self._train_interactions.pairs
+                for group in np.unique(pairs[:, 0]):
+                    items = pairs[pairs[:, 0] == group, 1]
+                    by_group[int(group)] = np.unique(items)
+            self._seen_by_group = by_group
+        return self._seen_by_group.get(int(group_id), np.zeros(0, dtype=np.int64))
 
 
 class RankingEngine:
@@ -145,15 +350,46 @@ class RankingEngine:
         Pair-level chunking bound, matching the evaluator's default so a
         single-group full-catalog scoring runs through the exact same
         batch shapes as the offline path (bit-exact parity).
+    fast_catalog:
+        Route full-catalog requests (:meth:`scores_for_groups`) through
+        :meth:`score_matrix`, which shares receptive-field gathers
+        across the catalog instead of scoring each ``(group, item)``
+        pair independently.  Scores agree with the pair path to float
+        round-off (not bit-for-bit), so the default stays off for the
+        bit-exact serving path; :meth:`from_model` — the per-epoch
+        validation constructor — turns it on.
     """
 
-    def __init__(self, index, cache=None, chunk_size: int = 4096):
+    def __init__(self, index, cache=None, chunk_size: int = 4096, fast_catalog: bool = False):
         if chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
         self.index = index
         self.cache = cache
         self.chunk_size = int(chunk_size)
+        self.fast_catalog = bool(fast_catalog)
         self._lock = threading.Lock()
+
+    @classmethod
+    def from_model(
+        cls,
+        model,
+        train_interactions=None,
+        cache=None,
+        chunk_size: int = 4096,
+    ) -> "RankingEngine":
+        """Engine over a **live** model: no copies, no ``.npz`` round-trip.
+
+        Wraps ``model`` in a :class:`LiveModelIndex` and enables the
+        shared-receptive-field catalog path — the constructor the
+        trainer's tape-free per-epoch validation uses.  Raises
+        ``ValueError`` when :func:`engine_supports` rejects the model.
+        """
+        return cls(
+            LiveModelIndex(model, train_interactions=train_interactions),
+            cache=cache,
+            chunk_size=chunk_size,
+            fast_catalog=True,
+        )
 
     # -- core scoring ----------------------------------------------------
     def score_pairs(self, group_ids, item_ids) -> np.ndarray:
@@ -183,7 +419,7 @@ class RankingEngine:
         # Member representations: candidate item as query (Eq. 2).
         item_queries = index.entity_embeddings[item_entities]  # (B, d)
         flat_queries = (
-            item_queries.reshape(batch, 1, dim) * np.ones((1, size, 1))
+            np.broadcast_to(item_queries.reshape(batch, 1, dim), (batch, size, dim))
         ).reshape(batch * size, dim)
         member_vectors = propagate(
             index, member_entities.reshape(-1), flat_queries
@@ -243,6 +479,64 @@ class RankingEngine:
         weights = weights.reshape(weights.shape[0], weights.shape[1], 1)
         return (weights * member_vectors).sum(axis=1)
 
+    def _pi_mixing_matrix(self, size: int) -> np.ndarray:
+        """Fold Eq. 10's member + pooled-peer projections into one
+        ``(S*d, S*d)`` block matrix over the flattened member axis.
+
+        ``mixing[t*d:(t+1)*d, s*d:(s+1)*d]`` maps member slot t's
+        vector into slot s's pre-activation: ``w_member.T`` on the
+        diagonal, the matching ``w_peers`` column block (concat
+        pooling) or ``w_peers.T / peers`` (mean pooling) off it.  One
+        GEMM then replaces the ``(B, S, S-1, d)`` peer gather.  The
+        single pass reorders Eq. 10's additions, so this serves only
+        the round-off-parity catalog path, never the bit-exact pair
+        path (:meth:`_raw_attention`).
+        """
+        index = self.index
+        dim = index.dim
+        peers = size - 1
+        mixing = np.zeros((size * dim, size * dim))
+        for s in range(size):
+            col = slice(s * dim, (s + 1) * dim)
+            mixing[col, col] = index.attn_w_member.T
+            for j, t in enumerate(index.peer_index[s]):
+                row = slice(t * dim, (t + 1) * dim)
+                if index.pi_pooling == "concat":
+                    block = index.attn_w_peers[:, j * dim : (j + 1) * dim]
+                else:  # mean pooling spreads one projection over peers
+                    block = index.attn_w_peers * (1.0 / peers)
+                mixing[row, col] += block.T
+        return mixing
+
+    def _aggregate_catalog(
+        self, member_vectors: np.ndarray, item_vectors: np.ndarray
+    ) -> np.ndarray:
+        """Catalog-path mirror of :meth:`_aggregate` (Eqs. 9-13).
+
+        Same math, gather-free: the SP/PI/softmax reductions run as
+        einsum contractions and the peer mixing as one block GEMM
+        (:meth:`_pi_mixing_matrix`), which matters at catalog-block
+        batch sizes (``groups x num_items`` rows).  Agrees with the
+        pair path to float round-off, like the rest of the catalog
+        route.
+        """
+        index = self.index
+        batch, size, dim = member_vectors.shape
+        combined = np.zeros((batch, size))
+        if index.use_sp:
+            combined += np.einsum(
+                "bsd,bd->bs", member_vectors, item_vectors
+            ) * (1.0 / np.sqrt(dim))
+        if index.use_pi:
+            hidden = member_vectors.reshape(batch, size * dim) @ self._pi_mixing_matrix(size)
+            hidden += np.tile(index.attn_bias, size)
+            np.maximum(hidden, 0.0, out=hidden)
+            combined += (hidden.reshape(batch * size, dim) @ index.attn_context).reshape(
+                batch, size
+            )
+        weights = _softmax(combined, axis=-1)
+        return np.einsum("bs,bsd->bd", weights, member_vectors)
+
     # -- request-level API ------------------------------------------------
     def scores_for_group(self, group_id: int) -> np.ndarray:
         """Full-catalog score vector for one group (cached)."""
@@ -270,19 +564,95 @@ class RankingEngine:
                 misses.setdefault(group, []).append(row)
         if misses:
             unique = sorted(misses)
-            pending_groups = np.repeat(
-                np.array(unique, dtype=np.int64), num_items
-            )
-            pending_items = np.tile(
-                np.arange(num_items, dtype=np.int64), len(unique)
-            )
-            scores = self.score_pairs(pending_groups, pending_items)
+            if self.fast_catalog:
+                matrix = self.score_matrix(np.array(unique, dtype=np.int64))
+                scores = matrix.reshape(-1)
+            else:
+                pending_groups = np.repeat(
+                    np.array(unique, dtype=np.int64), num_items
+                )
+                pending_items = np.tile(
+                    np.arange(num_items, dtype=np.int64), len(unique)
+                )
+                scores = self.score_pairs(pending_groups, pending_items)
             for position, group in enumerate(unique):
                 vector = scores[position * num_items : (position + 1) * num_items]
                 self._cache_put(group, vector)
                 for row in misses[group]:
                     out[row] = vector
         return out
+
+    def score_matrix(self, group_ids) -> np.ndarray:
+        """``(G, num_items)`` full-catalog scores via shared gathers.
+
+        The algorithmic fast path behind per-epoch validation: each
+        group's member receptive field and each item's receptive field
+        are gathered once and reused across the whole cross product (see
+        :func:`_catalog_propagate`), instead of once per ``(group,
+        item)`` pair as :meth:`score_pairs` does.  Groups are processed
+        in blocks of ``chunk_size // num_items`` pairs to bound memory.
+        """
+        index = self.index
+        group_ids = np.asarray(group_ids, dtype=np.int64)
+        for group in group_ids:
+            if not 0 <= group < index.num_groups:
+                raise KeyError(f"group {group} out of range [0, {index.num_groups})")
+        num_items = index.num_items
+        out = np.empty((len(group_ids), num_items), dtype=np.float64)
+        block = max(1, self.chunk_size // max(1, num_items))
+        for start in range(0, len(group_ids), block):
+            chunk = group_ids[start : start + block]
+            out[start : start + len(chunk)] = self._score_catalog_block(chunk)
+        return out
+
+    def _score_catalog_block(self, group_ids: np.ndarray) -> np.ndarray:
+        """Full-catalog scores for one block of groups."""
+        index = self.index
+        dim = index.dim
+        groups = len(group_ids)
+        num_items = index.num_items
+        members = index.group_members[group_ids]  # (G, S)
+        size = members.shape[1]
+        member_entities = index.user_entity_offset + members
+        item_entities = index.item_entities  # the whole catalog, (I,)
+
+        # Queries (Eq. 2): candidate item zero-order for member seeds,
+        # mean member zero-order for item seeds.
+        item_queries = index.entity_embeddings[item_entities]  # (I, d)
+        member_zero = index.entity_embeddings[member_entities]  # (G, S, d)
+        group_queries = member_zero.sum(axis=1) * (1.0 / size)  # (G, d)
+
+        if index.num_layers == 0 or index.entity_final is not None:
+            table = (
+                index.entity_embeddings
+                if index.num_layers == 0
+                else index.entity_final
+            )
+            member_final = np.broadcast_to(
+                table[member_entities][:, None], (groups, num_items, size, dim)
+            )
+            item_final = np.broadcast_to(
+                table[item_entities][None], (groups, num_items, dim)
+            )
+        else:
+            member_final = _catalog_propagate(
+                index, member_entities, item_queries
+            ).transpose(0, 2, 1, 3)  # (G, S, I, d) -> (G, I, S, d)
+            item_final = (
+                _catalog_propagate(
+                    index, item_entities.reshape(-1, 1), group_queries
+                )
+                .reshape(num_items, groups, dim)
+                .transpose(1, 0, 2)  # (G, I, d)
+            )
+
+        member_flat = member_final.reshape(groups * num_items, size, dim)
+        item_flat = np.ascontiguousarray(item_final).reshape(
+            groups * num_items, dim
+        )
+        group_vectors = self._aggregate_catalog(member_flat, item_flat)
+        scores = np.einsum("bd,bd->b", group_vectors, item_flat)
+        return scores.reshape(groups, num_items)
 
     def _cache_get(self, group: int) -> np.ndarray | None:
         if self.cache is None:
@@ -332,7 +702,7 @@ class RankingEngine:
 
         item_queries = index.entity_embeddings[item_entities]
         flat_queries = (
-            item_queries.reshape(1, 1, dim) * np.ones((1, size, 1))
+            np.broadcast_to(item_queries.reshape(1, 1, dim), (1, size, dim))
         ).reshape(size, dim)
         member_vectors = propagate(
             index, member_entities.reshape(-1), flat_queries

@@ -255,7 +255,7 @@ class TestPopularity:
         from repro.nn import no_grad
 
         config = KGAGConfig(
-            embedding_dim=16, num_layers=2, num_neighbors=4, epochs=6,
+            embedding_dim=16, num_layers=2, num_neighbors=4, epochs=8,
             batch_size=64, patience=0, seed=0,
         )
         model = KGAG(

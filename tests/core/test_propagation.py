@@ -168,7 +168,9 @@ class TestPropagation:
         kg = chain_kg(3)
         query = Tensor(np.ones((1, 6)))
         for layers, expect_change in ((1, False), (2, True)):
-            block, sampler = make_block(kg, layers=layers, k=1, seed=0)
+            # k=2 >= deg(1), so the middle entity's table always holds
+            # both chain neighbors regardless of the sampler's draws.
+            block, sampler = make_block(kg, layers=layers, k=2, seed=0)
             before = block(np.array([0]), query, sampler).data.copy()
             with no_grad():
                 block.entity_embedding.weight.data[2] += 5.0  # 2 hops from 0

@@ -1,0 +1,105 @@
+"""Non-timing smoke test for the PR-4 benchmark report harness.
+
+Runs :mod:`tools.bench_report`'s measurement machinery on a shrunken
+workload so tier-1 catches breakage in the benchmarked code paths (and
+in the report script itself) without paying for stable medians.  The
+real timings come from ``make bench-report``.
+"""
+
+import importlib.util
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def bench_report():
+    spec = importlib.util.spec_from_file_location(
+        "bench_report", REPO_ROOT / "tools" / "bench_report.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def tiny_measurement(bench_report):
+    original = dict(bench_report.WORKLOAD)
+    bench_report.WORKLOAD.update(
+        dataset={"num_users": 30, "num_items": 40, "num_groups": 12, "seed": 7},
+        model={"embedding_dim": 8, "num_layers": 1, "num_neighbors": 3, "seed": 7},
+        warmup_epochs=0,
+        train_epoch_reps=1,
+        validate_reps=1,
+        sampler_reps=1,
+    )
+    try:
+        yield bench_report.measure()
+    finally:
+        bench_report.WORKLOAD.clear()
+        bench_report.WORKLOAD.update(original)
+
+
+class TestMeasure:
+    def test_records_every_benchmark(self, tiny_measurement):
+        for key in (
+            "train_epoch",
+            "validate",
+            "sampler_stratified",
+            "sampler_uniform",
+        ):
+            timing = tiny_measurement[key]
+            assert math.isfinite(timing["min_s"]) and timing["min_s"] > 0.0, key
+            assert timing["min_s"] <= timing["median_s"], key
+
+    def test_profiler_table_attributes_hot_ops(self, tiny_measurement):
+        ops = {row["op"] for row in tiny_measurement["top_ops"]}
+        assert ops, "profiled epoch recorded no tape ops"
+        shares = [row["share"] for row in tiny_measurement["top_ops"]]
+        assert all(0.0 <= share <= 1.0 for share in shares)
+        assert shares == sorted(shares, reverse=True)
+
+    def test_environment_stamp(self, tiny_measurement):
+        assert tiny_measurement["numpy"]
+        assert tiny_measurement["python"]
+
+
+class TestMerge:
+    def test_speedups_need_both_sides(self, bench_report):
+        report = bench_report._merge({}, "after", {"train_epoch": {"min_s": 1.0}})
+        assert "speedups" not in report
+
+    def test_speedups_are_before_over_after(self, bench_report):
+        report = {}
+        bench_report._merge(
+            report,
+            "before",
+            {"train_epoch": {"min_s": 0.5}, "validate": {"min_s": 0.7}},
+        )
+        bench_report._merge(
+            report,
+            "after",
+            {"train_epoch": {"min_s": 0.25}, "validate": {"min_s": 0.1}},
+        )
+        assert report["speedups"]["train_epoch"] == pytest.approx(2.0)
+        assert report["speedups"]["validate"] == pytest.approx(7.0)
+
+    def test_merge_round_trips_through_json(self, bench_report, tiny_measurement):
+        report = bench_report._merge({}, "after", tiny_measurement)
+        assert json.loads(json.dumps(report))["after"] == tiny_measurement
+
+
+def test_committed_report_clears_acceptance_bars():
+    """The committed BENCH_PR4.json must demonstrate the PR-4 targets:
+    >=2x train-epoch and >=5x validation speedup, with both sides
+    measured by the same harness."""
+    path = REPO_ROOT / "BENCH_PR4.json"
+    report = json.loads(path.read_text())
+    assert {"before", "after", "speedups"} <= set(report)
+    assert report["speedups"]["train_epoch"] >= 2.0
+    assert report["speedups"]["validate"] >= 5.0
+    assert report["after"]["top_ops"], "profiler top-op table missing"

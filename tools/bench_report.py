@@ -1,0 +1,236 @@
+"""Hot-path benchmark report for the fused training/eval work (PR 4).
+
+Times the canonical PR-4 workload — a mid-size ``movielens_like``
+dataset with a 2-layer KGAG — and records per-benchmark medians and
+minima plus a :class:`~repro.obs.TapeProfiler` top-op table into a
+JSON report (``BENCH_PR4.json`` by default).
+
+The script deliberately restricts itself to the API surface shared by
+the pre- and post-optimisation trees (``KGAGTrainer.train_epoch`` /
+``.evaluate`` with default constructor flags, ``NeighborSampler``), so
+the *same harness* produces both sides of the comparison::
+
+    # baseline, from a worktree of the pre-PR commit:
+    PYTHONPATH=/path/to/seed/src python tools/bench_report.py --record before
+    # optimised tree:
+    make bench-report          # == --record after
+
+Each run merges its side into the existing report; once both sides are
+present, ``speedups`` holds the before/after ratios of the per-rep
+minima.  Timings are wall-clock and therefore load-sensitive — record
+both sides in the same sitting on an otherwise idle machine.
+
+Benchmarks
+----------
+``train_epoch``
+    One full training epoch (forward + backward + SGD over every
+    group-item batch).  The fused pair scoring, einsum attention
+    contractions, gradient donation, and segment-sum scatter all land
+    here.
+``validate``
+    One full-ranking validation pass (``evaluate`` on the validation
+    split, k=5).  The tape-free engine path lands here.
+``sampler_build``
+    ``NeighborSampler`` table construction (stratified and uniform) —
+    the vectorised builder.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import subprocess
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# The fixed workload: large enough for stable medians, small enough to
+# keep `make bench-report` under a couple of minutes.
+WORKLOAD = {
+    "dataset": {"num_users": 120, "num_items": 160, "num_groups": 40, "seed": 7},
+    "model": {"embedding_dim": 32, "num_layers": 2, "num_neighbors": 4, "seed": 7},
+    "split_rng_seed": 7,
+    "warmup_epochs": 2,
+    "train_epoch_reps": 11,
+    "validate_reps": 7,
+    "sampler_reps": 5,
+    "evaluate_k": 5,
+}
+
+
+def _build_world():
+    from repro.core import KGAG, KGAGConfig, KGAGTrainer
+    from repro.data import MovieLensLikeConfig, movielens_like, split_interactions
+
+    spec = WORKLOAD["dataset"]
+    dataset = movielens_like("rand", MovieLensLikeConfig(**spec))
+    split = split_interactions(
+        dataset.group_item, rng=np.random.default_rng(WORKLOAD["split_rng_seed"])
+    )
+    config = KGAGConfig(**WORKLOAD["model"])
+    model = KGAG(
+        dataset.kg,
+        dataset.num_users,
+        dataset.num_items,
+        dataset.user_item.pairs,
+        dataset.groups,
+        config,
+    )
+    trainer = KGAGTrainer(
+        model, split.train, dataset.user_item, group_validation=split.validation
+    )
+    return dataset, split, trainer
+
+
+def _time_reps(fn, reps: int) -> dict:
+    """Median and minimum wall-clock over ``reps`` calls.
+
+    The median describes the typical run; the minimum is the standard
+    least-interference estimate (cf. ``timeit``) and is what
+    ``speedups`` compares, since scheduler noise only ever adds time.
+    """
+    samples = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return {
+        "median_s": statistics.median(samples),
+        "min_s": min(samples),
+        "reps": reps,
+    }
+
+
+def _profile_epoch(trainer, top: int = 12) -> list[dict]:
+    """One extra profiled epoch (never part of the timed reps)."""
+    try:
+        from repro.obs import TapeProfiler
+    except ImportError:  # pragma: no cover - seed trees always have obs
+        return []
+    with TapeProfiler() as profile:
+        trainer.train_epoch()
+    total = profile.attributed_seconds or 1.0
+    return [
+        {
+            "op": op.name,
+            "calls": op.forward_calls + op.backward_calls,
+            "total_ms": round(op.total_seconds * 1e3, 3),
+            "share": round(op.total_seconds / total, 4),
+        }
+        for op in profile.top(top)
+    ]
+
+
+def _sampler_build_seconds(dataset, stratify: bool) -> float:
+    from repro.kg import NeighborSampler
+
+    k = WORKLOAD["model"]["num_neighbors"]
+
+    def build():
+        NeighborSampler(
+            dataset.kg,
+            num_neighbors=k,
+            rng=np.random.default_rng(0),
+            stratify_by_relation=stratify,
+        )
+
+    return _time_reps(build, WORKLOAD["sampler_reps"])
+
+
+def measure() -> dict:
+    dataset, split, trainer = _build_world()
+    for _ in range(WORKLOAD["warmup_epochs"]):
+        trainer.train_epoch()
+
+    k = WORKLOAD["evaluate_k"]
+    result = {
+        "commit": _git_commit(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "train_epoch": _time_reps(trainer.train_epoch, WORKLOAD["train_epoch_reps"]),
+        "validate": _time_reps(
+            lambda: trainer.evaluate(split.validation, k=k),
+            WORKLOAD["validate_reps"],
+        ),
+        "sampler_stratified": _sampler_build_seconds(dataset, True),
+        "sampler_uniform": _sampler_build_seconds(dataset, False),
+        "top_ops": _profile_epoch(trainer),
+    }
+    return result
+
+
+def _git_commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+_RATIO_KEYS = (
+    "train_epoch",
+    "validate",
+    "sampler_stratified",
+    "sampler_uniform",
+)
+
+
+def _merge(report: dict, side: str, measured: dict) -> dict:
+    report.setdefault("workload", WORKLOAD)
+    report[side] = measured
+    before, after = report.get("before"), report.get("after")
+    if before and after:
+        report["speedups"] = {
+            key: round(before[key]["min_s"] / after[key]["min_s"], 3)
+            for key in _RATIO_KEYS
+            if before.get(key, {}).get("min_s") and after.get(key, {}).get("min_s")
+        }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--record",
+        choices=("before", "after"),
+        default="after",
+        help="which side of the comparison this run measures",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_PR4.json",
+        help="report file to merge into",
+    )
+    args = parser.parse_args(argv)
+
+    measured = measure()
+    report = {}
+    if args.output.exists():
+        report = json.loads(args.output.read_text())
+    report = _merge(report, args.record, measured)
+    args.output.write_text(json.dumps(report, indent=1) + "\n")
+
+    print(
+        f"[{args.record}] train_epoch {measured['train_epoch']['min_s']:.4f}s  "
+        f"validate {measured['validate']['min_s']:.4f}s (min)  -> {args.output}"
+    )
+    for key, ratio in report.get("speedups", {}).items():
+        print(f"  speedup {key}: {ratio:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
