@@ -3,7 +3,7 @@
 PYTHON ?= python
 PROFILE ?= default
 
-.PHONY: install dev test lint docs-check verify analysis-report obs-report bench bench-calibrated bench-report bench-smoke serve-smoke examples experiments clean
+.PHONY: install dev test lint docs-check ckpt-smoke verify analysis-report obs-report bench bench-calibrated bench-report bench-smoke serve-smoke examples experiments clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -20,7 +20,11 @@ lint:
 docs-check:
 	PYTHONPATH=src $(PYTHON) tools/check_docs.py
 
-verify: test lint docs-check
+# Train 2 epochs -> kill -> resume -> assert bit-exact vs a straight run.
+ckpt-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.core.ckpt_smoke
+
+verify: test lint docs-check ckpt-smoke
 
 analysis-report:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis.report

@@ -11,6 +11,10 @@ Subcommands
 
     python -m repro train --data data/rand --out models/kgag.npz --epochs 20
 
+    # crash-safe: full TrainState checkpoints every epoch, bit-exact resume
+    python -m repro train --data data/rand --out models/kgag.npz \
+        --checkpoint-dir runs/kgag --resume
+
 ``evaluate``  score a checkpoint on the test split::
 
     python -m repro evaluate --data data/rand --checkpoint models/kgag.npz
@@ -107,6 +111,31 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--beta", type=float, default=0.7)
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--quiet", action="store_true")
+    train.add_argument(
+        "--checkpoint-dir",
+        help="directory for crash-safe TrainState checkpoints (model + "
+        "optimizer + RNG states); enables --resume",
+    )
+    train.add_argument(
+        "--save-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="checkpoint every N epochs (default 1)",
+    )
+    train.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume bit-exactly from the newest checkpoint in "
+        "--checkpoint-dir (starts fresh when the directory is empty)",
+    )
+    train.add_argument(
+        "--keep-last",
+        type=int,
+        default=3,
+        metavar="N",
+        help="retain the N newest checkpoints plus the best-epoch one",
+    )
     train.add_argument(
         "--metrics-out",
         help="write a JSONL run log (per-epoch loss/validation, diagnostics "
@@ -256,7 +285,13 @@ def _cmd_train(args) -> int:
             run_log=run_log,
             diagnostics=diagnostics,
         )
-        history = trainer.fit(verbose=not args.quiet)
+        history = trainer.fit(
+            verbose=not args.quiet,
+            checkpoint_dir=args.checkpoint_dir,
+            save_every=args.save_every,
+            resume=args.resume,
+            keep_last=args.keep_last,
+        )
         metrics = trainer.evaluate(split.test)
     finally:
         if run_log is not None:
@@ -273,17 +308,30 @@ def _cmd_train(args) -> int:
 
 
 def _restore(args):
-    """Rebuild the model from a checkpoint's stored config and load weights."""
+    """Rebuild the model from a checkpoint's stored config and load weights.
+
+    Accepts both plain model checkpoints (``save_checkpoint``) and full
+    training checkpoints (:class:`~repro.core.checkpoint.TrainState`) —
+    for the latter the best-on-validation weights are used when present,
+    so ``evaluate`` / ``build-index`` / ``serve`` can run straight off a
+    training run's checkpoint directory.
+    """
+    from .nn.serialization import read_npz_archive
+
     dataset, split = _load_with_split(args.data, args.seed)
-    with np.load(_checkpoint_path(args.checkpoint)) as archive:
-        metadata = json.loads(
-            bytes(archive["__checkpoint_metadata__"].tobytes()).decode("utf-8")
-        )
+    path = _checkpoint_path(args.checkpoint)
+    _, metadata = read_npz_archive(path)
+    metadata = metadata or {}
     config_dict = metadata.get("config") or {}
     valid = {f for f in KGAGConfig.__dataclass_fields__}
     config = KGAGConfig(**{k: v for k, v in config_dict.items() if k in valid})
     model = _build_model(dataset, config)
-    load_checkpoint(model, args.checkpoint)
+    if metadata.get("kind") == "train_state":
+        from .core.checkpoint import TrainState
+
+        TrainState.load(path).load_model(model)
+    else:
+        load_checkpoint(model, path)
     return dataset, split, model
 
 

@@ -6,9 +6,12 @@
 * :func:`combined_loss` — margin + log loss objective (Sec. III-E),
 * :class:`KGAG` — the end-to-end model,
 * :class:`KGAGTrainer` — Adam mini-batch training with early stopping,
+* :class:`TrainState` / :class:`CheckpointManager` — crash-safe
+  checkpoints with bit-exact resume,
 * :class:`GroupRecommender` — serving API with attention explanations.
 """
 
+from .checkpoint import CheckpointManager, TrainState
 from .config import KGAGConfig
 from .propagation import GCNAggregator, GraphSageAggregator, InformationPropagation
 from .attention import AttentionBreakdown, PreferenceAggregation
@@ -18,6 +21,8 @@ from .trainer import KGAGTrainer, TrainingHistory
 from .predict import Explanation, GroupRecommender, MemberInfluence, Recommendation
 
 __all__ = [
+    "CheckpointManager",
+    "TrainState",
     "KGAGConfig",
     "GCNAggregator",
     "GraphSageAggregator",

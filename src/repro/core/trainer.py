@@ -21,7 +21,7 @@ import numpy as np
 from ..data.interactions import InteractionTable
 from ..data.loader import MixedBatchLoader
 from ..eval.evaluator import evaluate_group_recommender
-from ..nn import Adam, Tensor, clip_grad_norm, no_grad
+from ..nn import Adam, Tensor, clip_grad_norm, grad_l2_norm, no_grad
 from ..obs.metrics import NULL_REGISTRY
 from .losses import combined_loss
 from .model import KGAG
@@ -128,6 +128,7 @@ class KGAGTrainer:
         self.optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
         self.history = TrainingHistory()
         self._best_state: dict | None = None
+        self._patience_left = self.config.patience
         self.sanitize = sanitize
         self.fused = bool(fused)
         self.tape_free_eval = bool(tape_free_eval)
@@ -194,14 +195,9 @@ class KGAGTrainer:
         return value
 
     def _gradient_norm(self) -> float:
-        # dot(flat, flat) hits the BLAS reduction directly instead of
-        # materializing a squared temporary per parameter.
-        total = 0.0
-        for parameter in self.model.parameters():
-            if parameter.grad is not None:
-                flat = parameter.grad.ravel()
-                total += float(np.dot(flat, flat))
-        return float(np.sqrt(total))
+        # One shared implementation with clip_grad_norm (repro.nn.optim),
+        # so the metric and the clipping threshold can't drift.
+        return grad_l2_norm(self.model.parameters())
 
     def _forward_backward(self, batch):
         """Compute the combined loss for one batch and run backward."""
@@ -293,16 +289,81 @@ class KGAGTrainer:
         return RankingEngine.from_model(self.model)
 
     # ------------------------------------------------------------------
-    def fit(self, verbose: bool = False) -> TrainingHistory:
+    def fit(
+        self,
+        verbose: bool = False,
+        checkpoint_dir: str | None = None,
+        save_every: int = 1,
+        resume: bool = False,
+        keep_last: int = 3,
+        keep_best: bool = True,
+    ) -> TrainingHistory:
         """Run the configured number of epochs with early stopping.
 
         Tracks validation hit@5; on improvement the parameters are
         snapshotted and restored at the end, so the returned model is the
         best-on-validation one (standard practice, and what makes the
         hyper-parameter sweeps of Figs. 4-5 well-defined).
+
+        Parameters
+        ----------
+        checkpoint_dir:
+            When given, a full :class:`~repro.core.checkpoint.TrainState`
+            (model + optimizer + RNG states + history + best snapshot) is
+            written atomically every ``save_every`` epochs, managed by a
+            :class:`~repro.core.checkpoint.CheckpointManager` with a
+            keep-last-``keep_last`` + keep-best retention policy.
+        resume:
+            Restore the newest checkpoint in ``checkpoint_dir`` before
+            training and continue from the epoch after it.  The resumed
+            run is **bit-exact**: its loss trajectory and final parameter
+            arrays equal an uninterrupted run's (``np.array_equal``).  A
+            ``resume`` record naming the restored epoch/step is emitted to
+            the run log when one is attached.  With an empty directory
+            this silently starts from scratch.
+        save_every:
+            Epoch interval between checkpoints (the final and the
+            early-stopping epoch are always checkpointed).
         """
-        patience_left = self.config.patience
-        for epoch in range(self.config.epochs):
+        if save_every <= 0:
+            raise ValueError("save_every must be positive")
+        if resume and checkpoint_dir is None:
+            raise ValueError("resume=True requires checkpoint_dir")
+        manager = None
+        start_epoch = 0
+        if checkpoint_dir is not None:
+            # Imported lazily: plain fit() must not pull in the
+            # durability layer.
+            from .checkpoint import CheckpointManager, TrainState
+
+            manager = CheckpointManager(
+                checkpoint_dir, keep_last=keep_last, keep_best=keep_best
+            )
+            if resume:
+                state = manager.load_latest()
+                if state is not None:
+                    state.restore(self)
+                    start_epoch = state.epoch + 1
+                    if verbose:
+                        print(
+                            f"resumed from {state.source_path} "
+                            f"(epoch {state.epoch} complete)"
+                        )
+                    if self.run_log is not None:
+                        step = state.optimizer_state.get("scalars", {}).get(
+                            "step_count"
+                        )
+                        self.run_log.emit(
+                            "resume",
+                            epoch=state.epoch,
+                            step=step,
+                            checkpoint=str(state.source_path),
+                        )
+        if start_epoch == 0:
+            self._patience_left = self.config.patience
+        for epoch in range(start_epoch, self.config.epochs):
+            if self.history.stopped_early:
+                break
             mean_loss = self.train_epoch()
             self.history.losses.append(mean_loss)
             validation_metrics: dict[str, float] | None = None
@@ -322,14 +383,21 @@ class KGAGTrainer:
                     self.history.best_metric = metric
                     self.history.best_epoch = epoch
                     self._best_state = self.model.state_dict()
-                    patience_left = self.config.patience
+                    self._patience_left = self.config.patience
                 elif self.config.patience:
-                    patience_left -= 1
-                    if patience_left <= 0:
+                    self._patience_left -= 1
+                    if self._patience_left <= 0:
                         self.history.stopped_early = True
-                        break
             elif verbose:
                 print(f"epoch {epoch:3d}  loss {mean_loss:.4f}")
+            if manager is not None and (
+                (epoch + 1) % save_every == 0
+                or epoch == self.config.epochs - 1
+                or self.history.stopped_early
+            ):
+                manager.save(TrainState.capture(self, epoch))
+            if self.history.stopped_early:
+                break
         if self._best_state is not None:
             self.model.load_state_dict(self._best_state)
         if self.run_log is not None:

@@ -16,7 +16,7 @@ import numpy as np
 
 from .interactions import InteractionTable
 from .negative import NegativeSampler
-from ..rng import ensure_rng
+from ..rng import ensure_rng, generator_state, set_generator_state
 
 __all__ = ["MixedBatch", "MixedBatchLoader", "iterate_minibatches"]
 
@@ -97,6 +97,25 @@ class MixedBatchLoader:
     def num_batches(self) -> int:
         """Batches per epoch."""
         return int(np.ceil(self.group_train.num_interactions / self.batch_size))
+
+    def rng_state(self) -> dict:
+        """Snapshot of every generator the loader draws from.
+
+        The loader and its two negative samplers usually share one
+        generator object, but each is captured under its own key so a
+        loader wired with independent generators round-trips too.
+        """
+        return {
+            "loader": generator_state(self.rng),
+            "group_negatives": self.group_negatives.rng_state(),
+            "user_negatives": self.user_negatives.rng_state(),
+        }
+
+    def set_rng_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`rng_state` (bit-exact resume)."""
+        set_generator_state(self.rng, state["loader"])
+        self.group_negatives.set_rng_state(state["group_negatives"])
+        self.user_negatives.set_rng_state(state["user_negatives"])
 
     def epoch(self) -> Iterator[MixedBatch]:
         """Yield one epoch of mixed batches."""

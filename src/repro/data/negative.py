@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from .interactions import InteractionTable
-from ..rng import ensure_rng
+from ..rng import ensure_rng, generator_state, set_generator_state
 
 __all__ = ["NegativeSampler"]
 
@@ -44,6 +44,14 @@ class NegativeSampler:
             int(row): set(table.items_of(row).tolist())
             for row in np.unique(table.pairs[:, 0])
         } if table.num_interactions else {}
+
+    def rng_state(self) -> dict:
+        """JSON-serializable snapshot of the sampler's generator state."""
+        return generator_state(self.rng)
+
+    def set_rng_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`rng_state` (bit-exact resume)."""
+        set_generator_state(self.rng, state)
 
     def sample_for_rows(self, rows) -> np.ndarray:
         """One negative item per row id (vectorized rejection sampling)."""

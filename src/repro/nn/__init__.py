@@ -24,7 +24,7 @@ from .tensor import (
 )
 from .module import Module, Parameter
 from .layers import Linear, Embedding, Dropout, Sequential, Activation, MLP
-from .optim import SGD, Adam, StepLR, ExponentialLR, clip_grad_norm
+from .optim import SGD, Adam, StepLR, ExponentialLR, clip_grad_norm, grad_l2_norm
 from . import init, losses, ops
 from .ops import (
     concat,
@@ -72,6 +72,7 @@ __all__ = [
     "StepLR",
     "ExponentialLR",
     "clip_grad_norm",
+    "grad_l2_norm",
     "init",
     "losses",
     "ops",

@@ -51,10 +51,24 @@ class Module:
 
     # -- attribute plumbing -------------------------------------------------
     def __setattr__(self, name: str, value) -> None:
+        # Reassigning an attribute that previously held a Parameter/Module
+        # must drop the old registration, otherwise the optimizer and
+        # state_dict keep training/saving the orphan.
+        parameters = self.__dict__.get("_parameters")
+        modules = self.__dict__.get("_modules")
         if isinstance(value, Parameter):
+            if modules is not None:
+                modules.pop(name, None)
             self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
         elif isinstance(value, Module):
+            if parameters is not None:
+                parameters.pop(name, None)
             self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        else:
+            if parameters is not None:
+                parameters.pop(name, None)
+            if modules is not None:
+                modules.pop(name, None)
         object.__setattr__(self, name, value)
 
     def register_parameter(self, name: str, parameter: Parameter) -> None:

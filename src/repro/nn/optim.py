@@ -13,7 +13,32 @@ import numpy as np
 from .module import Parameter
 from .tensor import no_grad
 
-__all__ = ["Optimizer", "SGD", "Adam", "StepLR", "ExponentialLR", "clip_grad_norm"]
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "StepLR",
+    "ExponentialLR",
+    "clip_grad_norm",
+    "grad_l2_norm",
+]
+
+
+def grad_l2_norm(parameters: Iterable[Parameter]) -> float:
+    """Global L2 norm over the gradients of ``parameters``.
+
+    Parameters without gradients are skipped.  ``dot(flat, flat)`` hits
+    the BLAS reduction directly instead of materializing a squared
+    temporary per parameter; this is the single norm implementation
+    shared by :func:`clip_grad_norm` and the trainer's ``grad_norm``
+    metric so the two cannot drift.
+    """
+    total = 0.0
+    for parameter in parameters:
+        if parameter.grad is not None:
+            flat = parameter.grad.ravel()
+            total += float(np.dot(flat, flat))
+    return float(np.sqrt(total))
 
 
 def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
@@ -21,16 +46,17 @@ def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
 
     Returns the pre-clipping norm.  Parameters without gradients are
     skipped.  Standard defence against the occasional exploding step on
-    margin losses with hub-entity embeddings.
+    margin losses with hub-entity embeddings.  Scaling happens in place
+    (``grad *= scale``) so donated gradient buffers keep their identity.
     """
     if max_norm <= 0:
         raise ValueError("max_norm must be positive")
     parameters = [p for p in parameters if p.grad is not None]
-    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in parameters)))
+    total = grad_l2_norm(parameters)
     if total > max_norm and total > 0:
         scale = max_norm / total
         for parameter in parameters:
-            parameter.grad = parameter.grad * scale
+            parameter.grad *= scale
     return total
 
 
@@ -52,6 +78,71 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    # -- checkpointing ------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot of the optimizer's mutable state.
+
+        The dict has two halves: ``"scalars"`` (JSON-serializable
+        hyper-parameters plus step counters) and ``"buffers"`` (a mapping
+        of buffer name to a list of per-parameter arrays, aligned with
+        ``self.parameters``).  Subclasses extend both via
+        :meth:`_scalar_state` and :meth:`_buffer_state`.
+        """
+        return {
+            "kind": type(self).__name__,
+            "scalars": self._scalar_state(),
+            "buffers": {
+                name: [array.copy() for array in buffers]
+                for name, buffers in self._buffer_state().items()
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`.
+
+        The optimizer must manage the same number of parameters (with the
+        same shapes) as the one that produced the snapshot; mismatches
+        raise ``ValueError`` so a wrong-model resume fails loudly instead
+        of training from silently corrupt moments.
+        """
+        if state.get("kind") != type(self).__name__:
+            raise ValueError(
+                f"optimizer state was written by {state.get('kind')!r}, "
+                f"refusing to load into {type(self).__name__!r}"
+            )
+        own_buffers = self._buffer_state()
+        saved_buffers = state.get("buffers", {})
+        if set(own_buffers) != set(saved_buffers):
+            raise ValueError(
+                f"optimizer buffer mismatch: have {sorted(own_buffers)}, "
+                f"snapshot has {sorted(saved_buffers)}"
+            )
+        for name, buffers in own_buffers.items():
+            saved = saved_buffers[name]
+            if len(saved) != len(buffers):
+                raise ValueError(
+                    f"optimizer buffer {name!r} covers {len(saved)} parameters, "
+                    f"this optimizer manages {len(buffers)}"
+                )
+            for i, (target, value) in enumerate(zip(buffers, saved)):
+                value = np.asarray(value)
+                if value.shape != target.shape:
+                    raise ValueError(
+                        f"shape mismatch for optimizer buffer {name}[{i}]: "
+                        f"snapshot {value.shape} vs parameter {target.shape}"
+                    )
+                target[...] = value.astype(target.dtype, copy=False)
+        self._load_scalar_state(dict(state.get("scalars", {})))
+
+    def _scalar_state(self) -> dict:
+        return {"lr": self.lr}
+
+    def _load_scalar_state(self, scalars: dict) -> None:
+        self.lr = float(scalars.get("lr", self.lr))
+
+    def _buffer_state(self) -> dict[str, list[np.ndarray]]:
+        return {}
 
 
 class SGD(Optimizer):
@@ -84,6 +175,21 @@ class SGD(Optimizer):
                     velocity += grad
                     grad = velocity
                 parameter.data -= self.lr * grad
+
+    def _scalar_state(self) -> dict:
+        return {
+            "lr": self.lr,
+            "momentum": self.momentum,
+            "weight_decay": self.weight_decay,
+        }
+
+    def _load_scalar_state(self, scalars: dict) -> None:
+        super()._load_scalar_state(scalars)
+        self.momentum = float(scalars.get("momentum", self.momentum))
+        self.weight_decay = float(scalars.get("weight_decay", self.weight_decay))
+
+    def _buffer_state(self) -> dict[str, list[np.ndarray]]:
+        return {"velocity": self._velocity}
 
 
 class Adam(Optimizer):
@@ -131,6 +237,27 @@ class Adam(Optimizer):
                 m_hat = m / bias1
                 v_hat = v / bias2
                 parameter.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _scalar_state(self) -> dict:
+        return {
+            "lr": self.lr,
+            "betas": [self.beta1, self.beta2],
+            "eps": self.eps,
+            "weight_decay": self.weight_decay,
+            "step_count": self._step_count,
+        }
+
+    def _load_scalar_state(self, scalars: dict) -> None:
+        super()._load_scalar_state(scalars)
+        betas = scalars.get("betas")
+        if betas is not None:
+            self.beta1, self.beta2 = (float(betas[0]), float(betas[1]))
+        self.eps = float(scalars.get("eps", self.eps))
+        self.weight_decay = float(scalars.get("weight_decay", self.weight_decay))
+        self._step_count = int(scalars.get("step_count", self._step_count))
+
+    def _buffer_state(self) -> dict[str, list[np.ndarray]]:
+        return {"m": self._m, "v": self._v}
 
 
 class StepLR:

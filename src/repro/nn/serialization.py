@@ -13,6 +13,9 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import zipfile
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -27,7 +30,12 @@ __all__ = [
     "pack_metadata",
     "unpack_metadata",
     "resolve_npz_path",
+    "atomic_write_npz",
+    "read_npz_archive",
 ]
+
+# Exceptions numpy/zipfile raise on a truncated or otherwise corrupt .npz.
+_CORRUPT_NPZ_ERRORS = (zipfile.BadZipFile, zlib.error, EOFError, ValueError, OSError)
 
 METADATA_KEY = "__checkpoint_metadata__"
 _METADATA_KEY = METADATA_KEY  # backwards-compatible alias
@@ -40,10 +48,21 @@ class CheckpointError(RuntimeError):
 def pack_metadata(metadata: dict) -> np.ndarray:
     """Encode a JSON-serializable metadata dict as a uint8 array.
 
-    Shared by module checkpoints and the serving-layer index artifact so
-    every ``.npz`` the project writes carries its metadata the same way.
+    Shared by module checkpoints, train-state checkpoints and the
+    serving-layer index artifact so every ``.npz`` the project writes
+    carries its metadata the same way.  Stray numpy scalars (e.g. a
+    ``np.float64`` validation metric inside a training history) are
+    coerced via ``.item()``.
     """
-    return np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8)
+    return np.frombuffer(
+        json.dumps(metadata, default=_json_default).encode("utf-8"), dtype=np.uint8
+    )
+
+
+def _json_default(value):
+    if hasattr(value, "item"):
+        return value.item()
+    return str(value)
 
 
 def unpack_metadata(archive, key: str = METADATA_KEY) -> dict:
@@ -63,6 +82,77 @@ def resolve_npz_path(path: str | Path) -> Path:
     return path
 
 
+def atomic_write_npz(path: str | Path, arrays: dict[str, np.ndarray]) -> Path:
+    """Write ``arrays`` to ``path`` as an ``.npz``, atomically.
+
+    The archive is first written to a temporary sibling file, flushed and
+    fsynced, then moved into place with ``os.replace`` — so a crash at any
+    point leaves either the complete new file or the untouched previous
+    one, never a torn archive.  The containing directory is fsynced too
+    (best effort) so the rename itself survives power loss.
+
+    Returns the resolved path (``.npz`` appended if missing).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp_path = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp_path, "wb") as stream:
+            np.savez(stream, **arrays)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        tmp_path.unlink(missing_ok=True)
+        raise
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:
+        return path
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+    return path
+
+
+def read_npz_archive(
+    path: str | Path, metadata_key: str = METADATA_KEY
+) -> tuple[dict[str, np.ndarray], dict | None]:
+    """Read every array (and the metadata blob, if any) out of an ``.npz``.
+
+    A truncated or otherwise corrupt archive raises
+    :class:`CheckpointError` naming the path, instead of leaking a raw
+    ``zipfile.BadZipFile``/``zlib.error`` from deep inside numpy.
+
+    Returns ``(arrays, metadata)`` where ``metadata`` is None when the
+    archive carries no :data:`METADATA_KEY` blob; the metadata entry is
+    not included in ``arrays``.
+    """
+    path = resolve_npz_path(path)
+    try:
+        with np.load(path) as archive:
+            arrays = {
+                name: archive[name]
+                for name in archive.files
+                if name != metadata_key
+            }
+            metadata = (
+                unpack_metadata(archive, key=metadata_key)
+                if metadata_key in archive.files
+                else None
+            )
+    except _CORRUPT_NPZ_ERRORS as error:
+        raise CheckpointError(
+            f"corrupt or truncated checkpoint {path}: {error}"
+        ) from error
+    return arrays, metadata
+
+
 def _config_to_dict(config) -> dict | None:
     if config is None:
         return None
@@ -78,9 +168,6 @@ def save_checkpoint(module: Module, path: str | Path, config=None) -> Path:
 
     Returns the resolved path (``.npz`` is appended if missing).
     """
-    path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(path.suffix + ".npz")
     state = module.state_dict()
     if _METADATA_KEY in state:
         raise ValueError(f"parameter name {_METADATA_KEY!r} is reserved")
@@ -91,9 +178,7 @@ def save_checkpoint(module: Module, path: str | Path, config=None) -> Path:
     }
     arrays = dict(state)
     arrays[_METADATA_KEY] = pack_metadata(metadata)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(path, **arrays)
-    return path
+    return atomic_write_npz(path, arrays)
 
 
 def load_checkpoint(
@@ -108,11 +193,9 @@ def load_checkpoint(
         different model class.
     """
     path = resolve_npz_path(path)
-    with np.load(path) as archive:
-        if _METADATA_KEY not in archive:
-            raise CheckpointError(f"{path} is not a repro checkpoint (no metadata)")
-        metadata = unpack_metadata(archive)
-        state = {name: archive[name] for name in archive.files if name != _METADATA_KEY}
+    state, metadata = read_npz_archive(path)
+    if metadata is None:
+        raise CheckpointError(f"{path} is not a repro checkpoint (no metadata)")
     if strict_class and metadata.get("model_class") != type(module).__name__:
         raise CheckpointError(
             f"checkpoint was written by {metadata.get('model_class')!r}, "

@@ -22,9 +22,17 @@ regenerate identically.
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
-__all__ = ["DEFAULT_SEED", "ensure_rng", "reseed"]
+__all__ = [
+    "DEFAULT_SEED",
+    "ensure_rng",
+    "reseed",
+    "generator_state",
+    "set_generator_state",
+]
 
 DEFAULT_SEED = 0
 
@@ -52,3 +60,23 @@ def reseed(seed: int = DEFAULT_SEED) -> None:
     """Reset the shared fallback generator (test isolation hook)."""
     global _fallback
     _fallback = np.random.default_rng(seed)
+
+
+def generator_state(rng: np.random.Generator) -> dict:
+    """Snapshot ``rng``'s bit-generator state as a JSON-serializable dict.
+
+    The returned dict is exactly ``rng.bit_generator.state`` (bit-generator
+    name plus its integer state words).  Restoring it with
+    :func:`set_generator_state` resumes the *identical* draw stream, which
+    is what makes checkpointed training bit-exact across a crash.
+    """
+    return copy.deepcopy(rng.bit_generator.state)
+
+
+def set_generator_state(rng: np.random.Generator, state: dict) -> None:
+    """Restore a snapshot taken by :func:`generator_state` into ``rng``.
+
+    Raises ``TypeError``/``ValueError`` (from numpy) when the snapshot was
+    taken from a different bit-generator family.
+    """
+    rng.bit_generator.state = copy.deepcopy(state)

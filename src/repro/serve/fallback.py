@@ -6,8 +6,11 @@ triad:
 
 * **deadline** — the primary scorer runs in a worker thread with a
   per-request timeout; a request that blows its budget is answered by
-  the fallback instead (the worker finishes in the background and its
-  result still warms the cache);
+  the fallback instead, and its future is *cancelled*: a call that has
+  not started yet is dropped from the queue, so a hung primary cannot
+  pin abandoned work behind it and exhaust the pool (a call already
+  running finishes in the background and its result still warms the
+  cache);
 * **circuit breaker** — after ``failure_threshold`` consecutive primary
   failures the breaker *opens* and requests go straight to the fallback
   (no model latency, no error amplification); after ``reset_timeout``
@@ -165,6 +168,7 @@ class ResilientScorer:
         self.fallback_answers = 0
         self.deadline_misses = 0
         self.primary_errors = 0
+        self.cancelled_futures = 0
 
     def scores(self, group_id: int) -> FallbackAnswer:
         """Score vector for ``group_id``, degrading gracefully."""
@@ -178,8 +182,16 @@ class ResilientScorer:
                 try:
                     vector = future.result(timeout=self.deadline)
                 except FutureTimeout:
+                    # Cancel the abandoned call: if it is still queued
+                    # behind a hung worker it is removed outright instead
+                    # of occupying the pool once a thread frees up.  A
+                    # call that already started cannot be cancelled and
+                    # finishes in the background.
+                    cancelled = future.cancel()
                     with self._lock:
                         self.deadline_misses += 1
+                        if cancelled:
+                            self.cancelled_futures += 1
                     self.breaker.record_failure()
                     return self._serve_fallback(group_id, "fallback:deadline")
         except Exception:
@@ -205,10 +217,11 @@ class ResilientScorer:
                 "fallback_answers": self.fallback_answers,
                 "deadline_misses": self.deadline_misses,
                 "primary_errors": self.primary_errors,
+                "cancelled_futures": self.cancelled_futures,
                 "breaker_state": self.breaker.state,
                 "breaker_trips": self.breaker.trips,
             }
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
-        self._executor.shutdown(wait=False)
+        """Shut the worker pool down (idempotent), dropping queued work."""
+        self._executor.shutdown(wait=False, cancel_futures=True)

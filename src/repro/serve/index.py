@@ -27,9 +27,10 @@ import numpy as np
 
 from ..nn.serialization import (
     CheckpointError,
+    atomic_write_npz,
     pack_metadata,
+    read_npz_archive,
     resolve_npz_path,
-    unpack_metadata,
 )
 
 __all__ = ["INDEX_FORMAT_VERSION", "IndexError_", "EmbeddingIndex", "build_index"]
@@ -290,23 +291,17 @@ class EmbeddingIndex:
         if _METADATA_KEY in payload:
             raise ValueError(f"array name {_METADATA_KEY!r} is reserved")
         payload[_METADATA_KEY] = pack_metadata(self.metadata)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        np.savez(path, **payload)
-        return path
+        # tmp + fsync + os.replace: reloading servers never observe a
+        # torn artifact, even when the builder is killed mid-write.
+        return atomic_write_npz(path, payload)
 
     @classmethod
     def load(cls, path: str | Path) -> "EmbeddingIndex":
         """Load an index previously written by :meth:`save`."""
         path = resolve_npz_path(path)
-        with np.load(path) as archive:
-            if _METADATA_KEY not in archive:
-                raise IndexError_(f"{path} is not a serving index (no metadata)")
-            metadata = unpack_metadata(archive, key=_METADATA_KEY)
-            arrays = {
-                name: archive[name]
-                for name in archive.files
-                if name != _METADATA_KEY
-            }
+        arrays, metadata = read_npz_archive(path, metadata_key=_METADATA_KEY)
+        if metadata is None:
+            raise IndexError_(f"{path} is not a serving index (no metadata)")
         stored = metadata.get("fingerprint")
         index = cls(arrays, metadata)
         if stored is not None and index._fingerprint() != stored:

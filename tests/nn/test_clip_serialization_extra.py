@@ -49,3 +49,24 @@ class TestClipGradNorm:
         norm = clip_grad_norm([p], max_norm=1.0)
         assert norm == 0.0
         np.testing.assert_allclose(p.grad, 0.0)
+
+    def test_scales_in_place_preserving_buffer_identity(self):
+        # Regression: rebinding parameter.grad defeated the donated
+        # gradient buffers of the fused training path.
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([3.0, 4.0])
+        buffer = p.grad
+        clip_grad_norm([p], max_norm=1.0)
+        assert p.grad is buffer
+        np.testing.assert_allclose(buffer, [0.6, 0.8])
+
+    def test_norm_matches_shared_helper(self):
+        from repro.nn import grad_l2_norm
+
+        params = []
+        rng = np.random.default_rng(5)
+        for shape in [(3, 2), (4,), (2, 2, 2)]:
+            p = Parameter(np.zeros(shape))
+            p.grad = rng.normal(size=shape)
+            params.append(p)
+        assert clip_grad_norm(params, max_norm=1e9) == grad_l2_norm(params)

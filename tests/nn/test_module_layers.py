@@ -45,6 +45,42 @@ class TestModule:
         model = TwoLayer()
         assert model.num_parameters() == 3 * 4 + 4 + 4 * 2 + 2 + 1
 
+    def test_reassigning_parameter_drops_stale_registration(self):
+        # Regression: a ghost entry in _parameters survived reassignment,
+        # so the optimizer and state_dict kept training/saving the orphan.
+        model = TwoLayer()
+        model.scale = "not a parameter anymore"
+        names = {name for name, _ in model.named_parameters()}
+        assert "scale" not in names
+        assert "scale" not in model.state_dict()
+
+    def test_reassigning_module_drops_stale_registration(self):
+        model = TwoLayer()
+        model.second = None
+        names = {name for name, _ in model.named_parameters()}
+        assert names == {"first.weight", "first.bias", "scale"}
+        assert all(not name.startswith("second.") for name in model.state_dict())
+
+    def test_reassigning_parameter_to_module_swaps_registry(self):
+        model = TwoLayer()
+        model.scale = Linear(2, 2, rng=RNG)
+        names = {name for name, _ in model.named_parameters()}
+        assert "scale" not in names
+        assert {"scale.weight", "scale.bias"} <= names
+
+    def test_reassigning_module_to_parameter_swaps_registry(self):
+        model = TwoLayer()
+        model.second = Parameter(np.ones(2))
+        names = {name for name, _ in model.named_parameters()}
+        assert "second" in names
+        assert all(not name.startswith("second.") for name in names)
+
+    def test_replacing_parameter_trains_the_new_one(self):
+        model = TwoLayer()
+        replacement = Parameter(np.full(1, 2.0))
+        model.scale = replacement
+        assert dict(model.named_parameters())["scale"] is replacement
+
     def test_zero_grad_clears_all(self):
         model = TwoLayer()
         out = model(Tensor(RNG.normal(size=(2, 3))))

@@ -148,3 +148,54 @@ class TestResilientScorer:
     def test_invalid_deadline(self):
         with pytest.raises(ValueError):
             ResilientScorer(primary=lambda g: None, fallback=_fallback, deadline_ms=0.0)
+
+
+class TestHungPrimary:
+    """Regression: a deadline miss must cancel its future, so a hung
+    primary cannot pin abandoned queued work behind it and exhaust the
+    worker pool."""
+
+    def test_queued_requests_cancelled_on_deadline_miss(self):
+        import threading
+
+        release = threading.Event()
+        started = []
+
+        def hung(group_id):
+            started.append(group_id)
+            release.wait(10.0)
+            return np.zeros(5)
+
+        breaker = CircuitBreaker(failure_threshold=100, clock=FakeClock())
+        scorer = ResilientScorer(
+            primary=hung,
+            fallback=_fallback,
+            deadline_ms=30.0,
+            breaker=breaker,
+            max_workers=1,
+        )
+        try:
+            # First request occupies the lone worker past its deadline.
+            first = scorer.scores(1)
+            assert first.source == "fallback:deadline"
+            # These would queue behind the hung worker forever; cancel-on-
+            # miss removes them from the queue instead.
+            for group in (2, 3):
+                answer = scorer.scores(group)
+                assert answer.source == "fallback:deadline"
+            stats = scorer.stats()
+            assert stats["deadline_misses"] == 3
+            # The running call cannot be cancelled; the queued ones can.
+            assert stats["cancelled_futures"] == 2
+        finally:
+            release.set()
+            scorer.close()
+        # The cancelled calls never executed: only the hung one started.
+        assert started == [1]
+
+    def test_stats_expose_cancellations(self):
+        scorer = ResilientScorer(
+            primary=lambda g: np.zeros(5), fallback=_fallback, deadline_ms=None
+        )
+        assert scorer.stats()["cancelled_futures"] == 0
+        scorer.close()

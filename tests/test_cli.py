@@ -121,6 +121,91 @@ class TestTrainEvaluateRecommend:
             )
 
 
+class TestCheckpointedTraining:
+    def test_train_resume_matches_straight_run(self, dataset_dir, tmp_path, capsys):
+        common = [
+            "train", "--data", str(dataset_dir), "--epochs", "4",
+            "--dim", "8", "--layers", "1", "--quiet",
+        ]
+        straight_out = tmp_path / "straight"
+        assert main(common + ["--out", str(straight_out)]) == 0
+
+        # Same run, but through two processes: train to epoch 2, then
+        # resume from the checkpoint directory and finish.
+        ckpt_dir = tmp_path / "ckpts"
+        half_out = tmp_path / "half"
+        partial = [
+            "train", "--data", str(dataset_dir), "--epochs", "2",
+            "--dim", "8", "--layers", "1", "--quiet",
+            "--checkpoint-dir", str(ckpt_dir),
+        ]
+        assert main(partial + ["--out", str(half_out)]) == 0
+        resumed_out = tmp_path / "resumed"
+        assert main(
+            common
+            + ["--out", str(resumed_out), "--checkpoint-dir", str(ckpt_dir), "--resume"]
+        ) == 0
+        capsys.readouterr()
+
+        with np.load(straight_out.with_suffix(".npz")) as a, np.load(
+            resumed_out.with_suffix(".npz")
+        ) as b:
+            for name in a.files:
+                np.testing.assert_array_equal(a[name], b[name], err_msg=name)
+
+    def test_checkpoint_dir_contains_train_states(self, dataset_dir, tmp_path, capsys):
+        ckpt_dir = tmp_path / "ckpts"
+        code = main(
+            [
+                "train", "--data", str(dataset_dir), "--epochs", "2",
+                "--dim", "8", "--layers", "1", "--quiet",
+                "--out", str(tmp_path / "model"),
+                "--checkpoint-dir", str(ckpt_dir), "--keep-last", "1",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        names = sorted(p.name for p in ckpt_dir.iterdir())
+        assert names[-1] == "ckpt-000001.npz"
+
+    def test_evaluate_and_build_index_accept_train_state(
+        self, dataset_dir, tmp_path, capsys
+    ):
+        ckpt_dir = tmp_path / "ckpts"
+        assert main(
+            [
+                "train", "--data", str(dataset_dir), "--epochs", "2",
+                "--dim", "8", "--layers", "1", "--quiet",
+                "--out", str(tmp_path / "model"),
+                "--checkpoint-dir", str(ckpt_dir),
+            ]
+        ) == 0
+        train_state = sorted(ckpt_dir.glob("ckpt-*.npz"))[-1]
+        capsys.readouterr()
+
+        code = main(
+            [
+                "evaluate", "--data", str(dataset_dir),
+                "--checkpoint", str(train_state),
+            ]
+        )
+        assert code == 0
+        metrics = json.loads(capsys.readouterr().out)
+        assert "hit@5" in metrics
+
+        index_out = tmp_path / "from-train-state.index"
+        code = main(
+            [
+                "build-index", "--data", str(dataset_dir),
+                "--checkpoint", str(train_state), "--out", str(index_out),
+            ]
+        )
+        assert code == 0
+        assert index_out.with_suffix(".index.npz").exists() or index_out.with_suffix(
+            ".npz"
+        ).exists()
+
+
 class TestServeCommands:
     @pytest.fixture(scope="class")
     def index_path(self, dataset_dir, checkpoint, tmp_path_factory):

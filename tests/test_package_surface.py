@@ -52,6 +52,8 @@ PUBLIC_MODULES = [
     "repro.core.losses",
     "repro.core.model",
     "repro.core.trainer",
+    "repro.core.checkpoint",
+    "repro.core.ckpt_smoke",
     "repro.core.predict",
     "repro.core.diagnostics",
     "repro.baselines",

@@ -132,6 +132,84 @@ class TestCheckpoint:
             np.testing.assert_allclose(p.data, q.data)  # weights do match
 
 
+class TestCorruptCheckpoints:
+    def test_truncated_npz_raises_checkpoint_error(self, tmp_path):
+        # Regression: a torn .npz surfaced a raw zipfile.BadZipFile.
+        path = save_checkpoint(TinyModel(), tmp_path / "m")
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointError, match=str(path)):
+            load_checkpoint(TinyModel(), path)
+
+    def test_garbage_file_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(TinyModel(), path)
+
+    def test_empty_file_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        path.touch()
+        with pytest.raises(CheckpointError):
+            load_checkpoint(TinyModel(), path)
+
+
+class TestAtomicWrite:
+    def test_returns_resolved_path_and_roundtrips(self, tmp_path):
+        from repro.nn.serialization import atomic_write_npz, read_npz_archive
+
+        path = atomic_write_npz(tmp_path / "state", {"a": np.arange(4)})
+        assert path.suffix == ".npz"
+        arrays, metadata = read_npz_archive(path)
+        assert metadata is None
+        np.testing.assert_array_equal(arrays["a"], np.arange(4))
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        from repro.nn.serialization import atomic_write_npz
+
+        atomic_write_npz(tmp_path / "state.npz", {"a": np.ones(2)})
+        assert [p.name for p in tmp_path.iterdir()] == ["state.npz"]
+
+    def test_failed_write_preserves_previous_file(self, tmp_path, monkeypatch):
+        """A writer dying mid-write never clobbers the existing archive."""
+        from repro.nn import serialization
+
+        path = serialization.atomic_write_npz(tmp_path / "state", {"a": np.ones(2)})
+        before = path.read_bytes()
+
+        def exploding_savez(stream, **arrays):
+            stream.write(b"partial garbage")
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(serialization.np, "savez", exploding_savez)
+        with pytest.raises(KeyboardInterrupt):
+            serialization.atomic_write_npz(path, {"a": np.zeros(2)})
+        assert path.read_bytes() == before  # old archive untouched
+        assert [p.name for p in tmp_path.iterdir()] == ["state.npz"]
+
+    def test_save_checkpoint_is_atomic_over_existing(self, tmp_path, monkeypatch):
+        from repro.nn import serialization
+
+        model = TinyModel(seed=1)
+        path = save_checkpoint(model, tmp_path / "m")
+
+        real_savez = serialization.np.savez
+
+        def dying_savez(stream, **arrays):
+            real_savez(stream, **arrays)
+            raise RuntimeError("killed after payload, before replace")
+
+        monkeypatch.setattr(serialization.np, "savez", dying_savez)
+        with pytest.raises(RuntimeError):
+            save_checkpoint(TinyModel(seed=9), path)
+        monkeypatch.undo()
+        # The interrupted overwrite left the original checkpoint loadable.
+        restored = TinyModel(seed=2)
+        load_checkpoint(restored, path)
+        for (_, p), (_, q) in zip(model.named_parameters(), restored.named_parameters()):
+            np.testing.assert_array_equal(p.data, q.data)
+
+
 class TestDatasetIO:
     def test_movielens_roundtrip(self, tmp_path):
         dataset = movielens_like(
