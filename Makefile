@@ -3,7 +3,7 @@
 PYTHON ?= python
 PROFILE ?= default
 
-.PHONY: install dev test lint docs-check ckpt-smoke verify analysis-report obs-report bench bench-calibrated bench-report bench-smoke serve-smoke examples experiments clean
+.PHONY: install dev test lint docs-check ckpt-smoke race-smoke verify analysis-report obs-report bench bench-calibrated bench-report bench-smoke serve-smoke examples experiments clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -24,7 +24,11 @@ docs-check:
 ckpt-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.core.ckpt_smoke
 
-verify: test lint docs-check ckpt-smoke
+# Multi-thread stress over the serve/obs objects under the lockset detector.
+race-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis.race_smoke
+
+verify: test lint docs-check ckpt-smoke race-smoke
 
 analysis-report:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis.report

@@ -199,3 +199,42 @@ def test_evaluate_tape(benchmark, model, dataset):
     """
     trainer, split = _pr4_trainer(model, dataset, tape_free_eval=False)
     benchmark(lambda: trainer.evaluate(split.validation, k=5))
+
+
+def _cache_workload(cache):
+    for i in range(256):
+        key = (i % 32, "v0")
+        if cache.get(key) is None:
+            cache.put(key, float(i))
+    cache.stats()
+
+
+def test_score_cache_untracked(benchmark):
+    """ScoreCache ops with the race detector off — the zero-overhead claim.
+
+    The assertion pins the claim structurally: an untracked instance has
+    its pristine class, so no ``__getattribute__`` hook is on the path.
+    """
+    from repro.serve.cache import ScoreCache
+
+    cache = ScoreCache(capacity=32)
+    assert "__racecheck_tracked__" not in type(cache).__dict__
+    benchmark(lambda: _cache_workload(cache))
+
+
+def test_score_cache_racechecked(benchmark):
+    """The same ScoreCache ops under lockset tracking.
+
+    The delta against ``test_score_cache_untracked`` is the full cost of
+    the race detector: per-access ``__getattribute__``/``__setattr__``
+    interception plus the Eraser lockset intersection (stack capture
+    disabled, as in ``make race-smoke``).
+    """
+    from repro.analysis.racecheck import RaceDetector
+    from repro.serve.cache import ScoreCache
+
+    cache = ScoreCache(capacity=32)
+    with RaceDetector(capture_stacks=False) as detector:
+        detector.track(cache)
+        benchmark(lambda: _cache_workload(cache))
+        assert detector.ok

@@ -7,11 +7,16 @@ every result in ``results/`` depends on.  Three layers:
 * :mod:`repro.analysis.lint` — an AST linter with repo-specific rules
   (``RL001``–``RL005``: seeded-randomness discipline, no ``.data``
   mutation outside ``no_grad()``, ``unbroadcast`` coverage in backward
-  closures, no bare excepts, explicit ``__all__``).  CLI:
+  closures, no bare excepts, explicit ``__all__``; ``RL101``–``RL105``:
+  lock discipline over ``# guarded-by:``-annotated attributes, lock
+  ordering, thread lifecycle, no blocking under a lock).  CLI:
   ``python -m repro.analysis.lint src tests benchmarks``.
 * :mod:`repro.analysis.sanitizer` — an opt-in runtime tape sanitizer
   that attributes NaN/Inf outputs, dtype drift and gradient anomalies to
   the op that produced them.  Zero overhead when not active.
+* :mod:`repro.analysis.racecheck` — an opt-in Eraser-style lockset race
+  detector for the thread-shared serve/obs objects, driven by the same
+  ``# guarded-by:`` annotations (``make race-smoke``).
 * :mod:`repro.analysis.graph` — tape-topology verification (cycles,
   malformed nodes, post-backward leaks) and size statistics, surfaced by
   ``python -m repro.analysis.report``.
@@ -31,7 +36,9 @@ from .graph import (
     tape_stats,
     verify_tape,
 )
-from .rules import ALL_RULES, Finding, Severity, rule_ids
+from .concurrency import guarded_fields
+from .racecheck import AuditedLock, RaceDetector, RaceViolation, held_locks
+from .rules import Finding, Severity
 from .sanitizer import (
     TapeAnomaly,
     TapeAnomalyError,
@@ -41,7 +48,16 @@ from .sanitizer import (
 
 # The lint driver is loaded lazily (PEP 562) so that running it as
 # ``python -m repro.analysis.lint`` does not import the module twice.
-_LAZY_LINT = {"LintResult", "lint_source", "lint_file", "lint_paths"}
+# ALL_RULES / rule_ids live there too: the full registry is composed in
+# the driver (core RL00x rules + concurrency RL1xx rules).
+_LAZY_LINT = {
+    "ALL_RULES",
+    "rule_ids",
+    "LintResult",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+}
 
 
 def __getattr__(name: str):
@@ -65,6 +81,11 @@ __all__ = [
     "TapeAnomalyError",
     "TapeSanitizer",
     "sanitizer_active",
+    "guarded_fields",
+    "AuditedLock",
+    "RaceDetector",
+    "RaceViolation",
+    "held_locks",
     "TapeStats",
     "GraphIssue",
     "GraphReport",

@@ -35,9 +35,21 @@ import tokenize
 from pathlib import Path
 from typing import Iterable, Sequence
 
-from .rules import ALL_RULES, Finding, Rule, Severity, rule_ids
+from .concurrency import CONCURRENCY_RULES
+from .rules import ALL_RULES as CORE_RULES, Finding, Rule, Severity
+
+# The full registry the driver runs: the core tape/randomness rules
+# (RL001-RL005) plus the concurrency-discipline rules (RL101-RL105).
+ALL_RULES: tuple[Rule, ...] = tuple(CORE_RULES) + tuple(CONCURRENCY_RULES)
+
+
+def rule_ids() -> list[str]:
+    """Stable identifiers of every registered rule."""
+    return [rule.id for rule in ALL_RULES]
 
 __all__ = [
+    "ALL_RULES",
+    "rule_ids",
     "LintResult",
     "lint_source",
     "lint_file",
@@ -123,10 +135,25 @@ def _rules_for_path(path: str, rules: Sequence[Rule]) -> list[Rule]:
     return list(rules)
 
 
+def _run_rule(rule: Rule, tree: ast.Module, source: str, path: str):
+    """Dispatch one rule over one file, honoring its capability flags."""
+    if rule.program:
+        state = rule.begin()
+        rule.observe(state, tree, path, source)
+        return rule.finalize(state)
+    if rule.needs_source:
+        return rule.check_source(tree, source, path)
+    return rule.check(tree, path)
+
+
 def lint_source(
     source: str, path: str = "<string>", rules: Sequence[Rule] | None = None
 ) -> LintResult:
-    """Lint a source string; ``path`` is used for scoping and messages."""
+    """Lint a source string; ``path`` is used for scoping and messages.
+
+    Program-level rules (e.g. the RL103 lock-order graph) run over just
+    this one file; :func:`lint_paths` runs them across the whole tree.
+    """
     result = LintResult()
     result.files_checked = 1
     try:
@@ -136,7 +163,7 @@ def lint_source(
         return result
     file_ids, line_ids = _suppressions(source)
     for rule in _rules_for_path(path, rules if rules is not None else ALL_RULES):
-        for finding in rule.check(tree, path):
+        for finding in _run_rule(rule, tree, source, path):
             if not _suppressed(finding, file_ids, line_ids):
                 result.findings.append(finding)
     result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
@@ -166,17 +193,49 @@ def lint_paths(
     rules: Sequence[Rule] | None = None,
     select: Iterable[str] | None = None,
 ) -> LintResult:
-    """Lint files and directory trees; ``select`` restricts rule IDs."""
-    active: Sequence[Rule] | None = rules
+    """Lint files and directory trees; ``select`` restricts rule IDs.
+
+    Per-file rules run file by file; program-level rules observe every
+    file first and report once at the end (so e.g. the RL103 lock-order
+    graph spans the whole tree).  Suppression pragmas apply to program
+    findings through the per-file suppression maps collected on the way.
+    """
+    active = list(rules if rules is not None else ALL_RULES)
     if select is not None:
         wanted = set(select)
         unknown = wanted - set(rule_ids())
         if unknown:
             raise ValueError(f"unknown rule ids: {sorted(unknown)}")
-        active = [r for r in (rules if rules is not None else ALL_RULES) if r.id in wanted]
+        active = [r for r in active if r.id in wanted]
+    local_rules = [r for r in active if not r.program]
+    program_rules = [(r, r.begin()) for r in active if r.program]
+    suppressions_by_path: dict[str, tuple[set[str], dict[int, set[str]]]] = {}
     total = LintResult()
     for file_path in _iter_python_files(paths):
-        total.extend(lint_file(file_path, active))
+        path = str(file_path)
+        total.files_checked += 1
+        source = file_path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            total.parse_failures.append((path, str(exc)))
+            continue
+        file_ids, line_ids = _suppressions(source)
+        suppressions_by_path[path] = (file_ids, line_ids)
+        for rule in _rules_for_path(path, local_rules):
+            for finding in _run_rule(rule, tree, source, path):
+                if not _suppressed(finding, file_ids, line_ids):
+                    total.findings.append(finding)
+        for rule, state in program_rules:
+            if rule in _rules_for_path(path, [rule]):
+                rule.observe(state, tree, path, source)
+    for rule, state in program_rules:
+        for finding in rule.finalize(state):
+            file_ids, line_ids = suppressions_by_path.get(
+                finding.path, (set(), {})
+            )
+            if not _suppressed(finding, file_ids, line_ids):
+                total.findings.append(finding)
     total.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return total
 

@@ -1,0 +1,419 @@
+"""Opt-in Eraser-style lockset race detector for thread-shared objects.
+
+The classic Eraser algorithm (Savage et al., 1997): for every monitored
+field keep a *candidate lockset* — the locks held at every access so
+far.  Each access intersects the candidate set with the locks the
+accessing thread currently holds; if the set goes empty while more than
+one thread is involved and at least one post-sharing write occurred, no
+single lock consistently protects the field and a race is reported.
+
+Three pieces:
+
+* :class:`AuditedLock` — wraps a ``threading.Lock``/``RLock`` and
+  records acquisition in a thread-local held-set (:func:`held_locks`);
+* :class:`RaceDetector` — a context manager whose :meth:`~RaceDetector.
+  track` instruments an object *in place*: its lock attributes are
+  wrapped in ``AuditedLock`` (``Condition`` objects are rebuilt around
+  the wrapper), and its class is swapped for a generated subclass whose
+  ``__getattribute__``/``__setattr__`` record ``(thread, field,
+  held-lockset)`` per access of the monitored fields.  Which fields to
+  monitor comes from the class's ``# guarded-by:`` annotations
+  (:func:`repro.analysis.concurrency.guarded_fields`) or an explicit
+  ``fields=`` list;
+* :class:`RaceViolation` — one report, carrying *both* access stack
+  traces (the racing access and the previous access to the field).
+
+Zero overhead when not in use, mirroring ``TapeSanitizer``: tracking is
+per-instance, and :meth:`RaceDetector.untrack` (or context exit)
+restores the pristine class *by identity* — ``type(obj)`` afterwards is
+exactly the original class, with no hooks left anywhere.
+
+The initialization phase is handled like Eraser's state machine: while
+only the first-observed thread touches a field, accesses are exempt
+(constructor-style writes need no lock); the candidate lockset starts at
+the first access by a *second* thread.
+
+Usage::
+
+    from repro.analysis.racecheck import RaceDetector
+
+    with RaceDetector() as detector:
+        detector.track(cache)          # fields from # guarded-by: comments
+        run_threads()
+    assert not detector.violations, detector.report()
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from dataclasses import dataclass
+
+from .concurrency import guarded_fields
+
+__all__ = [
+    "AuditedLock",
+    "RaceDetector",
+    "RaceViolation",
+    "held_locks",
+    "track",
+    "untrack",
+]
+
+
+class _HeldLocks(threading.local):
+    # threading.local subclasses re-run __init__ per thread, so every
+    # thread sees its own {id(lock): [lock, count]} map.
+    def __init__(self):
+        self.stack: dict[int, list] = {}
+
+
+_HELD = _HeldLocks()
+
+
+def held_locks() -> tuple["AuditedLock", ...]:
+    """The :class:`AuditedLock` objects the calling thread holds."""
+    return tuple(entry[0] for entry in _HELD.stack.values())
+
+
+class AuditedLock:
+    """A lock wrapper that records acquisition in a thread-local set.
+
+    Drop-in for ``threading.Lock``/``RLock`` (``acquire`` / ``release``
+    / ``locked`` / context manager), including use as the lock behind a
+    ``threading.Condition`` — the condition's ``wait()`` releases and
+    re-acquires through this wrapper, so the held-set stays truthful
+    across waits.
+    """
+
+    def __init__(self, name: str = "lock", inner=None):
+        self.name = name
+        self._inner = inner if inner is not None else threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            entry = _HELD.stack.get(id(self))
+            if entry is not None:
+                entry[1] += 1
+            else:
+                _HELD.stack[id(self)] = [self, 1]
+        return acquired
+
+    def release(self) -> None:
+        entry = _HELD.stack.get(id(self))
+        if entry is not None:
+            entry[1] -= 1
+            if entry[1] == 0:
+                del _HELD.stack[id(self)]
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> "AuditedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"AuditedLock({self.name!r})"
+
+
+@dataclass(frozen=True)
+class _Access:
+    """One recorded access to a monitored field."""
+
+    thread: str
+    op: str  # "read" | "write"
+    locks: tuple[str, ...]
+    stack: str
+
+    def render(self) -> str:
+        locks = ", ".join(self.locks) if self.locks else "no locks"
+        lines = [f"{self.op} by thread {self.thread!r} holding [{locks}]"]
+        if self.stack:
+            lines.append(self.stack.rstrip("\n"))
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class RaceViolation:
+    """A field whose candidate lockset went empty under sharing."""
+
+    owner: str
+    field: str
+    message: str
+    current: _Access
+    previous: _Access | None
+
+    def render(self) -> str:
+        parts = [f"{self.owner}.{self.field}: {self.message}"]
+        parts.append("racing access:\n" + _indent(self.current.render()))
+        if self.previous is not None:
+            parts.append("previous access:\n" + _indent(self.previous.render()))
+        return "\n".join(parts)
+
+
+def _indent(text: str) -> str:
+    return "\n".join("    " + line for line in text.splitlines())
+
+
+class _FieldState:
+    """Eraser state for one (object, field) pair."""
+
+    __slots__ = ("first_thread", "shared", "written_shared", "lockset",
+                 "last", "reported")
+
+    def __init__(self, first_thread: int, last: _Access):
+        self.first_thread = first_thread
+        self.shared = False
+        self.written_shared = False
+        self.lockset: frozenset | None = None
+        self.last = last
+        self.reported = False
+
+
+class _TrackInfo:
+    """Bookkeeping for one tracked instance."""
+
+    __slots__ = ("original", "fields", "detector")
+
+    def __init__(self, original: type, fields: frozenset, detector):
+        self.original = original
+        self.fields = fields
+        self.detector = detector
+
+
+# Global registry of tracked instances, keyed by id(obj).  Generated
+# subclasses consult it on every attribute access; untracked instances
+# never reach this code because their class is pristine.
+_TRACKED: dict[int, _TrackInfo] = {}
+_SUBCLASS_CACHE: dict[type, type] = {}
+_ACTIVE: list["RaceDetector"] = []
+
+_LOCK_TYPES = (type(threading.Lock()), type(threading.RLock()))
+
+
+def _tracked_subclass(cls: type) -> type:
+    cached = _SUBCLASS_CACHE.get(cls)
+    if cached is not None:
+        return cached
+
+    def __getattribute__(self, name):
+        info = _TRACKED.get(id(self))
+        if info is not None and name in info.fields:
+            info.detector._on_access(self, info, name, "read")
+        return cls.__getattribute__(self, name)
+
+    def __setattr__(self, name, value):
+        info = _TRACKED.get(id(self))
+        if info is not None and name in info.fields:
+            info.detector._on_access(self, info, name, "write")
+        cls.__setattr__(self, name, value)
+
+    tracked = type(
+        cls.__name__,
+        (cls,),
+        {
+            "__getattribute__": __getattribute__,
+            "__setattr__": __setattr__,
+            "__racecheck_tracked__": True,
+            "__module__": cls.__module__,
+        },
+    )
+    _SUBCLASS_CACHE[cls] = tracked
+    return tracked
+
+
+class RaceDetector:
+    """Collects :class:`RaceViolation` reports for tracked objects.
+
+    Parameters
+    ----------
+    capture_stacks:
+        Record a trimmed stack trace per access (both sides of a
+        violation get one).  Disable for lower-overhead stress runs.
+    stack_limit:
+        Innermost frames kept per captured stack.
+    """
+
+    def __init__(self, capture_stacks: bool = True, stack_limit: int = 8):
+        self.capture_stacks = bool(capture_stacks)
+        self.stack_limit = int(stack_limit)
+        self.violations: list[RaceViolation] = []
+        self._lock = threading.Lock()  # guards _states/violations/_objects
+        self._states: dict[tuple[int, str], _FieldState] = {}
+        self._objects: dict[int, object] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+    def __enter__(self) -> "RaceDetector":
+        _ACTIVE.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            self.untrack_all()
+        finally:
+            if self in _ACTIVE:
+                _ACTIVE.remove(self)
+
+    def track(self, obj, fields=None):
+        """Instrument ``obj`` in place; returns ``obj`` for chaining.
+
+        ``fields`` defaults to the keys of the class's ``# guarded-by:``
+        annotations.  Lock/Condition attributes of ``obj`` are wrapped
+        in :class:`AuditedLock` so held-sets are observable.  Call
+        before handing the object to other threads — instrumentation
+        itself is not atomic.
+        """
+        if id(obj) in _TRACKED:
+            return obj
+        cls = type(obj)
+        if fields is None:
+            fields = tuple(guarded_fields(cls))
+        if not fields:
+            raise ValueError(
+                f"{cls.__name__} has no `# guarded-by:` annotations; "
+                "pass fields=[...] explicitly"
+            )
+        self._audit_locks(obj)
+        info = _TrackInfo(cls, frozenset(fields), self)
+        _TRACKED[id(obj)] = info
+        with self._lock:
+            self._objects[id(obj)] = obj
+        obj.__class__ = _tracked_subclass(cls)
+        return obj
+
+    def untrack(self, obj) -> None:
+        """Remove instrumentation; ``type(obj)`` is pristine afterwards."""
+        info = _TRACKED.pop(id(obj), None)
+        if info is None:
+            return
+        obj.__class__ = info.original
+        with self._lock:
+            self._objects.pop(id(obj), None)
+            for key in [k for k in self._states if k[0] == id(obj)]:
+                del self._states[key]
+
+    def untrack_all(self) -> None:
+        with self._lock:
+            objects = list(self._objects.values())
+        for obj in objects:
+            self.untrack(obj)
+
+    # -- recording ---------------------------------------------------------
+    def _on_access(self, obj, info: _TrackInfo, name: str, op: str) -> None:
+        thread_id = threading.get_ident()
+        locks = held_locks()
+        lockset = frozenset(id(lock) for lock in locks)
+        access = _Access(
+            thread=threading.current_thread().name,
+            op=op,
+            locks=tuple(lock.name for lock in locks),
+            stack=self._capture_stack(),
+        )
+        key = (id(obj), name)
+        with self._lock:
+            state = self._states.get(key)
+            if state is None:
+                self._states[key] = _FieldState(thread_id, access)
+                return
+            if not state.shared:
+                if thread_id == state.first_thread:
+                    # Initialization phase: one thread, no lock required.
+                    state.last = access
+                    return
+                # First access by a second thread: the field is now
+                # shared; the candidate lockset starts here (discarding
+                # init-phase accesses avoids constructor false positives).
+                state.shared = True
+                state.lockset = lockset
+            else:
+                state.lockset &= lockset
+            if op == "write":
+                state.written_shared = True
+            if state.written_shared and not state.lockset and not state.reported:
+                state.reported = True
+                self.violations.append(
+                    RaceViolation(
+                        owner=info.original.__name__,
+                        field=name,
+                        message=(
+                            "no single lock protects this field (candidate "
+                            "lockset is empty after a cross-thread write)"
+                        ),
+                        current=access,
+                        previous=state.last,
+                    )
+                )
+            state.last = access
+
+    def _capture_stack(self) -> str:
+        if not self.capture_stacks:
+            return ""
+        # Drop the racecheck frames (format_list / this / _on_access /
+        # the generated __getattribute__ or __setattr__).
+        frames = traceback.extract_stack()[:-3]
+        return "".join(traceback.format_list(frames[-self.stack_limit:]))
+
+    # -- lock wrapping ------------------------------------------------------
+    def _audit_locks(self, obj) -> None:
+        attrs = vars(obj)
+        wrapped: dict[int, AuditedLock] = {}
+        label = type(obj).__name__
+        for name, value in list(attrs.items()):
+            if isinstance(value, AuditedLock):
+                wrapped[id(value._inner)] = value
+            elif isinstance(value, _LOCK_TYPES):
+                audited = AuditedLock(name=f"{label}.{name}", inner=value)
+                wrapped[id(value)] = audited
+                object.__setattr__(obj, name, audited)
+        for name, value in list(attrs.items()):
+            if not isinstance(value, threading.Condition):
+                continue
+            inner = value._lock
+            if isinstance(inner, AuditedLock):
+                continue
+            audited = wrapped.get(id(inner))
+            if audited is None:
+                audited = AuditedLock(name=f"{label}.{name}", inner=inner)
+                wrapped[id(inner)] = audited
+            # Conditions bind acquire/release at construction, so a
+            # fresh Condition must be built around the audited lock.
+            # Safe while no thread is waiting on the old one.
+            object.__setattr__(obj, name, threading.Condition(audited))
+
+    # -- reporting ----------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def report(self) -> str:
+        if not self.violations:
+            return "racecheck: no violations"
+        lines = [f"racecheck: {len(self.violations)} violation(s)"]
+        for violation in self.violations:
+            lines.append(violation.render())
+        return "\n".join(lines)
+
+
+def _active_detector() -> RaceDetector:
+    if not _ACTIVE:
+        raise RuntimeError(
+            "no active RaceDetector: use `with RaceDetector() as d:` "
+            "or call detector.track directly"
+        )
+    return _ACTIVE[-1]
+
+
+def track(obj, fields=None):
+    """Module-level convenience: track on the innermost active detector."""
+    return _active_detector().track(obj, fields=fields)
+
+
+def untrack(obj) -> None:
+    """Module-level convenience: untrack from the innermost active detector."""
+    _active_detector().untrack(obj)

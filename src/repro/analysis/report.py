@@ -9,6 +9,11 @@ verifies the tape topology, and prints a health summary:
 * sanitizer anomalies (non-finite values, dtype drift),
 * parameter coverage (how many parameters backward actually touched).
 
+``--concurrency`` switches to the concurrency health probe instead: the
+static lock-discipline rules (RL101-RL105) over ``src/`` plus a short
+multi-thread stress run of the serve/obs stack under the lockset race
+detector (:mod:`repro.analysis.race_smoke`).
+
 Exit code 0 means healthy; 1 means at least one structural issue or
 error-severity anomaly was found.
 """
@@ -30,7 +35,7 @@ from ..nn import Tensor
 from .graph import checked_backward
 from .sanitizer import TapeSanitizer
 
-__all__ = ["build_small_kgag_loss", "run_report", "main"]
+__all__ = ["build_small_kgag_loss", "run_report", "run_concurrency_report", "main"]
 
 
 def build_small_kgag_loss(seed: int = 0):
@@ -129,14 +134,58 @@ def run_report(seed: int = 0, stream=None) -> int:
     return 0 if healthy else 1
 
 
+def run_concurrency_report(stream=None) -> int:
+    """Static RL101-RL105 pass over ``src`` + a short lockset stress run."""
+    stream = stream or sys.stdout
+
+    def emit(line: str) -> None:
+        print(line, file=stream)
+
+    from .lint import lint_paths
+    from .race_smoke import run_stress
+
+    emit("repro.analysis.report — concurrency health summary")
+    emit("")
+    rules = ["RL101", "RL102", "RL103", "RL104", "RL105"]
+    result = lint_paths(["src"], select=rules)
+    emit(
+        f"static rules ({', '.join(rules)}): "
+        f"{len(result.findings)} finding(s) in {result.files_checked} file(s)"
+    )
+    for finding in result.findings:
+        emit(f"  {finding.render()}")
+
+    stress = run_stress(threads=4, iterations=50, detect=True)
+    emit(
+        f"lockset stress: 4 threads x 50 iterations in "
+        f"{stress.elapsed * 1e3:.1f} ms, "
+        f"{len(stress.violations)} violation(s)"
+    )
+    for violation in stress.violations:
+        emit(violation.render())
+
+    healthy = not result.findings and stress.ok
+    emit("")
+    emit(f"verdict: {'HEALTHY' if healthy else 'UNHEALTHY'}")
+    return 0 if healthy else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.report",
         description="Print a tape/graph health summary for a small KGAG "
-        "forward/backward pass.",
+        "forward/backward pass, or (with --concurrency) a lock-discipline "
+        "and race-detector summary.",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--concurrency",
+        action="store_true",
+        help="run the concurrency report (static rules + lockset stress)",
+    )
     args = parser.parse_args(argv)
+    if args.concurrency:
+        return run_concurrency_report()
     return run_report(seed=args.seed)
 
 

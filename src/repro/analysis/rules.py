@@ -68,11 +68,23 @@ class Finding:
 
 
 class Rule:
-    """Base class: a stable ID, severity, and an AST checker."""
+    """Base class: a stable ID, severity, and an AST checker.
+
+    Two opt-in capabilities for subclasses:
+
+    * ``needs_source = True`` — the driver calls
+      ``check_source(tree, source, path)`` instead of ``check`` so the
+      rule can read comments (e.g. ``# guarded-by:`` annotations);
+    * ``program = True`` — the rule accumulates whole-program state:
+      the driver calls ``begin()`` once, ``observe(state, tree, path,
+      source)`` per file, and ``finalize(state)`` for the findings.
+    """
 
     id: str = "RL000"
     severity: Severity = Severity.ERROR
     description: str = ""
+    needs_source: bool = False
+    program: bool = False
 
     def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
         raise NotImplementedError

@@ -73,7 +73,7 @@ class Counter:
         self.name = name
         self.help = help
         self._lock = threading.Lock()
-        self._value = 0.0
+        self._value = 0.0  # guarded-by: _lock
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be non-negative) to the total."""
@@ -100,25 +100,37 @@ class Gauge:
         self.name = name
         self.help = help
         self._lock = threading.Lock()
-        self._value = 0.0
-        self._fn = fn
+        self._value = 0.0  # guarded-by: _lock
+        self._fn = fn  # guarded-by: _lock
 
     def set(self, value: float) -> None:
-        if self._fn is not None:
-            raise ValueError(f"gauge {self.name!r} is callback-backed; cannot set()")
         with self._lock:
+            if self._fn is not None:
+                raise ValueError(
+                    f"gauge {self.name!r} is callback-backed; cannot set()"
+                )
             self._value = float(value)
 
     def set_function(self, fn: Callable[[], float]) -> None:
         """Switch to pull mode: ``fn()`` is evaluated at read time."""
-        self._fn = fn
+        with self._lock:
+            self._fn = fn
+
+    def bind_function(self, fn: Callable[[], float]) -> None:
+        """Idempotent :meth:`set_function` — a no-op if ``fn`` is bound."""
+        with self._lock:
+            if self._fn is not fn:
+                self._fn = fn
 
     @property
     def value(self) -> float:
-        if self._fn is not None:
-            return float(self._fn())
         with self._lock:
-            return self._value
+            fn = self._fn
+            if fn is None:
+                return self._value
+        # Call the user callback outside our lock: it may take other
+        # component locks (cache, breaker) and must not nest under ours.
+        return float(fn())
 
     def snapshot(self) -> dict:
         return {"name": self.name, "kind": self.kind, "value": self.value}
@@ -157,10 +169,10 @@ class Histogram:
         self.help = help
         self.edges = edges
         self._lock = threading.Lock()
-        self._bucket_counts = [0] * (len(edges) + 1)  # + the +Inf bucket
-        self._count = 0
-        self._sum = 0.0
-        self._window: deque[float] | None = (
+        self._bucket_counts = [0] * (len(edges) + 1)  # guarded-by: _lock
+        self._count = 0  # guarded-by: _lock
+        self._sum = 0.0  # guarded-by: _lock
+        self._window: deque[float] | None = (  # guarded-by: _lock
             deque(maxlen=int(sample_window)) if sample_window > 0 else None
         )
 
@@ -257,6 +269,9 @@ class _NullInstrument:
     def set_function(self, fn) -> None:
         pass
 
+    def bind_function(self, fn) -> None:
+        pass
+
     def observe(self, value: float) -> None:
         pass
 
@@ -288,7 +303,7 @@ class MetricsRegistry:
 
     def __init__(self):
         self._lock = threading.Lock()
-        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}  # guarded-by: _lock
 
     # -- get-or-create -----------------------------------------------------
     def _get_or_create(self, name: str, kind: type, factory):
@@ -311,8 +326,8 @@ class MetricsRegistry:
         self, name: str, help: str = "", fn: Callable[[], float] | None = None
     ) -> Gauge:
         gauge = self._get_or_create(name, Gauge, lambda: Gauge(name, help, fn=fn))
-        if fn is not None and gauge._fn is not fn:
-            gauge.set_function(fn)
+        if fn is not None:
+            gauge.bind_function(fn)
         return gauge
 
     def histogram(
@@ -434,16 +449,16 @@ class JsonlRunLog:
 
     def __init__(self, path_or_stream, clock: Callable[[], float] = time.time):
         if hasattr(path_or_stream, "write"):
-            self._stream: IO[str] = path_or_stream
+            self._stream: IO[str] = path_or_stream  # guarded-by: _lock
             self._owns_stream = False
             self.path = None
         else:
             self.path = path_or_stream
-            self._stream = open(path_or_stream, "w", encoding="utf-8")
+            self._stream = open(path_or_stream, "w", encoding="utf-8")  # guarded-by: _lock
             self._owns_stream = True
         self._clock = clock
         self._lock = threading.Lock()
-        self._seq = 0
+        self._seq = 0  # guarded-by: _lock
 
     def emit(self, kind: str, **fields) -> dict:
         """Write one record; returns the dict that was serialized."""
@@ -460,7 +475,8 @@ class JsonlRunLog:
 
     def close(self) -> None:
         if self._owns_stream:
-            self._stream.close()
+            with self._lock:
+                self._stream.close()
 
     def __enter__(self) -> "JsonlRunLog":
         return self

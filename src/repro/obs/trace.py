@@ -71,9 +71,16 @@ class Tracer:
     def __init__(self, clock: Callable[[], float] = time.perf_counter):
         self._clock = clock
         self._lock = threading.Lock()
-        self._next_id = 0
+        self._next_id = 0  # guarded-by: _lock
         self._local = _ThreadStack()
-        self.spans: list[Span] = []  # completed spans, in completion order
+        # Completed spans, in completion order.
+        self._spans: list[Span] = []  # guarded-by: _lock
+
+    @property
+    def spans(self) -> list[Span]:
+        """A point-in-time copy of the completed spans."""
+        with self._lock:
+            return list(self._spans)
 
     @contextlib.contextmanager
     def span(self, name: str):
@@ -97,7 +104,7 @@ class Tracer:
             record.end = self._clock()
             stack.pop()
             with self._lock:
-                self.spans.append(record)
+                self._spans.append(record)
 
     def traced(self, name: str | None = None):
         """Decorator form: the span is named after the function."""
@@ -118,7 +125,7 @@ class Tracer:
     def breakdown(self) -> dict[str, dict[str, float]]:
         """Aggregate per span name: calls, total (inclusive), self time."""
         with self._lock:
-            spans = list(self.spans)
+            spans = list(self._spans)
         child_total: dict[int, float] = {}
         for span in spans:
             if span.parent_id is not None:
@@ -138,12 +145,12 @@ class Tracer:
     def total(self) -> float:
         """Summed wall time of the root spans (depth 0)."""
         with self._lock:
-            return sum(span.duration for span in self.spans if span.depth == 0)
+            return sum(span.duration for span in self._spans if span.depth == 0)
 
     def render(self) -> str:
         """Indented tree of spans in start order, with durations in ms."""
         with self._lock:
-            spans = sorted(self.spans, key=lambda span: (span.start, span.span_id))
+            spans = sorted(self._spans, key=lambda span: (span.start, span.span_id))
         if not spans:
             return "trace: no spans recorded"
         width = max(len("  " * span.depth + span.name) for span in spans)
@@ -156,7 +163,7 @@ class Tracer:
     def reset(self) -> None:
         """Drop every completed span (open spans keep recording)."""
         with self._lock:
-            self.spans.clear()
+            self._spans.clear()
 
 
 @contextlib.contextmanager

@@ -66,12 +66,12 @@ class ScoreCache:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = int(capacity)
-        self._store: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._store: OrderedDict[tuple, np.ndarray] = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._invalidations = 0
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
+        self._invalidations = 0  # guarded-by: _lock
 
     def get(self, key) -> np.ndarray | None:
         """Cached vector for ``key``, refreshing recency; None on miss."""

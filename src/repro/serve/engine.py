@@ -320,19 +320,22 @@ class LiveModelIndex:
                 self, all_entities, np.zeros((len(all_entities), self.dim))
             )
         self._train_interactions = train_interactions
-        self._seen_by_group: dict[int, np.ndarray] | None = None
+        self._seen_lock = threading.Lock()
+        self._seen_by_group: dict[int, np.ndarray] | None = None  # guarded-by: _seen_lock
 
     def seen_items(self, group_id: int) -> np.ndarray:
         """Items the group interacted with at train time (sorted)."""
-        if self._seen_by_group is None:
-            by_group: dict[int, np.ndarray] = {}
-            if self._train_interactions is not None:
-                pairs = self._train_interactions.pairs
-                for group in np.unique(pairs[:, 0]):
-                    items = pairs[pairs[:, 0] == group, 1]
-                    by_group[int(group)] = np.unique(items)
-            self._seen_by_group = by_group
-        return self._seen_by_group.get(int(group_id), np.zeros(0, dtype=np.int64))
+        with self._seen_lock:
+            if self._seen_by_group is None:
+                by_group: dict[int, np.ndarray] = {}
+                if self._train_interactions is not None:
+                    pairs = self._train_interactions.pairs
+                    for group in np.unique(pairs[:, 0]):
+                        items = pairs[pairs[:, 0] == group, 1]
+                        by_group[int(group)] = np.unique(items)
+                self._seen_by_group = by_group
+            table = self._seen_by_group
+        return table.get(int(group_id), np.zeros(0, dtype=np.int64))
 
 
 class RankingEngine:
@@ -367,7 +370,6 @@ class RankingEngine:
         self.cache = cache
         self.chunk_size = int(chunk_size)
         self.fast_catalog = bool(fast_catalog)
-        self._lock = threading.Lock()
 
     @classmethod
     def from_model(
@@ -392,8 +394,15 @@ class RankingEngine:
         )
 
     # -- core scoring ----------------------------------------------------
+    # Every public entry point captures ``self.index`` ONCE and threads
+    # that snapshot through the private helpers below.  A concurrent
+    # ``reload_index`` then flips requests atomically between coherent
+    # indices instead of tearing one request across two.
     def score_pairs(self, group_ids, item_ids) -> np.ndarray:
         """ŷ scores for aligned ``(group, item)`` id arrays (Eq. 14)."""
+        return self._score_pairs(self.index, group_ids, item_ids)
+
+    def _score_pairs(self, index, group_ids, item_ids) -> np.ndarray:
         group_ids = np.asarray(group_ids, dtype=np.int64)
         item_ids = np.asarray(item_ids, dtype=np.int64)
         if group_ids.shape != item_ids.shape or group_ids.ndim != 1:
@@ -402,13 +411,14 @@ class RankingEngine:
         for start in range(0, len(group_ids), self.chunk_size):
             stop = start + self.chunk_size
             scores[start:stop] = self._score_chunk(
-                group_ids[start:stop], item_ids[start:stop]
+                index, group_ids[start:stop], item_ids[start:stop]
             )
         return scores
 
-    def _score_chunk(self, group_ids: np.ndarray, item_ids: np.ndarray) -> np.ndarray:
+    def _score_chunk(
+        self, index, group_ids: np.ndarray, item_ids: np.ndarray
+    ) -> np.ndarray:
         """One propagation + attention pass; mirrors ``KGAG.group_item_scores``."""
-        index = self.index
         dim = index.dim
         members = index.group_members[group_ids]  # (B, S)
         size = members.shape[1]
@@ -430,14 +440,13 @@ class RankingEngine:
         item_query = member_zero.sum(axis=1) * (1.0 / size)  # Tensor.mean mirror
         item_vectors = propagate(index, item_entities, item_query)
 
-        group_vectors = self._aggregate(member_vectors, item_vectors)
+        group_vectors = self._aggregate(index, member_vectors, item_vectors)
         return (group_vectors * item_vectors).sum(axis=-1)
 
     def _raw_attention(
-        self, member_vectors: np.ndarray, item_vectors: np.ndarray
+        self, index, member_vectors: np.ndarray, item_vectors: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """(sp, pi, combined) raw scores; mirror of Eqs. 9-11."""
-        index = self.index
         batch, size, dim = member_vectors.shape
         zeros = np.zeros((batch, size))
         sp = pi = None
@@ -471,15 +480,15 @@ class RankingEngine:
         return (sp if sp is not None else zeros, pi if pi is not None else zeros, combined)
 
     def _aggregate(
-        self, member_vectors: np.ndarray, item_vectors: np.ndarray
+        self, index, member_vectors: np.ndarray, item_vectors: np.ndarray
     ) -> np.ndarray:
         """Group representation g = Σ α̃ u_i (Eqs. 12-13)."""
-        __, __, combined = self._raw_attention(member_vectors, item_vectors)
+        __, __, combined = self._raw_attention(index, member_vectors, item_vectors)
         weights = _softmax(combined, axis=-1)
         weights = weights.reshape(weights.shape[0], weights.shape[1], 1)
         return (weights * member_vectors).sum(axis=1)
 
-    def _pi_mixing_matrix(self, size: int) -> np.ndarray:
+    def _pi_mixing_matrix(self, index, size: int) -> np.ndarray:
         """Fold Eq. 10's member + pooled-peer projections into one
         ``(S*d, S*d)`` block matrix over the flattened member axis.
 
@@ -492,7 +501,6 @@ class RankingEngine:
         the round-off-parity catalog path, never the bit-exact pair
         path (:meth:`_raw_attention`).
         """
-        index = self.index
         dim = index.dim
         peers = size - 1
         mixing = np.zeros((size * dim, size * dim))
@@ -509,7 +517,7 @@ class RankingEngine:
         return mixing
 
     def _aggregate_catalog(
-        self, member_vectors: np.ndarray, item_vectors: np.ndarray
+        self, index, member_vectors: np.ndarray, item_vectors: np.ndarray
     ) -> np.ndarray:
         """Catalog-path mirror of :meth:`_aggregate` (Eqs. 9-13).
 
@@ -520,7 +528,6 @@ class RankingEngine:
         pair path to float round-off, like the rest of the catalog
         route.
         """
-        index = self.index
         batch, size, dim = member_vectors.shape
         combined = np.zeros((batch, size))
         if index.use_sp:
@@ -528,7 +535,7 @@ class RankingEngine:
                 "bsd,bd->bs", member_vectors, item_vectors
             ) * (1.0 / np.sqrt(dim))
         if index.use_pi:
-            hidden = member_vectors.reshape(batch, size * dim) @ self._pi_mixing_matrix(size)
+            hidden = member_vectors.reshape(batch, size * dim) @ self._pi_mixing_matrix(index, size)
             hidden += np.tile(index.attn_bias, size)
             np.maximum(hidden, 0.0, out=hidden)
             combined += (hidden.reshape(batch * size, dim) @ index.attn_context).reshape(
@@ -549,15 +556,18 @@ class RankingEngine:
         misses are coalesced into one chunked forward pass — this is the
         micro-batch primitive the server's :class:`MicroBatcher` uses.
         """
+        return self._scores_for_groups(self.index, group_ids)
+
+    def _scores_for_groups(self, index, group_ids) -> np.ndarray:
         group_ids = [int(g) for g in group_ids]
         for group in group_ids:
-            if not 0 <= group < self.index.num_groups:
-                raise KeyError(f"group {group} out of range [0, {self.index.num_groups})")
-        num_items = self.index.num_items
+            if not 0 <= group < index.num_groups:
+                raise KeyError(f"group {group} out of range [0, {index.num_groups})")
+        num_items = index.num_items
         out = np.empty((len(group_ids), num_items), dtype=np.float64)
         misses: dict[int, list[int]] = {}
         for row, group in enumerate(group_ids):
-            cached = self._cache_get(group)
+            cached = self._cache_get(index, group)
             if cached is not None:
                 out[row] = cached
             else:
@@ -565,7 +575,7 @@ class RankingEngine:
         if misses:
             unique = sorted(misses)
             if self.fast_catalog:
-                matrix = self.score_matrix(np.array(unique, dtype=np.int64))
+                matrix = self._score_matrix(index, np.array(unique, dtype=np.int64))
                 scores = matrix.reshape(-1)
             else:
                 pending_groups = np.repeat(
@@ -574,10 +584,10 @@ class RankingEngine:
                 pending_items = np.tile(
                     np.arange(num_items, dtype=np.int64), len(unique)
                 )
-                scores = self.score_pairs(pending_groups, pending_items)
+                scores = self._score_pairs(index, pending_groups, pending_items)
             for position, group in enumerate(unique):
                 vector = scores[position * num_items : (position + 1) * num_items]
-                self._cache_put(group, vector)
+                self._cache_put(index, group, vector)
                 for row in misses[group]:
                     out[row] = vector
         return out
@@ -592,7 +602,9 @@ class RankingEngine:
         item)`` pair as :meth:`score_pairs` does.  Groups are processed
         in blocks of ``chunk_size // num_items`` pairs to bound memory.
         """
-        index = self.index
+        return self._score_matrix(self.index, group_ids)
+
+    def _score_matrix(self, index, group_ids) -> np.ndarray:
         group_ids = np.asarray(group_ids, dtype=np.int64)
         for group in group_ids:
             if not 0 <= group < index.num_groups:
@@ -602,12 +614,11 @@ class RankingEngine:
         block = max(1, self.chunk_size // max(1, num_items))
         for start in range(0, len(group_ids), block):
             chunk = group_ids[start : start + block]
-            out[start : start + len(chunk)] = self._score_catalog_block(chunk)
+            out[start : start + len(chunk)] = self._score_catalog_block(index, chunk)
         return out
 
-    def _score_catalog_block(self, group_ids: np.ndarray) -> np.ndarray:
+    def _score_catalog_block(self, index, group_ids: np.ndarray) -> np.ndarray:
         """Full-catalog scores for one block of groups."""
-        index = self.index
         dim = index.dim
         groups = len(group_ids)
         num_items = index.num_items
@@ -650,18 +661,18 @@ class RankingEngine:
         item_flat = np.ascontiguousarray(item_final).reshape(
             groups * num_items, dim
         )
-        group_vectors = self._aggregate_catalog(member_flat, item_flat)
+        group_vectors = self._aggregate_catalog(index, member_flat, item_flat)
         scores = np.einsum("bd,bd->b", group_vectors, item_flat)
         return scores.reshape(groups, num_items)
 
-    def _cache_get(self, group: int) -> np.ndarray | None:
+    def _cache_get(self, index, group: int) -> np.ndarray | None:
         if self.cache is None:
             return None
-        return self.cache.get((group, self.index.version))
+        return self.cache.get((group, index.version))
 
-    def _cache_put(self, group: int, vector: np.ndarray) -> None:
+    def _cache_put(self, index, group: int, vector: np.ndarray) -> None:
         if self.cache is not None:
-            self.cache.put((group, self.index.version), vector)
+            self.cache.put((group, index.version), vector)
 
     def top_k(
         self, group_id: int, k: int = 5, exclude_seen: bool = True
@@ -669,8 +680,9 @@ class RankingEngine:
         """Top-k items for one group; semantics of ``GroupRecommender.recommend``."""
         if k <= 0:
             raise ValueError("k must be positive")
-        scores = self.scores_for_group(group_id)
-        return self.rank(scores, self.index.seen_items(group_id) if exclude_seen else None, k)
+        index = self.index
+        scores = self._scores_for_groups(index, [int(group_id)])[0]
+        return self.rank(scores, index.seen_items(group_id) if exclude_seen else None, k)
 
     @staticmethod
     def rank(scores: np.ndarray, seen: np.ndarray | None, k: int) -> list[RankedItem]:
@@ -711,7 +723,7 @@ class RankingEngine:
         item_query = member_zero.sum(axis=1) * (1.0 / size)
         item_vectors = propagate(index, item_entities, item_query)
 
-        sp, pi, combined = self._raw_attention(member_vectors, item_vectors)
+        sp, pi, combined = self._raw_attention(index, member_vectors, item_vectors)
         weights = _softmax(combined, axis=-1)
         group_vector = (
             weights.reshape(1, size, 1) * member_vectors
@@ -749,14 +761,32 @@ class MicroBatcher:
         self.max_batch = int(max_batch)
         self._lock = threading.Lock()
         self._condition = threading.Condition(self._lock)
-        self._pending: list[_PendingRequest] = []
-        self._leader_active = False
-        self.batches_run = 0
-        self.requests_served = 0
+        self._pending: list[_PendingRequest] = []  # guarded-by: _condition
+        self._leader_active = False  # guarded-by: _condition
+        self._closed = False  # guarded-by: _condition
+        self._batches_run = 0  # guarded-by: _condition
+        self._requests_served = 0  # guarded-by: _condition
+
+    @property
+    def batches_run(self) -> int:
+        with self._condition:
+            return self._batches_run
+
+    @property
+    def requests_served(self) -> int:
+        with self._condition:
+            return self._requests_served
+
+    @property
+    def closed(self) -> bool:
+        with self._condition:
+            return self._closed
 
     def scores_for_group(self, group_id: int) -> np.ndarray:
         request = _PendingRequest(int(group_id))
         with self._condition:
+            if self._closed:
+                raise RuntimeError("MicroBatcher is closed")
             self._pending.append(request)
             if len(self._pending) >= self.max_batch:
                 self._condition.notify_all()
@@ -770,9 +800,27 @@ class MicroBatcher:
             raise request.error
         return request.result
 
+    def close(self) -> None:
+        """Refuse new work; idempotent, pending requests still complete.
+
+        Every queued request either became the leader or is guaranteed
+        to be collected by the currently active leader (the queue swap
+        is atomic under the condition), so closing never strands a
+        waiter; the ``notify_all`` just wakes a waiting leader early.
+        """
+        with self._condition:
+            if self._closed:
+                return
+            self._closed = True
+            self._condition.notify_all()
+
     def _lead_batch(self) -> None:
         with self._condition:
-            if self.max_wait > 0 and len(self._pending) < self.max_batch:
+            if (
+                self.max_wait > 0
+                and len(self._pending) < self.max_batch
+                and not self._closed
+            ):
                 self._condition.wait(timeout=self.max_wait)
             batch, self._pending = self._pending, []
             self._leader_active = False
@@ -787,8 +835,11 @@ class MicroBatcher:
             for request in batch:
                 request.error = error
         finally:
-            self.batches_run += 1
-            self.requests_served += len(batch)
+            with self._condition:
+                self._batches_run += 1
+                self._requests_served += len(batch)
+            # Wake waiters only after the counters are consistent, and
+            # outside the lock so they don't immediately block on it.
             for request in batch:
                 request.done.set()
 

@@ -70,17 +70,23 @@ class CircuitBreaker:
         self.reset_timeout = float(reset_timeout)
         self._clock = clock
         self._lock = threading.Lock()
-        self._state = self.CLOSED
-        self._consecutive_failures = 0
-        self._opened_at: float | None = None
-        self.trips = 0
+        self._state = self.CLOSED  # guarded-by: _lock
+        self._consecutive_failures = 0  # guarded-by: _lock
+        self._opened_at: float | None = None  # guarded-by: _lock
+        self._trips = 0  # guarded-by: _lock
 
     @property
     def state(self) -> str:
         with self._lock:
-            return self._probe_state()
+            return self._probe_state_locked()
 
-    def _probe_state(self) -> str:
+    @property
+    def trips(self) -> int:
+        """How many times the breaker has tripped open."""
+        with self._lock:
+            return self._trips
+
+    def _probe_state_locked(self) -> str:
         # Caller holds the lock.  Open -> half-open after the timeout.
         if self._state == self.OPEN and (
             self._clock() - self._opened_at >= self.reset_timeout
@@ -91,7 +97,7 @@ class CircuitBreaker:
     def allow(self) -> bool:
         """Whether the primary may be attempted right now."""
         with self._lock:
-            return self._probe_state() != self.OPEN
+            return self._probe_state_locked() != self.OPEN
 
     def record_success(self) -> None:
         """A primary call succeeded: close the circuit."""
@@ -103,7 +109,7 @@ class CircuitBreaker:
     def record_failure(self) -> None:
         """A primary call failed (error or deadline miss)."""
         with self._lock:
-            state = self._probe_state()
+            state = self._probe_state_locked()
             self._consecutive_failures += 1
             tripped = (
                 state == self.HALF_OPEN
@@ -112,7 +118,7 @@ class CircuitBreaker:
             if tripped and self._state != self.OPEN:
                 self._state = self.OPEN
                 self._opened_at = self._clock()
-                self.trips += 1
+                self._trips += 1
             elif tripped:
                 self._opened_at = self._clock()
 
@@ -164,21 +170,65 @@ class ResilientScorer:
             max_workers=max_workers, thread_name_prefix="serve-primary"
         )
         self._lock = threading.Lock()
-        self.primary_answers = 0
-        self.fallback_answers = 0
-        self.deadline_misses = 0
-        self.primary_errors = 0
-        self.cancelled_futures = 0
+        self._closed = False  # guarded-by: _lock
+        self._primary_answers = 0  # guarded-by: _lock
+        self._fallback_answers = 0  # guarded-by: _lock
+        self._deadline_misses = 0  # guarded-by: _lock
+        self._primary_errors = 0  # guarded-by: _lock
+        self._cancelled_futures = 0  # guarded-by: _lock
+
+    @property
+    def primary_answers(self) -> int:
+        with self._lock:
+            return self._primary_answers
+
+    @property
+    def fallback_answers(self) -> int:
+        with self._lock:
+            return self._fallback_answers
+
+    @property
+    def deadline_misses(self) -> int:
+        with self._lock:
+            return self._deadline_misses
+
+    @property
+    def primary_errors(self) -> int:
+        with self._lock:
+            return self._primary_errors
+
+    @property
+    def cancelled_futures(self) -> int:
+        with self._lock:
+            return self._cancelled_futures
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
 
     def scores(self, group_id: int) -> FallbackAnswer:
-        """Score vector for ``group_id``, degrading gracefully."""
+        """Score vector for ``group_id``, degrading gracefully.
+
+        After :meth:`close` every answer comes from the fallback
+        (labelled ``fallback:closed``) — no new primary work is started.
+        """
+        with self._lock:
+            closed = self._closed
+        if closed:
+            return self._serve_fallback(group_id, "fallback:closed")
         if not self.breaker.allow():
             return self._serve_fallback(group_id, "fallback:circuit-open")
         try:
             if self.deadline is None:
                 vector = self.primary(group_id)
             else:
-                future = self._executor.submit(self.primary, group_id)
+                try:
+                    future = self._executor.submit(self.primary, group_id)
+                except RuntimeError:
+                    # close() shut the pool down between our closed check
+                    # and the submit; answer like any post-close request.
+                    return self._serve_fallback(group_id, "fallback:closed")
                 try:
                     vector = future.result(timeout=self.deadline)
                 except FutureTimeout:
@@ -189,39 +239,55 @@ class ResilientScorer:
                     # finishes in the background.
                     cancelled = future.cancel()
                     with self._lock:
-                        self.deadline_misses += 1
+                        self._deadline_misses += 1
                         if cancelled:
-                            self.cancelled_futures += 1
+                            self._cancelled_futures += 1
                     self.breaker.record_failure()
                     return self._serve_fallback(group_id, "fallback:deadline")
         except Exception:
             with self._lock:
-                self.primary_errors += 1
+                self._primary_errors += 1
             self.breaker.record_failure()
             return self._serve_fallback(group_id, "fallback:error")
         self.breaker.record_success()
         with self._lock:
-            self.primary_answers += 1
+            self._primary_answers += 1
         return FallbackAnswer(vector, "primary")
 
     def _serve_fallback(self, group_id: int, source: str) -> FallbackAnswer:
         with self._lock:
-            self.fallback_answers += 1
+            self._fallback_answers += 1
         return FallbackAnswer(self.fallback(group_id), source)
 
     def stats(self) -> dict:
         """Counters + breaker state for the ``/stats`` endpoint."""
+        # Read the breaker outside our own lock: its properties take its
+        # lock, and nesting unrelated component locks invites ordering
+        # bugs (RL103).
+        breaker_state = self.breaker.state
+        breaker_trips = self.breaker.trips
         with self._lock:
             return {
-                "primary_answers": self.primary_answers,
-                "fallback_answers": self.fallback_answers,
-                "deadline_misses": self.deadline_misses,
-                "primary_errors": self.primary_errors,
-                "cancelled_futures": self.cancelled_futures,
-                "breaker_state": self.breaker.state,
-                "breaker_trips": self.breaker.trips,
+                "primary_answers": self._primary_answers,
+                "fallback_answers": self._fallback_answers,
+                "deadline_misses": self._deadline_misses,
+                "primary_errors": self._primary_errors,
+                "cancelled_futures": self._cancelled_futures,
+                "breaker_state": breaker_state,
+                "breaker_trips": breaker_trips,
             }
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent), dropping queued work."""
+        """Shut the worker pool down; idempotent and safe under races.
+
+        Marks the scorer closed first (new requests fall back without
+        touching the pool), then shuts the executor down, dropping
+        queued work.  Concurrent callers of :meth:`scores` either see
+        the flag or catch the executor's shutdown refusal — no request
+        hangs or errors out.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
         self._executor.shutdown(wait=False, cancel_futures=True)

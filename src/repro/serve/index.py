@@ -21,6 +21,7 @@ cached score vector.
 from __future__ import annotations
 
 import hashlib
+import threading
 from pathlib import Path
 
 import numpy as np
@@ -97,7 +98,8 @@ class EmbeddingIndex:
         self.metadata = dict(metadata)
         self.version = self.metadata.get("fingerprint") or self._fingerprint()
         self.metadata["fingerprint"] = self.version
-        self._seen_by_group: dict[int, np.ndarray] | None = None
+        self._seen_lock = threading.Lock()
+        self._seen_by_group: dict[int, np.ndarray] | None = None  # guarded-by: _seen_lock
 
     # -- array accessors -------------------------------------------------
     def __getattr__(self, name: str) -> np.ndarray:
@@ -176,15 +178,17 @@ class EmbeddingIndex:
 
     def seen_items(self, group_id: int) -> np.ndarray:
         """Items ``group_id`` interacted with at train time (sorted)."""
-        if self._seen_by_group is None:
-            by_group: dict[int, list[int]] = {}
-            for g, v in self.seen_pairs:
-                by_group.setdefault(int(g), []).append(int(v))
-            self._seen_by_group = {
-                g: np.array(sorted(items), dtype=np.int64)
-                for g, items in by_group.items()
-            }
-        return self._seen_by_group.get(int(group_id), np.zeros(0, dtype=np.int64))
+        with self._seen_lock:
+            if self._seen_by_group is None:
+                by_group: dict[int, list[int]] = {}
+                for g, v in self.seen_pairs:
+                    by_group.setdefault(int(g), []).append(int(v))
+                self._seen_by_group = {
+                    g: np.array(sorted(items), dtype=np.int64)
+                    for g, items in by_group.items()
+                }
+            table = self._seen_by_group
+        return table.get(int(group_id), np.zeros(0, dtype=np.int64))
 
     # -- construction ----------------------------------------------------
     @classmethod

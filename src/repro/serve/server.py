@@ -89,7 +89,8 @@ class RecommendationService:
         primary_override=None,
         metrics: MetricsRegistry | None = None,
     ):
-        self.index = index
+        self._index_lock = threading.Lock()
+        self._index = index  # guarded-by: _index_lock
         self.cache = ScoreCache(cache_capacity) if cache_capacity > 0 else None
         self.engine = RankingEngine(index, cache=self.cache)
         self.batcher = MicroBatcher(
@@ -175,15 +176,22 @@ class RecommendationService:
             )
 
     # -- primitives ------------------------------------------------------
+    @property
+    def index(self):
+        """The live embedding index (swapped atomically by reload)."""
+        with self._index_lock:
+            return self._index
+
     def _fallback_scores(self, group_id: int) -> np.ndarray:
         """Popularity scores frozen in the index (group-independent)."""
         return self.index.item_popularity
 
     def _check_group(self, group_id: int) -> int:
         group_id = int(group_id)
-        if not 0 <= group_id < self.index.num_groups:
+        num_groups = self.index.num_groups
+        if not 0 <= group_id < num_groups:
             raise ServiceError(
-                f"group {group_id} out of range [0, {self.index.num_groups})",
+                f"group {group_id} out of range [0, {num_groups})",
                 status=404,
             )
         return group_id
@@ -195,8 +203,11 @@ class RecommendationService:
         if k <= 0:
             raise ServiceError("k must be positive")
         start = time.perf_counter()
+        # One index snapshot per request: a concurrent reload must not
+        # mix versions between the cache key, the mask and the payload.
+        index = self.index
         cached = (
-            self.cache.get((group_id, self.index.version))
+            self.cache.get((group_id, index.version))
             if self.cache is not None
             else None
         )
@@ -205,7 +216,7 @@ class RecommendationService:
         else:
             answer = self.resilient.scores(group_id)
             scores, source = answer.scores, answer.source
-        seen = self.index.seen_items(group_id) if exclude_seen else None
+        seen = index.seen_items(group_id) if exclude_seen else None
         items = RankingEngine.rank(scores, seen, k)
         elapsed_ms = (time.perf_counter() - start) * 1000.0
         self._m_requests.inc()
@@ -214,7 +225,7 @@ class RecommendationService:
             "group": group_id,
             "k": int(k),
             "source": source,
-            "index_version": self.index.version,
+            "index_version": index.version,
             "latency_ms": round(elapsed_ms, 3),
             "items": [
                 {
@@ -230,9 +241,10 @@ class RecommendationService:
         """Attention decomposition endpoint payload."""
         group_id = self._check_group(group_id)
         item_id = int(item_id)
-        if not 0 <= item_id < self.index.num_items:
+        num_items = self.index.num_items
+        if not 0 <= item_id < num_items:
             raise ServiceError(
-                f"item {item_id} out of range [0, {self.index.num_items})",
+                f"item {item_id} out of range [0, {num_items})",
                 status=404,
             )
         raw = self.engine.explain(group_id, item_id)
@@ -268,6 +280,7 @@ class RecommendationService:
         casts, 3-decimal rounding and nearest-rank percentile formula
         are kept byte-identical to the pre-registry payload.
         """
+        index = self.index
         payload = {
             "requests": int(self._m_requests.value),
             "client_errors": int(self._m_client_errors.value),
@@ -282,9 +295,9 @@ class RecommendationService:
             },
             "resilience": self.resilient.stats(),
             "index": {
-                "version": self.index.version,
-                "num_groups": self.index.num_groups,
-                "num_items": self.index.num_items,
+                "version": index.version,
+                "num_groups": index.num_groups,
+                "num_items": index.num_items,
             },
         }
         if self.cache is not None:
@@ -292,10 +305,18 @@ class RecommendationService:
         return payload
 
     def reload_index(self, index) -> dict:
-        """Swap in a new index and invalidate every cached score."""
-        old_version = self.index.version
-        self.index = index
-        self.engine.index = index
+        """Swap in a new index and invalidate every cached score.
+
+        The service and engine references flip under one lock, so a
+        concurrent request snapshots either the old or the new index —
+        never a mix.  In-flight requests keep scoring against the index
+        they captured; version-qualified cache keys keep their entries
+        from leaking across the reload.
+        """
+        with self._index_lock:
+            old_version = self._index.version
+            self._index = index
+            self.engine.index = index
         dropped = self.cache.invalidate() if self.cache is not None else 0
         return {
             "old_version": old_version,
@@ -307,7 +328,15 @@ class RecommendationService:
         self._m_client_errors.inc()
 
     def close(self) -> None:
+        """Stop accepting new scoring work (idempotent).
+
+        The resilient scorer closes first so post-close requests get
+        fallback answers instead of racing into the batcher, then the
+        micro-batcher refuses new submissions while serving what is
+        already queued.
+        """
         self.resilient.close()
+        self.batcher.close()
 
 
 class _Handler(BaseHTTPRequestHandler):

@@ -1,0 +1,627 @@
+"""Concurrency-rule tests (RL101–RL105) on planted violations.
+
+Every racy fixture lives in a source *string* (never on disk), so the
+repo-wide self-lint gate stays clean while each rule is exercised
+against a seeded violation and its correctly-locked twin.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import Severity
+from repro.analysis.concurrency import (
+    CONCURRENCY_RULES,
+    guard_comment_lines,
+    guarded_fields,
+)
+from repro.analysis.lint import lint_paths, lint_source
+
+
+def findings_for(source: str, path: str = "module.py"):
+    return lint_source(textwrap.dedent(source), path).findings
+
+
+def only_rule(findings, rule):
+    return [f for f in findings if f.rule == rule]
+
+
+RACY_COUNTER = """
+    import threading
+
+    class Racy:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._count = 0  # guarded-by: _lock
+
+        def bump(self):
+            self._count += 1
+
+        def read(self):
+            return self._count
+"""
+
+LOCKED_COUNTER = """
+    import threading
+
+    class Locked:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._count = 0  # guarded-by: _lock
+
+        def bump(self):
+            with self._lock:
+                self._count += 1
+
+        def read(self):
+            with self._lock:
+                return self._count
+"""
+
+
+class TestAnnotationParsing:
+    def test_guard_comment_lines(self):
+        source = textwrap.dedent(
+            """
+            x = 1  # guarded-by: _lock
+            y = 2
+            z = 3  # guarded-by: _mutex
+            """
+        )
+        assert guard_comment_lines(source) == {2: "_lock", 4: "_mutex"}
+
+    def test_guarded_fields_runtime_view(self):
+        from repro.serve.cache import ScoreCache
+
+        fields = guarded_fields(ScoreCache)
+        assert fields["_hits"] == "_lock"
+        assert fields["_store"] == "_lock"
+
+    def test_unannotated_class_has_no_fields(self):
+        class Plain:
+            pass
+
+        assert guarded_fields(Plain) == {}
+
+
+class TestRL101GuardedAccess:
+    def test_unlocked_write_flagged(self):
+        findings = only_rule(findings_for(RACY_COUNTER), "RL101")
+        [finding] = [f for f in findings if "Racy.bump" in f.message]
+        assert finding.severity is Severity.ERROR
+        assert "_count" in finding.message
+
+    def test_unlocked_read_also_flagged(self):
+        rl101 = only_rule(findings_for(RACY_COUNTER), "RL101")
+        methods = {f.message.split("`")[5] for f in rl101}
+        assert methods == {"Racy.bump", "Racy.read"}
+
+    def test_locked_twin_clean(self):
+        assert only_rule(findings_for(LOCKED_COUNTER), "RL101") == []
+
+    def test_init_exempt(self):
+        # __init__ writes the guarded attr without the lock: allowed.
+        assert only_rule(findings_for(LOCKED_COUNTER), "RL101") == []
+
+    def test_locked_suffix_method_exempt(self):
+        source = """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0  # guarded-by: _lock
+
+                def _bump_locked(self):
+                    self._n += 1
+
+                def bump(self):
+                    with self._lock:
+                        self._bump_locked()
+        """
+        assert only_rule(findings_for(source), "RL101") == []
+
+    def test_wrong_lock_flagged(self):
+        source = """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._other_lock = threading.Lock()
+                    self._n = 0  # guarded-by: _lock
+
+                def bump(self):
+                    with self._other_lock:
+                        self._n += 1
+        """
+        [finding] = only_rule(findings_for(source), "RL101")
+        assert "self._lock" in finding.message
+
+    def test_closure_counts_as_outside(self):
+        source = """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0  # guarded-by: _lock
+
+                def deferred(self):
+                    with self._lock:
+                        def later():
+                            return self._n
+                        return later
+        """
+        [finding] = only_rule(findings_for(source), "RL101")
+        assert "_n" in finding.message
+
+    def test_lambda_counts_as_outside(self):
+        source = """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0  # guarded-by: _lock
+
+                def deferred(self):
+                    with self._lock:
+                        return lambda: self._n
+        """
+        assert only_rule(findings_for(source), "RL101")
+
+    def test_suppression_comment(self):
+        source = RACY_COUNTER.replace(
+            "self._count += 1",
+            "self._count += 1  # repro-lint: disable=RL101",
+        ).replace(
+            "return self._count",
+            "return self._count  # repro-lint: disable=RL101",
+        )
+        assert only_rule(findings_for(source), "RL101") == []
+
+
+class TestRL102CheckThenAct:
+    SPLIT = """
+        import threading
+
+        class C:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []  # guarded-by: _lock
+
+            def add_once(self, x):
+                with self._lock:
+                    present = x in self._items
+                    if present:
+                        return
+                with self._lock:
+                    self._items.append(x)
+    """
+
+    def test_split_check_then_act_flagged(self):
+        source = """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []  # guarded-by: _lock
+
+                def add_once(self, x):
+                    with self._lock:
+                        if x in self._items:
+                            return
+                    with self._lock:
+                        self._items.append(x)
+        """
+        [finding] = only_rule(findings_for(source), "RL102")
+        assert "_items" in finding.message
+        assert "not atomic" in finding.message
+
+    def test_single_block_twin_clean(self):
+        source = """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []  # guarded-by: _lock
+
+                def add_once(self, x):
+                    with self._lock:
+                        if x in self._items:
+                            return
+                        self._items.append(x)
+        """
+        assert only_rule(findings_for(source), "RL102") == []
+
+    def test_nested_blocks_not_flagged(self):
+        source = """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._cond = threading.Condition()
+                    self._items = []  # guarded-by: _cond
+
+                def drain(self):
+                    with self._cond:
+                        if not self._items:
+                            with self._cond:
+                                self._items.clear()
+        """
+        assert only_rule(findings_for(source), "RL102") == []
+
+    def test_different_locks_not_flagged(self):
+        source = """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._a_lock = threading.Lock()
+                    self._b_lock = threading.Lock()
+                    self._xs = []  # guarded-by: _a_lock
+                    self._ys = []  # guarded-by: _b_lock
+
+                def move(self):
+                    with self._a_lock:
+                        if self._xs:
+                            pass
+                    with self._b_lock:
+                        self._ys.append(1)
+        """
+        assert only_rule(findings_for(source), "RL102") == []
+
+
+class TestRL103LockOrder:
+    def test_single_file_cycle_flagged(self):
+        source = """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock_a = threading.Lock()
+                    self._lock_b = threading.Lock()
+
+                def ab(self):
+                    with self._lock_a:
+                        with self._lock_b:
+                            pass
+
+                def ba(self):
+                    with self._lock_b:
+                        with self._lock_a:
+                            pass
+        """
+        findings = only_rule(findings_for(source), "RL103")
+        assert len(findings) == 2
+        assert "potential deadlock" in findings[0].message
+
+    def test_consistent_order_clean(self):
+        source = """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock_a = threading.Lock()
+                    self._lock_b = threading.Lock()
+
+                def one(self):
+                    with self._lock_a:
+                        with self._lock_b:
+                            pass
+
+                def two(self):
+                    with self._lock_a:
+                        with self._lock_b:
+                            pass
+        """
+        assert only_rule(findings_for(source), "RL103") == []
+
+    def test_non_lockish_context_managers_ignored(self):
+        source = """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def work(self, tracer, path):
+                    with tracer.span("x"):
+                        with self._lock:
+                            pass
+                    with self._lock:
+                        with open(path) as fh:
+                            return fh.read()
+        """
+        assert only_rule(findings_for(source), "RL103") == []
+
+    def test_cross_file_cycle_via_lint_paths(self, tmp_path):
+        (tmp_path / "alpha.py").write_text(
+            textwrap.dedent(
+                """
+                import threading
+
+                class A:
+                    def __init__(self):
+                        self._lock_x = threading.Lock()
+                        self._lock_y = threading.Lock()
+
+                    def xy(self):
+                        with self._lock_x:
+                            with self._lock_y:
+                                pass
+                """
+            )
+        )
+        (tmp_path / "beta.py").write_text(
+            textwrap.dedent(
+                """
+                import threading
+
+                class A:
+                    def __init__(self):
+                        self._lock_x = threading.Lock()
+                        self._lock_y = threading.Lock()
+
+                    def yx(self):
+                        with self._lock_y:
+                            with self._lock_x:
+                                pass
+                """
+            )
+        )
+        result = lint_paths([tmp_path], select=["RL103"])
+        findings = only_rule(result.findings, "RL103")
+        assert len(findings) == 2
+        assert {f.path for f in findings} == {
+            str(tmp_path / "alpha.py"),
+            str(tmp_path / "beta.py"),
+        }
+
+    def test_cross_file_finding_suppressed_by_file_pragma(self, tmp_path):
+        (tmp_path / "alpha.py").write_text(
+            textwrap.dedent(
+                """
+                # repro-lint: disable-file=RL103
+                import threading
+
+                class A:
+                    def __init__(self):
+                        self._lock_x = threading.Lock()
+                        self._lock_y = threading.Lock()
+
+                    def xy(self):
+                        with self._lock_x:
+                            with self._lock_y:
+                                pass
+                """
+            )
+        )
+        (tmp_path / "beta.py").write_text(
+            textwrap.dedent(
+                """
+                import threading
+
+                class A:
+                    def __init__(self):
+                        self._lock_x = threading.Lock()
+                        self._lock_y = threading.Lock()
+
+                    def yx(self):
+                        with self._lock_y:
+                            with self._lock_x:
+                                pass
+                """
+            )
+        )
+        result = lint_paths([tmp_path], select=["RL103"])
+        findings = only_rule(result.findings, "RL103")
+        # alpha's edge is suppressed; beta's half of the cycle remains.
+        assert len(findings) == 1
+        assert findings[0].path == str(tmp_path / "beta.py")
+
+
+class TestRL104UnjoinedThread:
+    def test_fire_and_forget_flagged(self):
+        source = """
+            import threading
+            __all__ = []
+
+            def fire():
+                threading.Thread(target=print).start()
+        """
+        [finding] = only_rule(findings_for(source), "RL104")
+        assert "Thread" in finding.message
+
+    def test_joined_thread_clean(self):
+        source = """
+            import threading
+            __all__ = []
+
+            def run():
+                t = threading.Thread(target=print)
+                t.start()
+                t.join()
+        """
+        assert only_rule(findings_for(source), "RL104") == []
+
+    def test_returned_thread_clean(self):
+        source = """
+            import threading
+            __all__ = []
+
+            def spawn():
+                return threading.Thread(target=print)
+        """
+        assert only_rule(findings_for(source), "RL104") == []
+
+    def test_executor_stored_on_self_with_class_shutdown_clean(self):
+        source = """
+            from concurrent.futures import ThreadPoolExecutor
+
+            class Pool:
+                def __init__(self):
+                    self._executor = ThreadPoolExecutor(max_workers=2)
+
+                def close(self):
+                    self._executor.shutdown()
+        """
+        assert only_rule(findings_for(source), "RL104") == []
+
+    def test_executor_stored_on_self_without_shutdown_flagged(self):
+        source = """
+            from concurrent.futures import ThreadPoolExecutor
+
+            class Pool:
+                def __init__(self):
+                    self._executor = ThreadPoolExecutor(max_workers=2)
+        """
+        [finding] = only_rule(findings_for(source), "RL104")
+        assert "ThreadPoolExecutor" in finding.message
+
+    def test_suppression_comment(self):
+        source = """
+            import threading
+            __all__ = []
+
+            def fire():
+                threading.Thread(target=print).start()  # repro-lint: disable=RL104
+        """
+        assert only_rule(findings_for(source), "RL104") == []
+
+
+class TestRL105BlockingUnderLock:
+    def test_sleep_under_lock_flagged(self):
+        source = """
+            import threading
+            import time
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def slow(self):
+                    with self._lock:
+                        time.sleep(0.5)
+        """
+        [finding] = only_rule(findings_for(source), "RL105")
+        assert "time.sleep" in finding.message
+        assert "self._lock" in finding.message
+
+    def test_future_result_under_lock_flagged(self):
+        source = """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def fetch(self, future):
+                    with self._lock:
+                        return future.result(timeout=1.0)
+        """
+        [finding] = only_rule(findings_for(source), "RL105")
+        assert "result" in finding.message
+
+    def test_zero_arg_join_under_lock_flagged(self):
+        source = """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def stop(self, worker):
+                    with self._lock:
+                        worker.join()
+        """
+        assert only_rule(findings_for(source), "RL105")
+
+    def test_string_join_not_flagged(self):
+        source = """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def render(self, parts):
+                    with self._lock:
+                        return ", ".join(parts)
+        """
+        assert only_rule(findings_for(source), "RL105") == []
+
+    def test_wait_on_held_condition_exempt(self):
+        source = """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._condition = threading.Condition()
+
+                def pause(self):
+                    with self._condition:
+                        self._condition.wait(timeout=0.1)
+        """
+        assert only_rule(findings_for(source), "RL105") == []
+
+    def test_wait_on_other_object_flagged(self):
+        source = """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def pause(self, event):
+                    with self._lock:
+                        event.wait()
+        """
+        assert only_rule(findings_for(source), "RL105")
+
+    def test_blocking_outside_lock_clean(self):
+        source = """
+            import threading
+            import time
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def slow(self):
+                    with self._lock:
+                        pass
+                    time.sleep(0.5)
+        """
+        assert only_rule(findings_for(source), "RL105") == []
+
+
+class TestDriverIntegration:
+    def test_concurrency_rules_registered(self):
+        assert [rule.id for rule in CONCURRENCY_RULES] == [
+            "RL101", "RL102", "RL103", "RL104", "RL105",
+        ]
+
+    def test_select_restricts_to_one_rule(self, tmp_path):
+        victim = tmp_path / "victim.py"
+        victim.write_text(textwrap.dedent(RACY_COUNTER))
+        result = lint_paths([victim], select=["RL101"])
+        assert {f.rule for f in result.findings} == {"RL101"}
+
+    def test_file_level_suppression(self):
+        source = "# repro-lint: disable-file=RL101\n" + textwrap.dedent(
+            RACY_COUNTER
+        )
+        assert only_rule(lint_source(source, "module.py").findings, "RL101") == []
+
+    def test_repo_sources_are_clean(self):
+        import pathlib
+
+        src = pathlib.Path(__file__).resolve().parents[2] / "src"
+        result = lint_paths(
+            [src], select=["RL101", "RL102", "RL103", "RL104", "RL105"]
+        )
+        assert result.findings == [], [f.render() for f in result.findings]

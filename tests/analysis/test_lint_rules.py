@@ -346,4 +346,7 @@ class TestDriver:
         assert f"{fixture}:3:4: RL001" in process.stdout
 
     def test_rule_ids_are_stable(self):
-        assert rule_ids() == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+        assert rule_ids() == [
+            "RL001", "RL002", "RL003", "RL004", "RL005",
+            "RL101", "RL102", "RL103", "RL104", "RL105",
+        ]

@@ -18,6 +18,9 @@ PUBLIC_MODULES = [
     "repro.analysis",
     "repro.analysis.rules",
     "repro.analysis.lint",
+    "repro.analysis.concurrency",
+    "repro.analysis.racecheck",
+    "repro.analysis.race_smoke",
     "repro.analysis.sanitizer",
     "repro.analysis.graph",
     "repro.analysis.report",
