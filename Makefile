@@ -3,7 +3,7 @@
 PYTHON ?= python
 PROFILE ?= default
 
-.PHONY: install dev test lint docs-check ckpt-smoke race-smoke verify analysis-report obs-report bench bench-calibrated bench-report bench-smoke serve-smoke examples experiments clean
+.PHONY: install dev test lint docs-check ckpt-smoke race-smoke stream-smoke verify analysis-report obs-report bench bench-calibrated bench-report bench-smoke bench-stream serve-smoke examples experiments clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -28,7 +28,11 @@ ckpt-smoke:
 race-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis.race_smoke
 
-verify: test lint docs-check ckpt-smoke race-smoke
+# World -> serve -> ingest a cold-item delta -> assert it is recommendable.
+stream-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.stream.smoke
+
+verify: test lint docs-check ckpt-smoke race-smoke stream-smoke
 
 analysis-report:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis.report
@@ -45,6 +49,10 @@ bench-calibrated:
 # Timed hot-path report: merges medians + profiler table into BENCH_PR4.json.
 bench-report:
 	PYTHONPATH=src $(PYTHON) tools/bench_report.py --record after
+
+# Delta-to-serve latency breakdown -> BENCH_STREAM.json.
+bench-stream:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_stream.py
 
 # Correctness-only pass over every benchmark body (no timing loops).
 bench-smoke:

@@ -1,0 +1,229 @@
+"""Delta-to-serve latency: how long until a cold item is recommendable?
+
+Measures the full :class:`~repro.stream.updater.OnlineUpdater` ingest
+path on a live :class:`~repro.serve.server.RecommendationService` —
+``apply_delta`` growth, warm-start fine-tune, index rebuild, and the
+hot swap — and decomposes the wall time into its stages.  Each rep
+ingests one fresh cold-item delta (new item + KG edges + member
+interactions + a new group), so the measured number answers the
+operational question directly: *a delta arrived; how long until the
+running server serves it?*
+
+Two entry points:
+
+* ``pytest benchmarks/bench_stream.py --benchmark-only`` — the timing
+  enters the pytest-benchmark report, stage medians in ``extra_info``;
+* ``python benchmarks/bench_stream.py`` — standalone recorder that
+  writes the stage breakdown to ``BENCH_STREAM.json`` at the repo root
+  (the committed artifact; regenerate after touching the ingest path).
+"""
+
+import argparse
+import json
+import platform
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import KGAG, KGAGConfig, KGAGTrainer  # noqa: E402
+from repro.core.checkpoint import TrainState  # noqa: E402
+from repro.data import (  # noqa: E402
+    MovieLensLikeConfig,
+    movielens_like,
+    split_interactions,
+)
+from repro.serve import RecommendationService, build_index  # noqa: E402
+from repro.stream import DeltaBatch, OnlineUpdater  # noqa: E402
+
+WORKLOAD = {
+    "dataset": {"num_users": 60, "num_items": 80, "num_groups": 12, "seed": 7},
+    "model": {
+        "embedding_dim": 16,
+        "num_layers": 1,
+        "num_neighbors": 4,
+        "seed": 7,
+    },
+    "warmup_epochs": 1,
+    "finetune_epochs": 2,
+    "reps": 5,
+}
+
+
+def build_world():
+    """One trained world with a running (socketless) service."""
+    ds_cfg = WORKLOAD["dataset"]
+    dataset = movielens_like("rand", MovieLensLikeConfig(**ds_cfg))
+    split = split_interactions(
+        dataset.group_item, rng=np.random.default_rng(ds_cfg["seed"])
+    )
+    config = KGAGConfig(batch_size=128, learning_rate=0.05, **WORKLOAD["model"])
+    model = KGAG(
+        dataset.kg,
+        dataset.num_users,
+        dataset.num_items,
+        dataset.user_item.pairs,
+        dataset.groups,
+        config,
+    )
+    trainer = KGAGTrainer(
+        model, split.train, dataset.user_item, group_validation=split.validation
+    )
+    for _ in range(WORKLOAD["warmup_epochs"]):
+        trainer.train_epoch()
+    state = TrainState.capture(trainer, epoch=WORKLOAD["warmup_epochs"] - 1)
+    index = build_index(
+        model, train_interactions=split.train, user_interactions=dataset.user_item
+    )
+    service = RecommendationService(index, deadline_ms=None)
+    updater = OnlineUpdater(
+        service,
+        dataset,
+        state,
+        split.train,
+        group_validation=split.validation,
+        finetune_epochs=WORKLOAD["finetune_epochs"],
+        seed=ds_cfg["seed"],
+    )
+    return service, updater
+
+
+def cold_item_delta(dataset, tag: int) -> DeltaBatch:
+    """A fresh cold item wired into the KG plus a brand-new group."""
+    members = [int(u) for u in dataset.groups.members[tag % dataset.groups.num_groups]]
+    records = [
+        {"op": "add_item", "name": f"cold-item-{tag}"},
+        {"op": "add_group", "members": members},
+    ]
+    item_ref = f"item:{dataset.num_items}"
+    # Wire the newcomer into the KG through its members' favourite items.
+    linked = set()
+    for user in members[:2]:
+        for item in dataset.user_item.pairs[dataset.user_item.pairs[:, 0] == user][
+            :3, 1
+        ]:
+            for head, relation, tail in dataset.kg.triples:
+                if head == item and (relation, tail) not in linked:
+                    linked.add((int(relation), int(tail)))
+    attr_offset = dataset.num_items
+    records += [
+        {
+            "op": "add_edge",
+            "head": item_ref,
+            "relation": relation,
+            "tail": f"attr:{tail - attr_offset}",
+        }
+        for relation, tail in sorted(linked)
+        if tail >= attr_offset
+    ]
+    records += [
+        {"op": "add_interaction", "user": user, "item": dataset.num_items}
+        for user in members
+    ]
+    return DeltaBatch.from_records(records)
+
+
+def run_ingests(service, updater, reps: int) -> dict:
+    """Ingest ``reps`` cold-item deltas; returns per-stage samples."""
+    samples = {"total_s": [], "finetune_s": [], "swap_ms": []}
+    for rep in range(reps):
+        dataset, _, _, _ = updater.snapshot()
+        delta = cold_item_delta(dataset, rep)
+        start = time.perf_counter()
+        report = updater.ingest(delta, received_at=time.time())
+        total = time.perf_counter() - start
+        new_group = dataset.groups.num_groups
+        resp = service.recommend(new_group, k=5)
+        assert resp["index_version"] == report["index_version"]
+        samples["total_s"].append(total)
+        samples["finetune_s"].append(report["finetune_seconds"])
+        samples["swap_ms"].append(report["swap_ms"])
+    return samples
+
+
+def _stats(values) -> dict:
+    return {
+        "median": statistics.median(values),
+        "min": min(values),
+        "max": max(values),
+        "reps": len(values),
+    }
+
+
+def record(out_path: Path) -> dict:
+    service, updater = build_world()
+    try:
+        samples = run_ingests(service, updater, WORKLOAD["reps"])
+    finally:
+        service.close()
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        commit = "unknown"
+    payload = {
+        "workload": WORKLOAD,
+        "environment": {
+            "commit": commit,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "delta_to_serve": {
+            "total_s": _stats(samples["total_s"]),
+            "finetune_s": _stats(samples["finetune_s"]),
+            "swap_ms": _stats(samples["swap_ms"]),
+        },
+    }
+    out_path.write_text(json.dumps(payload, indent=1) + "\n")
+    return payload
+
+
+def test_delta_to_serve_latency(benchmark):
+    """One full delta->served-answer ingest through a live service."""
+    service, updater = build_world()
+    try:
+        samples = benchmark.pedantic(
+            run_ingests,
+            args=(service, updater, 1),
+            iterations=1,
+            rounds=1,
+        )
+        benchmark.extra_info["finetune_s"] = samples["finetune_s"][0]
+        benchmark.extra_info["swap_ms"] = samples["swap_ms"][0]
+    finally:
+        service.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_STREAM.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    payload = record(args.out)
+    stages = payload["delta_to_serve"]
+    print(
+        f"delta-to-serve: total {stages['total_s']['median']:.3f}s median "
+        f"(fine-tune {stages['finetune_s']['median']:.3f}s, "
+        f"swap {stages['swap_ms']['median']:.3f}ms) over "
+        f"{stages['total_s']['reps']} reps -> {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

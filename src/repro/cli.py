@@ -34,6 +34,16 @@ Subcommands
 
     python -m repro serve --index models/kgag.index.npz --port 8080
 
+    # live ingestion: tail a delta feed directory, fine-tune + hot-swap
+    python -m repro serve --data data/rand --checkpoint runs/kgag/ckpt-000019.npz \
+        --watch-deltas feeds/rand
+
+``ingest-delta`` apply a JSONL delta feed offline (grow + fine-tune)::
+
+    python -m repro ingest-delta --data data/rand --state runs/kgag/ckpt-000019.npz \
+        --delta feeds/rand/0001.jsonl --out-data data/rand-v2 \
+        --out-state runs/kgag/ckpt-grown.npz --index-out models/kgag.index.npz
+
 ``experiment`` regenerate a paper table/figure::
 
     python -m repro experiment table2 --profile quick
@@ -190,6 +200,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out",
         help="write a final registry snapshot (JSONL) to this path on shutdown",
     )
+    serve.add_argument(
+        "--watch-deltas",
+        metavar="DIR",
+        help="tail this directory for *.jsonl delta files: each one is "
+        "ingested, fine-tuned and hot-swapped into the live index "
+        "(requires --data and --checkpoint so training can resume)",
+    )
+    serve.add_argument(
+        "--finetune-epochs",
+        type=int,
+        default=2,
+        help="fine-tune budget per ingested delta (with --watch-deltas)",
+    )
+    serve.add_argument(
+        "--grow-init",
+        choices=("rng", "neighbor_mean"),
+        default="rng",
+        help="initializer for embedding rows a delta introduces",
+    )
+
+    # ingest-delta ----------------------------------------------------------------
+    ingest = subparsers.add_parser(
+        "ingest-delta",
+        help="apply a JSONL delta feed offline: grow + warm-start fine-tune",
+    )
+    ingest.add_argument("--data", required=True, help="dataset directory")
+    ingest.add_argument(
+        "--state", required=True, help="TrainState checkpoint to warm-start from"
+    )
+    ingest.add_argument(
+        "--delta",
+        required=True,
+        help="delta feed: one .jsonl file or a directory of them "
+        "(ingested in sorted order)",
+    )
+    ingest.add_argument("--out-data", help="write the grown dataset here")
+    ingest.add_argument("--out-state", help="write the fine-tuned TrainState here")
+    ingest.add_argument(
+        "--index-out", help="write the rebuilt serving index here (.npz)"
+    )
+    ingest.add_argument("--finetune-epochs", type=int, default=2)
+    ingest.add_argument(
+        "--grow-init", choices=("rng", "neighbor_mean"), default="rng"
+    )
+    ingest.add_argument("--seed", type=int, default=0, help="split seed")
 
     # experiment ----------------------------------------------------------------
     experiment = subparsers.add_parser("experiment", help="regenerate a paper result")
@@ -443,9 +498,36 @@ def _cmd_build_index(args) -> int:
     return 0
 
 
+def _train_state_for(checkpoint: str, dataset, split, model):
+    """A warm :class:`TrainState` for the streaming path.
+
+    A ``TrainState`` checkpoint is loaded as-is (optimizer moments and
+    RNG streams intact).  A plain model checkpoint gets a fresh trainer
+    captured around the restored weights — fine-tuning then starts with
+    cold Adam moments, exactly like resuming from a weights-only export.
+    """
+    from .core.checkpoint import TrainState
+    from .nn.serialization import read_npz_archive
+
+    path = _checkpoint_path(checkpoint)
+    _, metadata = read_npz_archive(path)
+    if (metadata or {}).get("kind") == "train_state":
+        return TrainState.load(path)
+    trainer = KGAGTrainer(model, split.train, dataset.user_item, split.validation)
+    return TrainState.capture(trainer, epoch=-1)
+
+
 def _cmd_serve(args) -> int:
     from .serve import EmbeddingIndex, RecommendationServer, RecommendationService, build_index
 
+    watcher = None
+    if args.watch_deltas and not (args.data and args.checkpoint):
+        print(
+            "serve --watch-deltas needs --data and --checkpoint (a frozen "
+            "--index cannot be fine-tuned)",
+            file=sys.stderr,
+        )
+        return 2
     if args.index:
         index = EmbeddingIndex.load(args.index)
     elif args.data and args.checkpoint:
@@ -469,6 +551,22 @@ def _cmd_serve(args) -> int:
         batch_wait_ms=args.batch_wait_ms,
         metrics=registry,
     )
+    if args.watch_deltas:
+        from .stream import DeltaFeedWatcher, OnlineUpdater
+
+        state = _train_state_for(args.checkpoint, dataset, split, model)
+        updater = OnlineUpdater(
+            service,
+            dataset,
+            state,
+            split.train,
+            group_validation=split.validation,
+            finetune_epochs=args.finetune_epochs,
+            init=args.grow_init,
+            seed=args.seed,
+        )
+        watcher = DeltaFeedWatcher(updater, args.watch_deltas).start()
+        print(f"watching {args.watch_deltas} for *.jsonl delta files")
     server = RecommendationServer(service, host=args.host, port=args.port)
     print(
         f"serving index {index.version} on {server.url} "
@@ -479,12 +577,58 @@ def _cmd_serve(args) -> int:
     except KeyboardInterrupt:
         print("shutting down")
     finally:
+        if watcher is not None:
+            watcher.close()
         if args.metrics_out:
             from .obs import JsonlRunLog
 
             with JsonlRunLog(args.metrics_out) as log:
                 log.emit_snapshot(registry, kind="final_metrics")
             print(f"run log written to {args.metrics_out}")
+    return 0
+
+
+def _cmd_ingest_delta(args) -> int:
+    from .core.checkpoint import TrainState
+    from .stream import OnlineUpdater
+
+    dataset, split = _load_with_split(args.data, args.seed)
+    state = TrainState.load(_checkpoint_path(args.state))
+    updater = OnlineUpdater(
+        None,
+        dataset,
+        state,
+        split.train,
+        group_validation=split.validation,
+        finetune_epochs=args.finetune_epochs,
+        init=args.grow_init,
+        seed=args.seed,
+    )
+    delta_path = Path(args.delta)
+    if delta_path.is_dir():
+        feed = sorted(delta_path.glob("*.jsonl"))
+        if not feed:
+            print(f"no *.jsonl delta files in {delta_path}", file=sys.stderr)
+            return 2
+    else:
+        feed = [delta_path]
+    for path in feed:
+        report = updater.ingest_path(path)
+        print(
+            f"ingested {path}: {report['delta']} -> index "
+            f"{report['index_version']} "
+            f"(fine-tune {report['finetune_seconds']}s)"
+        )
+    grown_dataset, grown_state, _, _ = updater.snapshot()
+    if args.out_data:
+        out = save_dataset(grown_dataset, args.out_data)
+        print(f"grown dataset written to {out}")
+    if args.out_state:
+        out = grown_state.save(args.out_state)
+        print(f"fine-tuned train state written to {out}")
+    if args.index_out:
+        out = updater.last_index.save(args.index_out)
+        print(f"serving index written to {out}")
     return 0
 
 
@@ -513,6 +657,8 @@ def main(argv=None) -> int:
         return _cmd_build_index(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "ingest-delta":
+        return _cmd_ingest_delta(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     raise AssertionError(f"unhandled command {args.command!r}")

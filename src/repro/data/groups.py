@@ -82,6 +82,33 @@ class GroupSet:
         """Vectorized member lookup: ``(batch, group_size)``."""
         return self.members[np.asarray(groups, dtype=np.int64)]
 
+    def extended(self, new_members=None, num_users: int | None = None) -> "GroupSet":
+        """Growing copy: append groups and/or raise the user vocabulary.
+
+        Existing group ids are stable (new groups take the next ids), so
+        interaction tables and serving caches keyed by group id survive a
+        delta unchanged.  ``new_members`` rows must match the existing
+        ``group_size`` — fixed size is a structural assumption of the
+        model's peer-influence attention, so a delta cannot change it.
+        """
+        num_users = self.num_users if num_users is None else int(num_users)
+        if num_users < self.num_users:
+            raise ValueError("the user vocabulary can only grow")
+        members = self.members
+        appended = np.asarray(
+            new_members if new_members is not None else [], dtype=np.int64
+        )
+        if appended.size:
+            if appended.ndim != 2:
+                raise ValueError("new_members must be (num_new_groups, group_size)")
+            if appended.shape[1] != self.group_size:
+                raise ValueError(
+                    f"new groups must have {self.group_size} members "
+                    f"(got rows of {appended.shape[1]})"
+                )
+            members = np.concatenate([members, appended], axis=0)
+        return GroupSet(members, num_users)
+
     def groups_containing(self, user: int) -> np.ndarray:
         """Ids of groups that include ``user``."""
         return np.nonzero((self.members == int(user)).any(axis=1))[0]

@@ -221,6 +221,79 @@ class KnowledgeGraph:
             "isolated_entities": int((degrees == 0).sum()),
         }
 
+    def grown(
+        self,
+        num_new_entities: int = 0,
+        num_new_relations: int = 0,
+        new_triples=(),
+        entity_remap: np.ndarray | None = None,
+        entity_names: Mapping[int, str] | None = None,
+        relation_names: Mapping[int, str] | None = None,
+    ) -> "KnowledgeGraph":
+        """Vocabulary-growing copy: remap old ids, append new facts.
+
+        The incremental-ingestion path (:mod:`repro.stream`) needs to add
+        entities *inside* the existing id layout — new items must slot in
+        before the attribute block so the item == entity-id convention
+        survives — which renumbers every old entity.  ``entity_remap``
+        carries that renumbering: ``entity_remap[old_id] == new_id`` (it
+        must be injective and land inside the grown vocabulary; identity
+        append when omitted).  Relations are append-only: old relation
+        ids never move.
+
+        Parameters
+        ----------
+        num_new_entities / num_new_relations:
+            Vocabulary growth (non-negative).
+        new_triples:
+            ``(n, 3)`` facts already expressed in the *new* numbering.
+        entity_remap:
+            Old-entity-id -> new-entity-id array of length
+            ``self.num_entities``.
+        entity_names / relation_names:
+            Labels for new ids (old labels are carried over, entity
+            labels through the remap).
+        """
+        if num_new_entities < 0 or num_new_relations < 0:
+            raise ValueError("vocabulary growth must be non-negative")
+        new_num_entities = self.num_entities + int(num_new_entities)
+        new_num_relations = self.num_relations + int(num_new_relations)
+        if entity_remap is None:
+            remap = np.arange(self.num_entities, dtype=np.int64)
+        else:
+            remap = np.asarray(entity_remap, dtype=np.int64)
+            if remap.shape != (self.num_entities,):
+                raise ValueError(
+                    f"entity_remap must have shape ({self.num_entities},), "
+                    f"got {remap.shape}"
+                )
+            if len(remap) and (remap.min() < 0 or remap.max() >= new_num_entities):
+                raise ValueError("entity_remap target out of the grown range")
+            if len(np.unique(remap)) != len(remap):
+                raise ValueError("entity_remap must be injective")
+        remapped = self._triples.copy()
+        if len(remapped):
+            remapped[:, 0] = remap[remapped[:, 0]]
+            remapped[:, 2] = remap[remapped[:, 2]]
+        appended = np.asarray(new_triples, dtype=np.int64)
+        if appended.size == 0:
+            appended = np.zeros((0, 3), dtype=np.int64)
+        if appended.ndim != 2 or appended.shape[1] != 3:
+            raise ValueError("new_triples must have shape (n, 3)")
+        combined = np.concatenate([remapped, appended], axis=0)
+        names = {int(remap[old]): label for old, label in self.entity_names.items()}
+        names.update({int(k): v for k, v in (entity_names or {}).items()})
+        rel_names = dict(self.relation_names)
+        rel_names.update({int(k): v for k, v in (relation_names or {}).items()})
+        return KnowledgeGraph(
+            new_num_entities,
+            new_num_relations,
+            combined,
+            entity_names=names,
+            relation_names=rel_names,
+            bidirectional=self.bidirectional,
+        )
+
     def merge(self, other: "KnowledgeGraph") -> "KnowledgeGraph":
         """Union of two graphs over the same vocabularies."""
         if (self.num_entities, self.num_relations) != (

@@ -34,6 +34,7 @@ class CacheStats:
     invalidations: int
     size: int
     capacity: int
+    swap_invalidations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -46,6 +47,7 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "swap_invalidations": self.swap_invalidations,
             "size": self.size,
             "capacity": self.capacity,
             "hit_rate": round(self.hit_rate, 4),
@@ -72,6 +74,7 @@ class ScoreCache:
         self._misses = 0  # guarded-by: _lock
         self._evictions = 0  # guarded-by: _lock
         self._invalidations = 0  # guarded-by: _lock
+        self._swap_invalidations = 0  # guarded-by: _lock
 
     def get(self, key) -> np.ndarray | None:
         """Cached vector for ``key``, refreshing recency; None on miss."""
@@ -100,12 +103,19 @@ class ScoreCache:
                 self._store.popitem(last=False)
                 self._evictions += 1
 
-    def invalidate(self) -> int:
-        """Drop every entry (index reload); returns the count dropped."""
+    def invalidate(self, swap: bool = False) -> int:
+        """Drop every entry (index reload); returns the count dropped.
+
+        ``swap=True`` marks this flush as an index hot-swap, counted
+        separately so hot-swap cache churn stays observable next to
+        plain administrative flushes.
+        """
         with self._lock:
             dropped = len(self._store)
             self._store.clear()
             self._invalidations += 1
+            if swap:
+                self._swap_invalidations += 1
             return dropped
 
     def __len__(self) -> int:
@@ -126,4 +136,5 @@ class ScoreCache:
                 invalidations=self._invalidations,
                 size=len(self._store),
                 capacity=self.capacity,
+                swap_invalidations=self._swap_invalidations,
             )

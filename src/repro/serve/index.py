@@ -57,6 +57,21 @@ _REQUIRED_ARRAYS = (
 )
 
 
+def _compute_fingerprint(arrays: dict, metadata: dict) -> str:
+    """Content digest over raw arrays + metadata (sans the fingerprint).
+
+    Module-level so :meth:`EmbeddingIndex.load` can verify an artifact
+    *before* constructing an index from it.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        digest.update(name.encode("utf-8"))
+        digest.update(np.ascontiguousarray(arrays[name]).tobytes())
+    stable = {k: v for k, v in metadata.items() if k != "fingerprint"}
+    digest.update(repr(sorted(stable.items())).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
 class IndexError_(CheckpointError):
     """Raised when an index artifact is malformed or incompatible.
 
@@ -278,13 +293,7 @@ class EmbeddingIndex:
 
     # -- persistence -----------------------------------------------------
     def _fingerprint(self) -> str:
-        digest = hashlib.sha256()
-        for name in sorted(self._arrays):
-            digest.update(name.encode("utf-8"))
-            digest.update(np.ascontiguousarray(self._arrays[name]).tobytes())
-        stable = {k: v for k, v in self.metadata.items() if k != "fingerprint"}
-        digest.update(repr(sorted(stable.items())).encode("utf-8"))
-        return digest.hexdigest()[:16]
+        return _compute_fingerprint(self._arrays, self.metadata)
 
     def save(self, path: str | Path) -> Path:
         """Write the index to ``path`` (``.npz`` appended if missing)."""
@@ -301,18 +310,31 @@ class EmbeddingIndex:
 
     @classmethod
     def load(cls, path: str | Path) -> "EmbeddingIndex":
-        """Load an index previously written by :meth:`save`."""
+        """Load an index previously written by :meth:`save`.
+
+        The stored content fingerprint is verified *before* the index is
+        constructed (and before anything can reference its arrays): an
+        archive with no fingerprint, or whose recomputed digest differs,
+        raises :class:`IndexError_` — so a half-written or hand-edited
+        swap candidate can never be installed into a server.
+        """
         path = resolve_npz_path(path)
         arrays, metadata = read_npz_archive(path, metadata_key=_METADATA_KEY)
         if metadata is None:
             raise IndexError_(f"{path} is not a serving index (no metadata)")
         stored = metadata.get("fingerprint")
-        index = cls(arrays, metadata)
-        if stored is not None and index._fingerprint() != stored:
+        if stored is None:
             raise IndexError_(
-                f"{path} fingerprint mismatch: artifact corrupted or edited"
+                f"{path} carries no fingerprint: refusing to install a "
+                f"half-written or foreign artifact"
             )
-        return index
+        actual = _compute_fingerprint(arrays, metadata)
+        if actual != stored:
+            raise IndexError_(
+                f"{path} fingerprint mismatch (stored {stored}, computed "
+                f"{actual}): artifact corrupted or edited"
+            )
+        return cls(arrays, metadata)
 
     def describe(self) -> dict:
         """Human-readable summary (the ``build-index`` CLI prints this)."""

@@ -119,6 +119,9 @@ class RecommendationService:
             sample_window=2048,
             help="end-to-end recommend latency (milliseconds)",
         )
+        self._m_index_swaps = self.metrics.counter(
+            "serve/index_swaps_total", help="successful index hot-swaps"
+        )
         # Callback gauges mirror component-owned counters into the
         # registry without double bookkeeping in the request path.
         self.metrics.gauge(
@@ -173,6 +176,21 @@ class RecommendationService:
                 "serve/cache_misses",
                 fn=lambda: self.cache.stats().misses,
                 help="cache misses",
+            )
+            self.metrics.gauge(
+                "serve/cache_evictions",
+                fn=lambda: self.cache.stats().evictions,
+                help="LRU evictions",
+            )
+            self.metrics.gauge(
+                "serve/cache_invalidations",
+                fn=lambda: self.cache.stats().invalidations,
+                help="full cache flushes",
+            )
+            self.metrics.gauge(
+                "serve/cache_swap_invalidations",
+                fn=lambda: self.cache.stats().swap_invalidations,
+                help="cache flushes caused by index hot-swaps",
             )
 
     # -- primitives ------------------------------------------------------
@@ -298,6 +316,7 @@ class RecommendationService:
                 "version": index.version,
                 "num_groups": index.num_groups,
                 "num_items": index.num_items,
+                "swaps": int(self._m_index_swaps.value),
             },
         }
         if self.cache is not None:
@@ -317,7 +336,8 @@ class RecommendationService:
             old_version = self._index.version
             self._index = index
             self.engine.index = index
-        dropped = self.cache.invalidate() if self.cache is not None else 0
+        dropped = self.cache.invalidate(swap=True) if self.cache is not None else 0
+        self._m_index_swaps.inc()
         return {
             "old_version": old_version,
             "new_version": index.version,

@@ -1,0 +1,543 @@
+"""Delta batches: the schema for online dataset growth, and ``apply_delta``.
+
+A :class:`DeltaBatch` is an immutable description of *what arrived*
+between two snapshots of the world — new users, items, attribute
+entities, relations, KG edges, interactions, and groups — parsed from a
+JSONL feed (one JSON record per line, see :data:`DELTA_OPS`).
+
+Stable addressing
+-----------------
+Delta records never mention raw collaborative-graph entity ids (those
+shift when the vocabulary grows).  Nodes are addressed through id
+spaces that are stable across any number of deltas:
+
+* ``"item:<v>"``   — item id ``v`` (old items keep their ids; the j-th
+  new item of a batch takes id ``num_items + j``);
+* ``"attr:<j>"``   — the j-th *non-item* KG attribute entity (old
+  attributes keep their indices; new ones append);
+* users, groups and relations by their plain ids (all append-only).
+
+``apply_delta`` turns those references into the grown dataset's id
+layout.  Because the model equates item ids with KG entity ids, new
+items are inserted *before* the attribute block::
+
+    old entities:  [ items 0..V ) [ attributes 0..A )
+    new entities:  [ items 0..V ) [ new items ) [ attributes 0..A ) [ new attrs )
+
+so every old attribute entity shifts up by the number of new items.
+That renumbering — RecBole-style incremental entity bookkeeping — is
+recorded in the returned :class:`GrowthPlan`, which
+:func:`repro.stream.grow.grow_state` uses to move embedding rows and
+optimizer moments to their new indices bit-exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..data.interactions import InteractionTable
+from ..data.synthetic import GroupRecommendationDataset
+
+__all__ = [
+    "DELTA_OPS",
+    "DeltaError",
+    "DeltaBatch",
+    "GrowthPlan",
+    "read_delta_jsonl",
+    "write_delta_jsonl",
+    "apply_delta",
+]
+
+DELTA_OPS = (
+    "add_user",
+    "add_item",
+    "add_entity",
+    "add_relation",
+    "add_edge",
+    "add_interaction",
+    "add_group",
+    "add_group_interaction",
+)
+
+_NODE_KINDS = ("item", "attr")
+
+
+class DeltaError(ValueError):
+    """Raised when a delta record is malformed or references unknown ids."""
+
+
+def _parse_node_ref(ref, record_index: int):
+    """Normalize ``"item:3"`` / ``("attr", 7)`` into ``(kind, id)``."""
+    if isinstance(ref, str):
+        kind, _, raw = ref.partition(":")
+        if kind not in _NODE_KINDS or not raw:
+            raise DeltaError(
+                f"record {record_index}: node ref {ref!r} must look like "
+                f"'item:<id>' or 'attr:<index>'"
+            )
+        try:
+            ident = int(raw)
+        except ValueError:
+            raise DeltaError(
+                f"record {record_index}: node ref {ref!r} has a non-integer id"
+            ) from None
+    elif isinstance(ref, (tuple, list)) and len(ref) == 2:
+        kind, ident = str(ref[0]), ref[1]
+        if kind not in _NODE_KINDS:
+            raise DeltaError(
+                f"record {record_index}: node kind {kind!r} must be one of "
+                f"{_NODE_KINDS}"
+            )
+        ident = _as_id(ident, "node id", record_index)
+    else:
+        raise DeltaError(f"record {record_index}: unparseable node ref {ref!r}")
+    if ident < 0:
+        raise DeltaError(f"record {record_index}: node id {ident} is negative")
+    return kind, int(ident)
+
+
+def _as_id(value, what: str, record_index: int) -> int:
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise DeltaError(
+            f"record {record_index}: {what} must be an integer, got {value!r}"
+        )
+    if int(value) < 0:
+        raise DeltaError(f"record {record_index}: {what} {value} is negative")
+    return int(value)
+
+
+@dataclasses.dataclass(frozen=True)
+class DeltaBatch:
+    """One parsed batch of world growth (see the module docstring).
+
+    All fields are plain tuples so batches are immutable value objects;
+    :meth:`from_records` is the checked constructor for feed input and
+    :meth:`to_records` is its inverse (used by :func:`write_delta_jsonl`).
+    """
+
+    num_new_users: int = 0
+    num_new_items: int = 0
+    num_new_entities: int = 0
+    num_new_relations: int = 0
+    item_names: tuple = ()
+    entity_names: tuple = ()
+    relation_names: tuple = ()
+    edges: tuple = ()  # ((kind, id), relation, (kind, id)) per edge
+    interactions: tuple = ()  # (user, item) pairs
+    group_members: tuple = ()  # one member tuple per new group
+    group_interactions: tuple = ()  # (group, item) pairs
+
+    @property
+    def num_new_groups(self) -> int:
+        return len(self.group_members)
+
+    @property
+    def is_empty(self) -> bool:
+        return all(
+            not getattr(self, field.name)
+            for field in dataclasses.fields(self)
+        )
+
+    def describe(self) -> dict:
+        """Counts per record kind (the ingest report embeds this)."""
+        return {
+            "new_users": self.num_new_users,
+            "new_items": self.num_new_items,
+            "new_entities": self.num_new_entities,
+            "new_relations": self.num_new_relations,
+            "new_edges": len(self.edges),
+            "new_interactions": len(self.interactions),
+            "new_groups": self.num_new_groups,
+            "new_group_interactions": len(self.group_interactions),
+        }
+
+    # -- record conversion ------------------------------------------------
+    @classmethod
+    def from_records(cls, records) -> "DeltaBatch":
+        """Build a batch from an iterable of JSONL-shaped dicts."""
+        counts = {"add_user": 0, "add_item": 0, "add_entity": 0, "add_relation": 0}
+        names: dict[str, list] = {"add_item": [], "add_entity": [], "add_relation": []}
+        edges, interactions, group_members, group_interactions = [], [], [], []
+        for i, record in enumerate(records):
+            if not isinstance(record, dict):
+                raise DeltaError(f"record {i}: expected a JSON object, got {record!r}")
+            op = record.get("op")
+            if op not in DELTA_OPS:
+                raise DeltaError(
+                    f"record {i}: unknown op {op!r} (expected one of {DELTA_OPS})"
+                )
+            if op == "add_user":
+                counts[op] += _as_count(record, i)
+            elif op in ("add_item", "add_entity", "add_relation"):
+                count = _as_count(record, i)
+                name = record.get("name")
+                if name is not None and count != 1:
+                    raise DeltaError(
+                        f"record {i}: 'name' requires count == 1, got {count}"
+                    )
+                names[op].extend([name] * count if name else [None] * count)
+                counts[op] += count
+            elif op == "add_edge":
+                head = _parse_node_ref(record.get("head"), i)
+                tail = _parse_node_ref(record.get("tail"), i)
+                relation = _as_id(record.get("relation"), "relation", i)
+                edges.append((head, relation, tail))
+            elif op == "add_interaction":
+                interactions.append(
+                    (_as_id(record.get("user"), "user", i),
+                     _as_id(record.get("item"), "item", i))
+                )
+            elif op == "add_group":
+                members = record.get("members")
+                if not isinstance(members, (list, tuple)) or len(members) < 2:
+                    raise DeltaError(
+                        f"record {i}: 'members' must list at least two user ids"
+                    )
+                row = tuple(_as_id(m, "member", i) for m in members)
+                if len(set(row)) != len(row):
+                    raise DeltaError(f"record {i}: group members must be distinct")
+                group_members.append(row)
+            else:  # add_group_interaction
+                group_interactions.append(
+                    (_as_id(record.get("group"), "group", i),
+                     _as_id(record.get("item"), "item", i))
+                )
+        return cls(
+            num_new_users=counts["add_user"],
+            num_new_items=counts["add_item"],
+            num_new_entities=counts["add_entity"],
+            num_new_relations=counts["add_relation"],
+            item_names=tuple(names["add_item"]),
+            entity_names=tuple(names["add_entity"]),
+            relation_names=tuple(names["add_relation"]),
+            edges=tuple(edges),
+            interactions=tuple(interactions),
+            group_members=tuple(group_members),
+            group_interactions=tuple(group_interactions),
+        )
+
+    def to_records(self) -> list[dict]:
+        """The JSONL-shaped records this batch round-trips through."""
+        records: list[dict] = []
+        if self.num_new_users:
+            records.append({"op": "add_user", "count": self.num_new_users})
+        for op, count, labels in (
+            ("add_item", self.num_new_items, self.item_names),
+            ("add_entity", self.num_new_entities, self.entity_names),
+            ("add_relation", self.num_new_relations, self.relation_names),
+        ):
+            labels = tuple(labels) + (None,) * (count - len(labels))
+            for label in labels:
+                record = {"op": op}
+                if label:
+                    record["name"] = label
+                records.append(record)
+        for (hk, hi), relation, (tk, ti) in self.edges:
+            records.append(
+                {"op": "add_edge", "head": f"{hk}:{hi}",
+                 "relation": relation, "tail": f"{tk}:{ti}"}
+            )
+        for user, item in self.interactions:
+            records.append({"op": "add_interaction", "user": user, "item": item})
+        for members in self.group_members:
+            records.append({"op": "add_group", "members": list(members)})
+        for group, item in self.group_interactions:
+            records.append(
+                {"op": "add_group_interaction", "group": group, "item": item}
+            )
+        return records
+
+
+def _as_count(record: dict, record_index: int) -> int:
+    count = record.get("count", 1)
+    if isinstance(count, bool) or not isinstance(count, (int, np.integer)) or count < 1:
+        raise DeltaError(
+            f"record {record_index}: 'count' must be a positive integer, "
+            f"got {count!r}"
+        )
+    return int(count)
+
+
+def read_delta_jsonl(path: str | Path) -> DeltaBatch:
+    """Parse one delta feed file (one JSON record per non-blank line)."""
+    path = Path(path)
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError as error:
+                raise DeltaError(f"{path}:{lineno}: invalid JSON: {error}") from error
+    return DeltaBatch.from_records(records)
+
+
+def write_delta_jsonl(delta: DeltaBatch, path: str | Path) -> Path:
+    """Serialize ``delta`` as a JSONL feed file (inverse of the reader)."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in delta.to_records():
+            handle.write(json.dumps(record) + "\n")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# growth plan
+# ---------------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class GrowthPlan:
+    """The id bookkeeping produced by :func:`apply_delta`.
+
+    Records the old/new vocabulary sizes and the item-KG entity
+    renumbering; every derived remap the embedding-growth code needs is
+    computed from those, so the plan stays a small value object.
+    """
+
+    old_num_users: int
+    new_num_users: int
+    old_num_items: int
+    new_num_items: int
+    old_kg_entities: int
+    new_kg_entities: int
+    old_kg_relations: int
+    new_kg_relations: int
+    kg_entity_remap: np.ndarray  # old item-KG entity id -> new id
+
+    @property
+    def is_identity(self) -> bool:
+        """True when the delta grew nothing (pure-edge/interaction deltas)."""
+        return (
+            self.old_num_users == self.new_num_users
+            and self.old_num_items == self.new_num_items
+            and self.old_kg_entities == self.new_kg_entities
+            and self.old_kg_relations == self.new_kg_relations
+        )
+
+    # -- collaborative-graph layouts --------------------------------------
+    @property
+    def old_ckg_entities(self) -> int:
+        """Entity-table rows before growth (KG entities + user entities)."""
+        return self.old_kg_entities + self.old_num_users
+
+    @property
+    def new_ckg_entities(self) -> int:
+        return self.new_kg_entities + self.new_num_users
+
+    @property
+    def old_relation_slots(self) -> int:
+        """Relation-table rows: KG relations + Interact + self-loop."""
+        return self.old_kg_relations + 2
+
+    @property
+    def new_relation_slots(self) -> int:
+        return self.new_kg_relations + 2
+
+    def ckg_entity_remap(self) -> np.ndarray:
+        """Old collaborative entity id -> new id (KG block then users).
+
+        User entities sit after the KG block, so growing the KG shifts
+        every user entity by the number of new KG entities.
+        """
+        users = self.new_kg_entities + np.arange(self.old_num_users, dtype=np.int64)
+        return np.concatenate([self.kg_entity_remap, users])
+
+    def relation_slot_remap(self) -> np.ndarray:
+        """Old relation-table slot -> new slot.
+
+        KG relations are append-only (identity); the Interact and
+        self-loop slots ride at the end of the table, so they shift by
+        the number of new relations.
+        """
+        slots = np.arange(self.old_relation_slots, dtype=np.int64)
+        slots[self.old_kg_relations] = self.new_kg_relations
+        slots[self.old_kg_relations + 1] = self.new_kg_relations + 1
+        return slots
+
+    def new_entity_rows(self) -> np.ndarray:
+        """Entity-table rows that exist only after growth (sorted)."""
+        return np.setdiff1d(
+            np.arange(self.new_ckg_entities, dtype=np.int64),
+            self.ckg_entity_remap(),
+        )
+
+    def new_relation_rows(self) -> np.ndarray:
+        """Relation-table rows that exist only after growth (sorted)."""
+        return np.setdiff1d(
+            np.arange(self.new_relation_slots, dtype=np.int64),
+            self.relation_slot_remap(),
+        )
+
+    def describe(self) -> dict:
+        return {
+            "users": [self.old_num_users, self.new_num_users],
+            "items": [self.old_num_items, self.new_num_items],
+            "kg_entities": [self.old_kg_entities, self.new_kg_entities],
+            "kg_relations": [self.old_kg_relations, self.new_kg_relations],
+            "identity": self.is_identity,
+        }
+
+
+# ---------------------------------------------------------------------------
+# application
+# ---------------------------------------------------------------------------
+def apply_delta(
+    dataset: GroupRecommendationDataset, delta: DeltaBatch
+) -> tuple[GroupRecommendationDataset, GrowthPlan]:
+    """Apply ``delta`` to ``dataset``; returns the grown dataset + plan.
+
+    The input dataset is untouched (all tables are rebuilt), delta
+    references are validated against the *grown* vocabularies, and the
+    returned :class:`GrowthPlan` records exactly how old ids moved.
+    Explicit ratings are not carried over: deltas describe implicit
+    feedback, and ratings only feed the offline group-construction
+    protocols.
+    """
+    old_items = dataset.num_items
+    old_users = dataset.num_users
+    old_groups = dataset.groups.num_groups
+    kg = dataset.kg
+    if kg.num_entities < old_items:
+        raise DeltaError(
+            "dataset KG must embed items as entities [0, num_items) "
+            f"(num_entities={kg.num_entities} < num_items={old_items})"
+        )
+    old_attrs = kg.num_entities - old_items
+    old_relations = kg.num_relations
+
+    new_items = old_items + delta.num_new_items
+    new_attrs = old_attrs + delta.num_new_entities
+    new_users = old_users + delta.num_new_users
+    new_relations = old_relations + delta.num_new_relations
+    new_groups = old_groups + delta.num_new_groups
+
+    # Item ids are stable and new items slot in before the attribute
+    # block, so old attribute entities shift up by the new-item count.
+    remap = np.arange(kg.num_entities, dtype=np.int64)
+    remap[old_items:] += delta.num_new_items
+
+    def resolve(ref, record: str) -> int:
+        kind, ident = ref
+        if kind == "item":
+            if ident >= new_items:
+                raise DeltaError(
+                    f"{record}: item {ident} out of range [0, {new_items})"
+                )
+            return ident
+        if ident >= new_attrs:
+            raise DeltaError(
+                f"{record}: attribute entity {ident} out of range [0, {new_attrs})"
+            )
+        return new_items + ident
+
+    triples = []
+    for head, relation, tail in delta.edges:
+        if relation >= new_relations:
+            raise DeltaError(
+                f"edge relation {relation} out of range [0, {new_relations})"
+            )
+        triples.append(
+            (resolve(head, "edge head"), relation, resolve(tail, "edge tail"))
+        )
+
+    entity_names = {}
+    for j, label in enumerate(delta.item_names):
+        if label:
+            entity_names[old_items + j] = label
+    for j, label in enumerate(delta.entity_names):
+        if label:
+            entity_names[new_items + old_attrs + j] = label
+    relation_names = {
+        old_relations + j: label
+        for j, label in enumerate(delta.relation_names)
+        if label
+    }
+
+    new_kg = kg.grown(
+        num_new_entities=delta.num_new_items + delta.num_new_entities,
+        num_new_relations=delta.num_new_relations,
+        new_triples=triples,
+        entity_remap=remap,
+        entity_names=entity_names,
+        relation_names=relation_names,
+    )
+
+    for user, item in delta.interactions:
+        if user >= new_users:
+            raise DeltaError(f"interaction user {user} out of range [0, {new_users})")
+        if item >= new_items:
+            raise DeltaError(f"interaction item {item} out of range [0, {new_items})")
+    for members in delta.group_members:
+        for member in members:
+            if member >= new_users:
+                raise DeltaError(
+                    f"group member {member} out of range [0, {new_users})"
+                )
+    for group, item in delta.group_interactions:
+        if group >= new_groups:
+            raise DeltaError(
+                f"group interaction group {group} out of range [0, {new_groups})"
+            )
+        if item >= new_items:
+            raise DeltaError(
+                f"group interaction item {item} out of range [0, {new_items})"
+            )
+
+    try:
+        groups = dataset.groups.extended(
+            np.asarray(delta.group_members, dtype=np.int64).reshape(
+                delta.num_new_groups, -1
+            )
+            if delta.num_new_groups
+            else None,
+            num_users=new_users,
+        )
+    except ValueError as error:
+        raise DeltaError(str(error)) from error
+
+    user_item = InteractionTable(
+        new_users,
+        new_items,
+        _stack_pairs(dataset.user_item.pairs, delta.interactions),
+    )
+    group_item = InteractionTable(
+        new_groups,
+        new_items,
+        _stack_pairs(dataset.group_item.pairs, delta.group_interactions),
+    )
+
+    grown = GroupRecommendationDataset(
+        name=dataset.name,
+        num_users=new_users,
+        num_items=new_items,
+        groups=groups,
+        user_item=user_item,
+        group_item=group_item,
+        kg=new_kg,
+        ratings=None,
+        world=None,
+    )
+    plan = GrowthPlan(
+        old_num_users=old_users,
+        new_num_users=new_users,
+        old_num_items=old_items,
+        new_num_items=new_items,
+        old_kg_entities=kg.num_entities,
+        new_kg_entities=new_kg.num_entities,
+        old_kg_relations=old_relations,
+        new_kg_relations=new_relations,
+        kg_entity_remap=remap,
+    )
+    return grown, plan
+
+
+def _stack_pairs(old: np.ndarray, new_pairs) -> np.ndarray:
+    appended = np.asarray(new_pairs, dtype=np.int64)
+    if appended.size == 0:
+        return old
+    return np.concatenate([old, appended.reshape(-1, 2)], axis=0)

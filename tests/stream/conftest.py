@@ -1,0 +1,63 @@
+"""Shared fixtures for the streaming tests: one briefly trained world."""
+
+import numpy as np
+import pytest
+
+from repro.core import KGAG, KGAGConfig, KGAGTrainer
+from repro.core.checkpoint import TrainState
+from repro.data import MovieLensLikeConfig, movielens_like, split_interactions
+from repro.serve import build_index
+
+
+@pytest.fixture(scope="package")
+def dataset():
+    return movielens_like(
+        "rand",
+        MovieLensLikeConfig(num_users=24, num_items=30, num_groups=6, seed=3),
+    )
+
+
+@pytest.fixture(scope="package")
+def split(dataset):
+    return split_interactions(dataset.group_item, rng=np.random.default_rng(3))
+
+
+@pytest.fixture(scope="package")
+def config():
+    return KGAGConfig(
+        embedding_dim=8, num_layers=1, num_neighbors=2, batch_size=64, seed=3
+    )
+
+
+@pytest.fixture(scope="package")
+def state(dataset, split, config):
+    """A TrainState captured after one real epoch (warm Adam moments)."""
+    model = KGAG(
+        dataset.kg,
+        dataset.num_users,
+        dataset.num_items,
+        dataset.user_item.pairs,
+        dataset.groups,
+        config,
+    )
+    trainer = KGAGTrainer(
+        model, split.train, dataset.user_item, group_validation=split.validation
+    )
+    trainer.train_epoch()
+    return TrainState.capture(trainer, epoch=0)
+
+
+@pytest.fixture(scope="package")
+def trained_index(dataset, split, state, config):
+    model = KGAG(
+        dataset.kg,
+        dataset.num_users,
+        dataset.num_items,
+        dataset.user_item.pairs,
+        dataset.groups,
+        config,
+    )
+    state.load_model(model, prefer_best=False)
+    return build_index(
+        model, train_interactions=split.train, user_interactions=dataset.user_item
+    )

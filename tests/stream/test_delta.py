@@ -1,0 +1,210 @@
+"""DeltaBatch schema, JSONL round-trips, and apply_delta id bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.stream import (
+    DeltaBatch,
+    DeltaError,
+    apply_delta,
+    read_delta_jsonl,
+    write_delta_jsonl,
+)
+
+
+def _records():
+    return [
+        {"op": "add_user", "count": 2},
+        {"op": "add_item", "name": "fresh-movie"},
+        {"op": "add_entity", "name": "fresh-genre"},
+        {"op": "add_relation", "name": "remake_of"},
+        {"op": "add_edge", "head": "item:30", "relation": 0, "tail": "attr:1"},
+        {"op": "add_edge", "head": "item:30", "relation": 5, "tail": "attr:6"},
+        {"op": "add_interaction", "user": 24, "item": 30},
+        {"op": "add_group", "members": [0, 1, 2, 3, 4, 5, 6, 24]},
+        {"op": "add_group_interaction", "group": 6, "item": 2},
+    ]
+
+
+class TestDeltaBatch:
+    def test_from_records_counts(self):
+        delta = DeltaBatch.from_records(_records())
+        assert delta.num_new_users == 2
+        assert delta.num_new_items == 1
+        assert delta.num_new_entities == 1
+        assert delta.num_new_relations == 1
+        assert delta.num_new_groups == 1
+        assert delta.item_names == ("fresh-movie",)
+        assert delta.edges[0] == (("item", 30), 0, ("attr", 1))
+        assert delta.interactions == ((24, 30),)
+        assert delta.group_interactions == ((6, 2),)
+        assert not delta.is_empty
+
+    def test_empty_batch(self):
+        delta = DeltaBatch.from_records([])
+        assert delta.is_empty
+        assert delta.describe()["new_items"] == 0
+
+    def test_record_roundtrip(self):
+        delta = DeltaBatch.from_records(_records())
+        assert DeltaBatch.from_records(delta.to_records()) == delta
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        delta = DeltaBatch.from_records(_records())
+        path = write_delta_jsonl(delta, tmp_path / "feed.jsonl")
+        assert read_delta_jsonl(path) == delta
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        path.write_text('\n{"op": "add_user"}\n\n')
+        assert read_delta_jsonl(path).num_new_users == 1
+
+    @pytest.mark.parametrize(
+        "record",
+        [
+            {"op": "drop_item"},
+            {"op": "add_item", "count": 0},
+            {"op": "add_item", "count": 2, "name": "x"},
+            {"op": "add_edge", "head": "node:1", "relation": 0, "tail": "attr:0"},
+            {"op": "add_edge", "head": "item:x", "relation": 0, "tail": "attr:0"},
+            {"op": "add_edge", "head": "item:1", "relation": -1, "tail": "attr:0"},
+            {"op": "add_interaction", "user": -1, "item": 0},
+            {"op": "add_interaction", "user": 0, "item": True},
+            {"op": "add_group", "members": [7]},
+            {"op": "add_group", "members": [1, 1, 2]},
+            "not-a-dict",
+        ],
+    )
+    def test_malformed_records_raise(self, record):
+        with pytest.raises(DeltaError):
+            DeltaBatch.from_records([record])
+
+    def test_invalid_json_names_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"op": "add_user"}\n{oops\n')
+        with pytest.raises(DeltaError, match="bad.jsonl:2"):
+            read_delta_jsonl(path)
+
+
+class TestApplyDelta:
+    def _delta(self, dataset):
+        group_size = dataset.groups.group_size
+        return DeltaBatch.from_records(
+            [
+                {"op": "add_user"},
+                {"op": "add_item", "name": "cold-item"},
+                {"op": "add_entity"},
+                {"op": "add_relation", "name": "remake_of"},
+                {
+                    "op": "add_edge",
+                    "head": f"item:{dataset.num_items}",
+                    "relation": 0,
+                    "tail": "attr:0",
+                },
+                {
+                    "op": "add_edge",
+                    "head": f"item:{dataset.num_items}",
+                    "relation": dataset.kg.num_relations,
+                    "tail": "attr:" + str(dataset.kg.num_entities - dataset.num_items),
+                },
+                {"op": "add_interaction", "user": dataset.num_users, "item": 0},
+                {"op": "add_group", "members": list(range(group_size))},
+                {
+                    "op": "add_group_interaction",
+                    "group": dataset.groups.num_groups,
+                    "item": dataset.num_items,
+                },
+            ]
+        )
+
+    def test_growth_counts(self, dataset):
+        grown, plan = apply_delta(dataset, self._delta(dataset))
+        assert grown.num_users == dataset.num_users + 1
+        assert grown.num_items == dataset.num_items + 1
+        assert grown.kg.num_entities == dataset.kg.num_entities + 2
+        assert grown.kg.num_relations == dataset.kg.num_relations + 1
+        assert grown.groups.num_groups == dataset.groups.num_groups + 1
+        assert not plan.is_identity
+        assert plan.describe()["items"] == [dataset.num_items, dataset.num_items + 1]
+
+    def test_old_triples_survive_remapped(self, dataset):
+        grown, plan = apply_delta(dataset, self._delta(dataset))
+        remap = plan.kg_entity_remap
+        old = dataset.kg.triples
+        expected = old.copy()
+        expected[:, 0] = remap[expected[:, 0]]
+        expected[:, 2] = remap[expected[:, 2]]
+        grown_set = {tuple(t) for t in grown.kg.triples}
+        assert all(tuple(t) in grown_set for t in expected)
+
+    def test_item_ids_are_stable(self, dataset):
+        _, plan = apply_delta(dataset, self._delta(dataset))
+        items = np.arange(dataset.num_items)
+        assert np.array_equal(plan.kg_entity_remap[items], items)
+        # Old attribute entities shift up by exactly one new item.
+        attrs = np.arange(dataset.num_items, dataset.kg.num_entities)
+        assert np.array_equal(plan.kg_entity_remap[attrs], attrs + 1)
+
+    def test_new_facts_present(self, dataset):
+        grown, _ = apply_delta(dataset, self._delta(dataset))
+        new_item = dataset.num_items  # entity id == item id (identity map)
+        first_attr_new = dataset.num_items + 1  # old attr 0, shifted by 1
+        assert (new_item, 0, first_attr_new) in grown.kg
+        assert grown.kg.entity_name(new_item) == "cold-item"
+        assert grown.kg.relation_name(dataset.kg.num_relations) == "remake_of"
+        assert [dataset.num_users, 0] in grown.user_item.pairs.tolist()
+        assert [
+            dataset.groups.num_groups,
+            dataset.num_items,
+        ] in grown.group_item.pairs.tolist()
+
+    def test_input_dataset_untouched(self, dataset):
+        before = dataset.kg.num_triples
+        apply_delta(dataset, self._delta(dataset))
+        assert dataset.kg.num_triples == before
+        assert dataset.num_items == 30
+
+    def test_identity_plan_for_empty_delta(self, dataset):
+        grown, plan = apply_delta(dataset, DeltaBatch())
+        assert plan.is_identity
+        assert grown.num_items == dataset.num_items
+        assert np.array_equal(grown.kg.triples, dataset.kg.triples)
+
+    @pytest.mark.parametrize(
+        "records",
+        [
+            [{"op": "add_edge", "head": "item:999", "relation": 0, "tail": "attr:0"}],
+            [{"op": "add_edge", "head": "item:0", "relation": 99, "tail": "attr:0"}],
+            [{"op": "add_edge", "head": "item:0", "relation": 0, "tail": "attr:999"}],
+            [{"op": "add_interaction", "user": 999, "item": 0}],
+            [{"op": "add_interaction", "user": 0, "item": 999}],
+            [{"op": "add_group", "members": [0, 999, 1, 2, 3, 4, 5, 6]}],
+            [{"op": "add_group_interaction", "group": 99, "item": 0}],
+            [{"op": "add_group", "members": [0, 1]}],  # wrong group size
+        ],
+    )
+    def test_out_of_range_references_raise(self, dataset, records):
+        with pytest.raises(DeltaError):
+            apply_delta(dataset, DeltaBatch.from_records(records))
+
+
+class TestGrowthPlan:
+    def test_derived_remaps(self, dataset):
+        delta = DeltaBatch.from_records(
+            [{"op": "add_item"}, {"op": "add_relation"}, {"op": "add_user"}]
+        )
+        _, plan = apply_delta(dataset, delta)
+        ckg_remap = plan.ckg_entity_remap()
+        # Users ride after the KG block: shifted by the new KG entities.
+        user_zero_old = dataset.kg.num_entities
+        assert ckg_remap[user_zero_old] == plan.new_kg_entities
+        # Interact + self-loop slots shift by the one new relation.
+        slots = plan.relation_slot_remap()
+        old_r = dataset.kg.num_relations
+        assert slots[old_r] == old_r + 1  # Interact slot
+        assert slots[old_r + 1] == old_r + 2  # self-loop slot
+        assert len(np.unique(ckg_remap)) == len(ckg_remap)
+        # New rows are exactly the ids no old row landed on.
+        new_rows = plan.new_entity_rows()
+        assert len(new_rows) == plan.new_ckg_entities - plan.old_ckg_entities
+        assert not np.intersect1d(new_rows, ckg_remap).size

@@ -1,0 +1,214 @@
+"""OnlineUpdater ingestion, DeltaFeedWatcher tailing, and the CLI path."""
+
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.data.io import save_dataset
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import EmbeddingIndex, RecommendationService
+from repro.stream import DeltaBatch, OnlineUpdater, DeltaFeedWatcher, write_delta_jsonl
+
+
+def _cold_item_delta(dataset):
+    members = [int(u) for u in dataset.groups.members[0]]
+    records = [
+        {"op": "add_item", "name": "cold-item"},
+        {
+            "op": "add_edge",
+            "head": f"item:{dataset.num_items}",
+            "relation": 0,
+            "tail": "attr:0",
+        },
+        {"op": "add_group", "members": members},
+    ]
+    records += [
+        {"op": "add_interaction", "user": int(u), "item": dataset.num_items}
+        for u in members
+    ]
+    return DeltaBatch.from_records(records)
+
+
+class TestOnlineUpdater:
+    def test_offline_ingest_grows_the_world(self, dataset, split, state):
+        registry = MetricsRegistry()
+        updater = OnlineUpdater(
+            None,
+            dataset,
+            state,
+            split.train,
+            group_validation=split.validation,
+            finetune_epochs=1,
+            seed=3,
+            metrics=registry,
+        )
+        assert updater.deltas_applied == 0
+        assert updater.last_index is None
+
+        report = updater.ingest(_cold_item_delta(dataset))
+        grown_dataset, grown_state, group_train, _ = updater.snapshot()
+        assert updater.deltas_applied == 1
+        assert grown_dataset.num_items == dataset.num_items + 1
+        assert grown_dataset.groups.num_groups == dataset.groups.num_groups + 1
+        assert grown_state.epoch == state.epoch + 1
+        assert group_train.num_rows == grown_dataset.groups.num_groups
+        assert report["swap"] is None
+        assert len(report["losses"]) == 1
+        assert report["index_version"] == updater.last_index.version
+        assert registry.get("stream/deltas_total").value == 1
+        assert registry.get("stream/new_items_total").value == 1
+        assert registry.get("stream/new_groups_total").value == 1
+
+    def test_zero_epoch_budget_still_builds_an_index(self, dataset, split, state):
+        updater = OnlineUpdater(
+            None, dataset, state, split.train, finetune_epochs=0, seed=3
+        )
+        report = updater.ingest(_cold_item_delta(dataset))
+        assert report["losses"] == []
+        assert updater.last_index is not None
+        # The grown index serves the cold item and the new group.
+        index = updater.last_index
+        assert index.num_items == dataset.num_items + 1
+        assert index.num_groups == dataset.groups.num_groups + 1
+
+    def test_live_ingest_hot_swaps_the_service(
+        self, dataset, split, state, trained_index
+    ):
+        service = RecommendationService(trained_index, deadline_ms=None)
+        try:
+            updater = OnlineUpdater(
+                service,
+                dataset,
+                state,
+                split.train,
+                group_validation=split.validation,
+                finetune_epochs=1,
+                seed=3,
+            )
+            old_version = service.index.version
+            report = updater.ingest(_cold_item_delta(dataset))
+            assert service.index.version == report["index_version"]
+            assert report["swap"]["old_version"] == old_version
+            new_group = dataset.groups.num_groups
+            resp = service.recommend(new_group, k=3)
+            assert resp["index_version"] == report["index_version"]
+            # Stream metrics land in the service registry -> /metrics.
+            text = service.metrics.render_text()
+            assert "stream_deltas_total 1" in text
+        finally:
+            service.close()
+
+    def test_bad_arguments_rejected(self, dataset, split, state):
+        with pytest.raises(ValueError, match="finetune_epochs"):
+            OnlineUpdater(None, dataset, state, split.train, finetune_epochs=-1)
+        with pytest.raises(ValueError, match="init"):
+            OnlineUpdater(None, dataset, state, split.train, init="zeros")
+
+
+class TestDeltaFeedWatcher:
+    def test_files_claimed_exactly_once(self, dataset, split, state, tmp_path):
+        updater = OnlineUpdater(
+            None, dataset, state, split.train, finetune_epochs=0, seed=3
+        )
+        watcher = DeltaFeedWatcher(updater, tmp_path)
+        write_delta_jsonl(_cold_item_delta(dataset), tmp_path / "0001.jsonl")
+        assert watcher.poll_once() == 1
+        assert watcher.poll_once() == 0
+        assert updater.deltas_applied == 1
+        (report,) = watcher.reports()
+        assert report["path"].endswith("0001.jsonl")
+        assert "error" not in report
+
+    def test_malformed_file_recorded_not_fatal(
+        self, dataset, split, state, tmp_path
+    ):
+        updater = OnlineUpdater(
+            None, dataset, state, split.train, finetune_epochs=0, seed=3
+        )
+        watcher = DeltaFeedWatcher(updater, tmp_path)
+        (tmp_path / "0001.jsonl").write_text("{broken\n")
+        write_delta_jsonl(_cold_item_delta(dataset), tmp_path / "0002.jsonl")
+        assert watcher.poll_once() == 2
+        bad, good = watcher.reports()
+        assert "0001.jsonl:1" in bad["error"]
+        assert "error" not in good
+        assert updater.deltas_applied == 1
+
+    def test_background_thread_ingests_and_joins(
+        self, dataset, split, state, tmp_path
+    ):
+        updater = OnlineUpdater(
+            None, dataset, state, split.train, finetune_epochs=0, seed=3
+        )
+        with DeltaFeedWatcher(updater, tmp_path, poll_interval=0.05) as watcher:
+            write_delta_jsonl(_cold_item_delta(dataset), tmp_path / "0001.jsonl")
+            deadline = time.monotonic() + 30.0
+            while updater.deltas_applied < 1 and time.monotonic() < deadline:
+                time.sleep(0.02)
+        assert updater.deltas_applied == 1
+        assert watcher._thread is None  # joined on close
+        assert watcher.reports()[0]["path"].endswith("0001.jsonl")
+
+    def test_bad_poll_interval(self, dataset, split, state, tmp_path):
+        updater = OnlineUpdater(
+            None, dataset, state, split.train, finetune_epochs=0, seed=3
+        )
+        with pytest.raises(ValueError, match="poll_interval"):
+            DeltaFeedWatcher(updater, tmp_path, poll_interval=0.0)
+
+
+class TestCLIIngestDelta:
+    def test_end_to_end_offline_ingest(self, dataset, state, tmp_path):
+        data_dir = save_dataset(dataset, tmp_path / "data")
+        state_path = state.save(tmp_path / "state.npz")
+        write_delta_jsonl(_cold_item_delta(dataset), tmp_path / "0001.jsonl")
+        code = main(
+            [
+                "ingest-delta",
+                "--data",
+                str(data_dir),
+                "--state",
+                str(state_path),
+                "--delta",
+                str(tmp_path / "0001.jsonl"),
+                "--seed",
+                "3",
+                "--finetune-epochs",
+                "1",
+                "--out-data",
+                str(tmp_path / "grown"),
+                "--out-state",
+                str(tmp_path / "grown-state.npz"),
+                "--index-out",
+                str(tmp_path / "grown-index.npz"),
+            ]
+        )
+        assert code == 0
+        from repro.data.io import load_dataset
+
+        grown = load_dataset(tmp_path / "grown")
+        assert grown.num_items == dataset.num_items + 1
+        index = EmbeddingIndex.load(tmp_path / "grown-index.npz")
+        assert index.num_items == dataset.num_items + 1
+        from repro.core.checkpoint import TrainState
+
+        grown_state = TrainState.load(tmp_path / "grown-state.npz")
+        assert grown_state.epoch == state.epoch + 1
+
+    def test_empty_feed_directory_is_an_error(self, dataset, state, tmp_path):
+        data_dir = save_dataset(dataset, tmp_path / "data")
+        state_path = state.save(tmp_path / "state.npz")
+        (tmp_path / "feed").mkdir()
+        code = main(
+            [
+                "ingest-delta",
+                "--data",
+                str(data_dir),
+                "--state",
+                str(state_path),
+                "--delta",
+                str(tmp_path / "feed"),
+            ]
+        )
+        assert code == 2

@@ -81,6 +81,11 @@ PUBLIC_MODULES = [
     "repro.serve.fallback",
     "repro.serve.server",
     "repro.serve.smoke",
+    "repro.stream",
+    "repro.stream.delta",
+    "repro.stream.grow",
+    "repro.stream.updater",
+    "repro.stream.smoke",
     "repro.experiments",
     "repro.cli",
 ]
