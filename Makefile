@@ -3,7 +3,7 @@
 PYTHON ?= python
 PROFILE ?= default
 
-.PHONY: install dev test lint docs-check ckpt-smoke race-smoke stream-smoke verify analysis-report obs-report bench bench-calibrated bench-report bench-smoke bench-stream serve-smoke examples experiments clean
+.PHONY: install dev test lint docs-check ckpt-smoke race-smoke stream-smoke verify analysis-report obs-report bench bench-calibrated bench-report bench-report-compile bench-smoke bench-stream serve-smoke examples experiments clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -49,6 +49,10 @@ bench-calibrated:
 # Timed hot-path report: merges medians + profiler table into BENCH_PR4.json.
 bench-report:
 	PYTHONPATH=src $(PYTHON) tools/bench_report.py --record after
+
+# Compiled-vs-dynamic train-step pair -> BENCH_PR8.json.
+bench-report-compile:
+	PYTHONPATH=src $(PYTHON) tools/bench_report.py --record compiled-pair
 
 # Delta-to-serve latency breakdown -> BENCH_STREAM.json.
 bench-stream:

@@ -39,7 +39,7 @@ from .concurrency import CONCURRENCY_RULES
 from .rules import ALL_RULES as CORE_RULES, Finding, Rule, Severity
 
 # The full registry the driver runs: the core tape/randomness rules
-# (RL001-RL005) plus the concurrency-discipline rules (RL101-RL105).
+# (RL001-RL006) plus the concurrency-discipline rules (RL101-RL105).
 ALL_RULES: tuple[Rule, ...] = tuple(CORE_RULES) + tuple(CONCURRENCY_RULES)
 
 

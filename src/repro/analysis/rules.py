@@ -21,6 +21,12 @@ RL004  No bare ``except:`` — it swallows ``KeyboardInterrupt`` and hides
        tape-corruption bugs; catch a concrete exception type.
 RL005  Public modules must declare ``__all__`` so the package surface
        stays explicit and importable-star-safe.
+RL006  No direct mutation of the tape choke points (``Tensor._make``,
+       ``Tensor._accumulate``) or the ``_tape_hooks`` registry outside
+       ``repro.nn``.  The sanitizer, profiler, and compiled executor all
+       share those seams; out-of-band monkeypatching silently disables
+       one of them.  Go through :func:`repro.nn.install_tape_hooks` /
+       :func:`repro.nn.uninstall_tape_hooks`.
 
 See ``docs/analysis.md`` for the full catalogue with examples and the
 suppression syntax.
@@ -452,12 +458,122 @@ class MissingAllRule(Rule):
         )
 
 
+# ---------------------------------------------------------------------------
+# RL006 — tape choke points are mutated only inside repro.nn
+# ---------------------------------------------------------------------------
+
+
+class TapeRegistryMutationRule(Rule):
+    id = "RL006"
+    severity = Severity.ERROR
+    description = (
+        "no direct mutation of Tensor._make / Tensor._accumulate or the "
+        "_tape_hooks registry outside repro.nn — use install_tape_hooks"
+    )
+
+    #: Dispatch methods swapped by the hook machinery.  Reads (e.g. the
+    #: sanitizer documenting them, or an op *calling* ``Tensor._make``)
+    #: are fine; only rebinding them is out-of-band.
+    CHOKE_POINTS = frozenset({"_make", "_accumulate"})
+    #: The shared hook list in ``repro.nn.tensor``.
+    REGISTRY = "_tape_hooks"
+    #: List methods that mutate the registry in place.
+    REGISTRY_MUTATORS = frozenset(
+        {"append", "remove", "clear", "extend", "insert", "pop"}
+    )
+
+    @staticmethod
+    def _inside_repro_nn(path: str) -> bool:
+        normalized = path.replace("\\", "/")
+        return "repro/nn/" in normalized
+
+    @staticmethod
+    def _names_registry(node: ast.AST) -> bool:
+        """True for the expression ``_tape_hooks`` / ``<mod>._tape_hooks``."""
+        if isinstance(node, ast.Name):
+            return node.id == TapeRegistryMutationRule.REGISTRY
+        if isinstance(node, ast.Attribute):
+            return node.attr == TapeRegistryMutationRule.REGISTRY
+        return False
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        if self._inside_repro_nn(path):
+            return
+        for node in ast.walk(tree):
+            yield from self._check_node(node, path)
+
+    def _check_node(self, node: ast.AST, path: str) -> Iterator[Finding]:
+        hint = (
+            "the tape dispatch seam is shared by the sanitizer, profiler, "
+            "and compiled executor; use repro.nn.install_tape_hooks / "
+            "uninstall_tape_hooks instead"
+        )
+        # Tensor._make = ..., cls._accumulate = ..., X._tape_hooks = ...
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Attribute) and (
+                    target.attr in self.CHOKE_POINTS or target.attr == self.REGISTRY
+                ):
+                    yield self.finding(
+                        node,
+                        path,
+                        f"rebinding tape choke point '.{target.attr}' outside "
+                        f"repro.nn; {hint}",
+                    )
+        # del Tensor._make
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Attribute) and (
+                    target.attr in self.CHOKE_POINTS or target.attr == self.REGISTRY
+                ):
+                    yield self.finding(
+                        node,
+                        path,
+                        f"deleting tape choke point '.{target.attr}' outside "
+                        f"repro.nn; {hint}",
+                    )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            # setattr(Tensor, "_make", ...) / delattr(Tensor, "_accumulate")
+            if (
+                isinstance(func, ast.Name)
+                and func.id in {"setattr", "delattr"}
+                and len(node.args) >= 2
+                and isinstance(node.args[1], ast.Constant)
+                and isinstance(node.args[1].value, str)
+                and (
+                    node.args[1].value in self.CHOKE_POINTS
+                    or node.args[1].value == self.REGISTRY
+                )
+            ):
+                yield self.finding(
+                    node,
+                    path,
+                    f"{func.id}() on tape choke point "
+                    f"'{node.args[1].value}' outside repro.nn; {hint}",
+                )
+            # _tape_hooks.append(...), tensor._tape_hooks.clear(), ...
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr in self.REGISTRY_MUTATORS
+                and self._names_registry(func.value)
+            ):
+                yield self.finding(
+                    node,
+                    path,
+                    f"in-place mutation of the tape hook registry "
+                    f"('_tape_hooks.{func.attr}') outside repro.nn; {hint}",
+                )
+
+
 ALL_RULES: tuple[Rule, ...] = (
     UnseededRandomRule(),
     DataMutationRule(),
     UnbroadcastRule(),
     BareExceptRule(),
     MissingAllRule(),
+    TapeRegistryMutationRule(),
 )
 
 

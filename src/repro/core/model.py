@@ -16,6 +16,8 @@ Ablation switches live in :class:`~repro.core.config.KGAGConfig`.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..data.groups import GroupSet
@@ -25,9 +27,66 @@ from ..kg.sampling import NeighborSampler
 from ..nn import Module, Tensor, broadcast_to, concat
 from .attention import AttentionBreakdown, PreferenceAggregation
 from .config import KGAGConfig
-from .propagation import InformationPropagation
+from .propagation import InformationPropagation, PropagationPlan
 
-__all__ = ["KGAG"]
+__all__ = ["KGAG", "TrainStepPlan", "UserHeadPlan"]
+
+
+@dataclass
+class UserHeadPlan:
+    """Index arrays for one user-item scoring pass (Eq. 19)."""
+
+    count: int  # number of (user, item) pairs U
+    user_entities: np.ndarray  # (U,) int64
+    item_entities: np.ndarray  # (U,) int64
+    seeds: np.ndarray  # (2U,) users then items, the fused seed batch
+    prop: PropagationPlan
+    labels: np.ndarray | None = None  # (U,) float64 Y^U labels, if known
+
+
+@dataclass
+class TrainStepPlan:
+    """Every batch-dependent array one mixed training step consumes.
+
+    Built by :meth:`KGAG.train_step_plan` with plain numpy *before* any
+    tape op runs; :meth:`KGAG.scores_from_plan` then replays the fixed
+    op sequence over these arrays.  The tape consumes each array by
+    object identity, so the compiled executor can bind
+    :meth:`slot_arrays` as the input slots of a traced program and
+    refresh them per batch.
+    """
+
+    group_count: int  # B group triplets
+    group_size: int  # S members per group
+    member_entities: np.ndarray  # (B, S) int64
+    item_entities: np.ndarray  # (2B,) pos then neg candidate entities
+    member_prop: PropagationPlan  # member seeds, shared_factor=2
+    item_prop: PropagationPlan  # candidate item seeds
+    user: UserHeadPlan | None  # Eq. 18 head, when the batch has pairs
+
+    @property
+    def signature(self) -> tuple[int, int]:
+        """Shape signature: (group triplets, user pairs)."""
+        return (self.group_count, 0 if self.user is None else self.user.count)
+
+    def slot_arrays(self) -> list[np.ndarray]:
+        """The tape-consumed arrays, in a deterministic order.
+
+        Two plans with equal :attr:`signature` (built against the same
+        model) produce lists of identical length, shapes and dtypes —
+        the contract the compiled executor's per-signature program cache
+        relies on.  An array may appear twice (e.g. ``item_entities`` is
+        also ``item_prop.entities[0]``); consumers dedupe by identity.
+        """
+        arrays = [self.member_entities, self.item_entities]
+        arrays += self.member_prop.entities + self.member_prop.relation_cols
+        arrays += self.item_prop.entities + self.item_prop.relation_cols
+        if self.user is not None:
+            arrays += [self.user.user_entities, self.user.item_entities]
+            arrays += self.user.prop.entities + self.user.prop.relation_cols
+            if self.user.labels is not None:
+                arrays.append(self.user.labels)
+        return arrays
 
 
 class KGAG(Module):
@@ -169,6 +228,31 @@ class KGAG(Module):
         row-independent), so scores match the two-call path to float
         round-off and gradients are equal up to summation order.
         """
+        plan = self.train_step_plan(group_ids, pos_item_ids, neg_item_ids)
+        return self._pair_scores_from_plan(plan)
+
+    def user_item_scores(self, user_ids, item_ids) -> Tensor:
+        """ŷ^U_{u,v} = u · v (Eq. 19) for aligned id arrays."""
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        if user_ids.shape != item_ids.shape or user_ids.ndim != 1:
+            raise ValueError("user_ids and item_ids must be aligned 1-D arrays")
+        return self._user_scores_from_plan(self._user_head_plan(user_ids, item_ids))
+
+    # ------------------------------------------------------------------
+    # plan seam (shared by the dynamic and compiled train paths)
+    # ------------------------------------------------------------------
+    def train_step_plan(
+        self, group_ids, pos_item_ids, neg_item_ids, user_pairs=None
+    ) -> TrainStepPlan:
+        """Precompute every batch-dependent array of one training step.
+
+        Pure numpy — builds no tape.  ``user_pairs`` is the optional
+        ``(U, 3)`` labelled user-item block of a mixed batch.  The
+        returned plan feeds :meth:`scores_from_plan`, which runs the
+        exact op sequence of :meth:`group_item_scores_pair` (+ the user
+        head), so values and gradients are unchanged.
+        """
         group_ids = np.asarray(group_ids, dtype=np.int64)
         pos_item_ids = np.asarray(pos_item_ids, dtype=np.int64)
         neg_item_ids = np.asarray(neg_item_ids, dtype=np.int64)
@@ -180,15 +264,71 @@ class KGAG(Module):
             raise ValueError(
                 "group_ids, pos_item_ids and neg_item_ids must be aligned 1-D arrays"
             )
-        batch = len(group_ids)
-        dim = self.config.embedding_dim
         members = self.groups.members_of(group_ids)  # (B, S)
         member_entities = self.ckg.user_entities(members)
-        size = member_entities.shape[1]
-        doubled = 2 * batch
         item_entities = self.ckg.item_entities(
             np.concatenate([pos_item_ids, neg_item_ids])
         )  # (2B,)
+        member_prop = self.propagation.plan(
+            member_entities.reshape(-1), self.sampler, shared_factor=2
+        )
+        item_prop = self.propagation.plan(item_entities, self.sampler)
+        user: UserHeadPlan | None = None
+        if user_pairs is not None and len(user_pairs):
+            user_pairs = np.asarray(user_pairs)
+            user = self._user_head_plan(
+                user_pairs[:, 0].astype(np.int64),
+                user_pairs[:, 1].astype(np.int64),
+                labels=user_pairs[:, 2].astype(np.float64),
+            )
+        return TrainStepPlan(
+            group_count=len(group_ids),
+            group_size=member_entities.shape[1],
+            member_entities=member_entities,
+            item_entities=item_entities,
+            member_prop=member_prop,
+            item_prop=item_prop,
+            user=user,
+        )
+
+    def _user_head_plan(
+        self, user_ids: np.ndarray, item_ids: np.ndarray, labels=None
+    ) -> UserHeadPlan:
+        user_entities = self.ckg.user_entities(user_ids)
+        item_entities = self.ckg.item_entities(item_ids)
+        seeds = np.concatenate([user_entities, item_entities])
+        return UserHeadPlan(
+            count=len(user_ids),
+            user_entities=user_entities,
+            item_entities=item_entities,
+            seeds=seeds,
+            prop=self.propagation.plan(seeds, self.sampler),
+            labels=labels,
+        )
+
+    def scores_from_plan(
+        self, plan: TrainStepPlan
+    ) -> tuple[Tensor, Tensor, Tensor | None, Tensor | None]:
+        """(pos, neg, user scores, user labels) for one planned step.
+
+        Runs the same ops in the same order as the dynamic trainer path
+        (:meth:`group_item_scores_pair` then :meth:`user_item_scores`),
+        just over the plan's pre-materialized index arrays.
+        """
+        pos_scores, neg_scores = self._pair_scores_from_plan(plan)
+        if plan.user is None:
+            return pos_scores, neg_scores, None, None
+        user_scores = self._user_scores_from_plan(plan.user)
+        labels = None if plan.user.labels is None else Tensor(plan.user.labels)
+        return pos_scores, neg_scores, user_scores, labels
+
+    def _pair_scores_from_plan(self, plan: TrainStepPlan) -> tuple[Tensor, Tensor]:
+        batch = plan.group_count
+        size = plan.group_size
+        dim = self.config.embedding_dim
+        doubled = 2 * batch
+        member_entities = plan.member_entities
+        item_entities = plan.item_entities
 
         # Queries (Eq. 2): candidate item zero-order for member seeds;
         # mean member zero-order — looked up once, reused for both
@@ -202,33 +342,30 @@ class KGAG(Module):
         item_seed_queries = concat([group_query, group_query], axis=0)
 
         member_vectors = self.propagation(
-            member_entities.reshape(-1),
+            plan.member_prop.seeds,
             member_queries,
             self.sampler,
-            shared_factor=2,
+            plan=plan.member_prop,
         ).reshape(doubled, size, dim)
-        item_vectors = self.propagation(item_entities, item_seed_queries, self.sampler)
+        item_vectors = self.propagation(
+            item_entities, item_seed_queries, self.sampler, plan=plan.item_prop
+        )
         group_vectors = self.aggregation(member_vectors, item_vectors)
         scores = (group_vectors * item_vectors).sum(axis=-1)
         return scores[:batch], scores[batch:]
 
-    def user_item_scores(self, user_ids, item_ids) -> Tensor:
-        """ŷ^U_{u,v} = u · v (Eq. 19) for aligned id arrays."""
-        user_ids = np.asarray(user_ids, dtype=np.int64)
-        item_ids = np.asarray(item_ids, dtype=np.int64)
-        if user_ids.shape != item_ids.shape or user_ids.ndim != 1:
-            raise ValueError("user_ids and item_ids must be aligned 1-D arrays")
-        user_entities = self.ckg.user_entities(user_ids)
-        item_entities = self.ckg.item_entities(item_ids)
+    def _user_scores_from_plan(self, head: UserHeadPlan) -> Tensor:
         # Mutual interaction-object queries (Eq. 2); user and item seeds
         # propagate in one fused pass (row-independent, so values match
         # the two-pass formulation) and the result is split.
-        batch = len(user_ids)
-        user_queries = self.propagation.zero_order(item_entities)
-        item_queries = self.propagation.zero_order(user_entities)
-        seeds = np.concatenate([user_entities, item_entities])
+        batch = head.count
+        user_queries = self.propagation.zero_order(head.item_entities)
+        item_queries = self.propagation.zero_order(head.user_entities)
         vectors = self.propagation(
-            seeds, concat([user_queries, item_queries], axis=0), self.sampler
+            head.seeds,
+            concat([user_queries, item_queries], axis=0),
+            self.sampler,
+            plan=head.prop,
         )
         user_vectors = vectors[:batch]
         item_vectors = vectors[batch:]

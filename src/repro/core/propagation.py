@@ -19,6 +19,8 @@ tensor, so the whole block runs as batched matmuls.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..kg.sampling import NeighborSampler
@@ -26,7 +28,32 @@ from ..nn import Embedding, Linear, Module, Tensor, concat, softmax
 from ..nn import ops
 from ..rng import ensure_rng
 
-__all__ = ["GCNAggregator", "GraphSageAggregator", "InformationPropagation"]
+__all__ = [
+    "GCNAggregator",
+    "GraphSageAggregator",
+    "InformationPropagation",
+    "PropagationPlan",
+]
+
+
+@dataclass
+class PropagationPlan:
+    """Batch-dependent index arrays for one propagation call.
+
+    Everything the tape consumes that varies with the batch — the seed
+    ids, the receptive-field entity levels, and the pre-tiled relation
+    columns of the logit gather — is computed here, *before* any tape op
+    runs, as plain numpy arrays.  :meth:`InformationPropagation.forward`
+    consumes the arrays by object identity, which is what lets the
+    compiled executor (:mod:`repro.nn.compile`) bind them as replayable
+    input slots; with no plan supplied, ``forward`` builds one itself
+    and the dynamic behaviour is unchanged.
+    """
+
+    seeds: np.ndarray  # (rows,) int64 seed entity ids
+    factor: int  # query sets sharing the seed batch
+    entities: list[np.ndarray]  # level h: (rows, K**h); entities[0] is seeds
+    relation_cols: list[np.ndarray]  # hop h: (factor*rows, K**(h+1)) int64
 
 
 class GCNAggregator(Module):
@@ -151,12 +178,44 @@ class InformationPropagation(Module):
         by the KGAG-KG ablation)."""
         return self.entity_embedding(np.asarray(entity_ids, dtype=np.int64))
 
+    def plan(
+        self,
+        seed_entities: np.ndarray,
+        sampler: NeighborSampler,
+        shared_factor: int = 1,
+    ) -> PropagationPlan:
+        """Precompute the batch-dependent index arrays of one forward call.
+
+        Pure numpy — no tape op runs here.  The returned plan holds the
+        receptive-field entity levels and the pre-tiled relation columns
+        exactly as :meth:`forward` will consume them, so a caller (the
+        trainer's compiled path) can separate "what varies per batch"
+        from the fixed op sequence that processes it.
+        """
+        seeds = np.asarray(seed_entities, dtype=np.int64)
+        if seeds.ndim != 1:
+            raise ValueError("seed_entities must be 1-D")
+        factor = int(shared_factor)
+        if factor < 1:
+            raise ValueError("shared_factor must be >= 1")
+        if self.num_layers == 0:
+            return PropagationPlan(seeds, factor, [seeds], [])
+        field = sampler.receptive_field(seeds, self.num_layers)
+        relation_cols = []
+        for level in field.relations:
+            cols = level.reshape(len(level), -1)
+            if factor > 1:
+                cols = np.tile(cols, (factor, 1))
+            relation_cols.append(cols)
+        return PropagationPlan(seeds, factor, field.entities, relation_cols)
+
     def forward(
         self,
         seed_entities: np.ndarray,
         query_vectors: Tensor,
         sampler: NeighborSampler,
         shared_factor: int = 1,
+        plan: PropagationPlan | None = None,
     ) -> Tensor:
         """Propagate H layers and return ``(batch, d)`` representations.
 
@@ -180,13 +239,17 @@ class InformationPropagation(Module):
             ``(shared_factor * rows, d)`` laid out query-set-major,
             matching ``np.concatenate`` of the per-set calls; values are
             identical to ``shared_factor=1`` on pre-tiled seeds.
+        plan:
+            Optional precomputed :class:`PropagationPlan` for this seed
+            batch (from :meth:`plan`); it overrides ``seed_entities`` /
+            ``shared_factor``.  Values are identical either way — the
+            plan only pre-materializes the index arrays the tape would
+            compute inline.
         """
-        seeds = np.asarray(seed_entities, dtype=np.int64)
-        if seeds.ndim != 1:
-            raise ValueError("seed_entities must be 1-D")
-        factor = int(shared_factor)
-        if factor < 1:
-            raise ValueError("shared_factor must be >= 1")
+        if plan is None:
+            plan = self.plan(seed_entities, sampler, shared_factor)
+        seeds = plan.seeds
+        factor = plan.factor
         rows = len(seeds)
         batch = factor * rows
         if query_vectors.shape != (batch, self.dim):
@@ -197,7 +260,6 @@ class InformationPropagation(Module):
         if self.num_layers == 0:
             return self._spread(self.zero_order(seeds), factor)
 
-        field = sampler.receptive_field(seeds, self.num_layers)
         k = sampler.num_neighbors
 
         # Embed every entity level of the receptive field (once per seed
@@ -206,11 +268,11 @@ class InformationPropagation(Module):
             self._spread(
                 self.entity_embedding(level).reshape(rows, -1, self.dim), factor
             )
-            for level in field.entities
+            for level in plan.entities
         ]
         # π̃ depends only on (hop, query), not on the layer iteration, so
         # the weight tensors are built once and reused by every layer.
-        hop_weights = self._hop_weights(field.relations, query_vectors, factor, k)
+        hop_weights = self._hop_weights(plan.relation_cols, query_vectors, k)
 
         for iteration in range(self.num_layers):
             aggregator = self._aggregators[iteration]
@@ -230,9 +292,8 @@ class InformationPropagation(Module):
 
     def _hop_weights(
         self,
-        relation_levels: list[np.ndarray],
+        relation_cols: list[np.ndarray],
         query_vectors: Tensor,
-        factor: int,
         k: int,
     ) -> list[Tensor]:
         """π̃ of Eq. 3 for every hop, each as a ``(B, K^hop, K)`` tensor.
@@ -240,28 +301,21 @@ class InformationPropagation(Module):
         The i_e · r logits come from one ``(B, R)`` GEMM of the queries
         against the whole (small) relation table; each sampled edge then
         gathers its scalar logit by relation id
-        (:func:`repro.nn.ops.row_gather`).  This never materializes
-        per-edge relation embedding rows — the heaviest gather (and
-        backward scatter) of the old formulation — and the relation
-        table's gradient arrives dense through the GEMM instead.
+        (:func:`repro.nn.ops.row_gather`) using the pre-tiled
+        ``(B, K**(h+1))`` column arrays of the plan.  This never
+        materializes per-edge relation embedding rows — the heaviest
+        gather (and backward scatter) of the old formulation — and the
+        relation table's gradient arrives dense through the GEMM instead.
         """
         batch = query_vectors.shape[0]
         if self.uniform_weights:
             return [
-                Tensor(
-                    np.full(
-                        (batch, level.reshape(len(level), -1).shape[1] // k, k),
-                        1.0 / k,
-                    )
-                )
-                for level in relation_levels
+                Tensor(np.full((batch, cols.shape[1] // k, k), 1.0 / k))
+                for cols in relation_cols
             ]
         logit_table = query_vectors @ self.relation_embedding.weight.transpose()
         weights = []
-        for level in relation_levels:
-            cols = level.reshape(len(level), -1)
-            if factor > 1:
-                cols = np.tile(cols, (factor, 1))
+        for cols in relation_cols:
             scores = ops.row_gather(logit_table, cols).reshape(batch, -1, k)
             weights.append(softmax(scores, axis=-1))
         return weights

@@ -21,12 +21,16 @@ import numpy as np
 from ..data.interactions import InteractionTable
 from ..data.loader import MixedBatchLoader
 from ..eval.evaluator import evaluate_group_recommender
-from ..nn import Adam, Tensor, clip_grad_norm, grad_l2_norm, no_grad
+from ..nn import Adam, Tensor, clip_grad_norm, grad_l2_norm, no_grad, tape_hooks_active
 from ..obs.metrics import NULL_REGISTRY
 from .losses import combined_loss
-from .model import KGAG
+from .model import KGAG, TrainStepPlan
 
 __all__ = ["TrainingHistory", "KGAGTrainer"]
+
+#: Per-signature cache sentinel: tracing failed once for this signature,
+#: so every later step with it goes straight to the dynamic tape.
+_COMPILE_FAILED = object()
 
 
 @dataclass
@@ -90,6 +94,23 @@ class KGAGTrainer:
         of two.  Per-row math is identical; scores and gradients match
         the two-call path to float round-off.  On by default; disable to
         A/B against the reference path.
+    compile:
+        Execute train steps through the compiled tape executor
+        (:mod:`repro.nn.compile`).  The first step of each shape
+        signature ``(group_triplets, user_pairs)`` is traced through the
+        tape-hook registry and specialized into a flat replayable
+        program; later steps of the same signature replay it.  The first
+        replay of every program is verified gradient-for-gradient
+        (``np.array_equal``) against the dynamic tape before its result
+        is trusted; compiled training is bit-exact with ``compile=False``.
+        Fallback to the dynamic tape is automatic — on a new shape
+        signature (a fresh trace), on installed tape hooks (sanitizer /
+        profiler, including ``sanitize=True``), and on any op outside
+        the compiled set — and is observable via the ``compile/traces``,
+        ``compile/replays`` and ``compile/fallbacks`` counters plus the
+        :attr:`compile_stats` dict.  The compiled path always scores
+        through the fused pair plan, regardless of ``fused``.  Off by
+        default.
     tape_free_eval:
         Route :meth:`evaluate` / :meth:`validate` through a
         :class:`~repro.serve.engine.RankingEngine` built directly over
@@ -112,6 +133,7 @@ class KGAGTrainer:
         diagnostics=None,
         fused: bool = True,
         tape_free_eval: bool = True,
+        compile: bool = False,
     ):
         self.model = model
         self.config = model.config
@@ -132,6 +154,9 @@ class KGAGTrainer:
         self.sanitize = sanitize
         self.fused = bool(fused)
         self.tape_free_eval = bool(tape_free_eval)
+        self.compile = bool(compile)
+        self.compile_stats = {"traces": 0, "replays": 0, "fallbacks": 0}
+        self._programs: dict[tuple[int, int], object] = {}
         self.untouched_parameters: list[str] = []
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.run_log = run_log
@@ -155,6 +180,15 @@ class KGAGTrainer:
             "train/epoch_seconds",
             buckets=(0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0),
             help="wall time per training epoch",
+        )
+        self._m_compile_traces = self.metrics.counter(
+            "compile/traces", help="train steps traced into compiled programs"
+        )
+        self._m_compile_replays = self.metrics.counter(
+            "compile/replays", help="train steps executed as compiled replays"
+        )
+        self._m_compile_fallbacks = self.metrics.counter(
+            "compile/fallbacks", help="compiled-path steps run on the dynamic tape"
         )
 
     # ------------------------------------------------------------------
@@ -201,6 +235,8 @@ class KGAGTrainer:
 
     def _forward_backward(self, batch):
         """Compute the combined loss for one batch and run backward."""
+        if self.compile:
+            return self._forward_backward_compiled(batch)
         self.optimizer.zero_grad()
         triplets = batch.group_triplets
         if self.fused and hasattr(self.model, "group_item_scores_pair"):
@@ -229,6 +265,129 @@ class KGAGTrainer:
             margin=self.config.margin,
         )
         loss.backward()
+        return loss
+
+    # ------------------------------------------------------------------
+    # compiled train path (repro.nn.compile)
+    # ------------------------------------------------------------------
+    def _planned_loss(self, plan: TrainStepPlan) -> Tensor:
+        """Combined loss over a precomputed plan (no backward)."""
+        pos_scores, neg_scores, user_scores, user_labels = (
+            self.model.scores_from_plan(plan)
+        )
+        return combined_loss(
+            pos_scores,
+            neg_scores,
+            user_scores,
+            user_labels,
+            self.model.parameters(),
+            beta=self.config.beta,
+            l2_weight=self.config.l2_weight,
+            loss_kind=self.config.loss,
+            margin=self.config.margin,
+        )
+
+    def _dynamic_step_from_plan(self, plan: TrainStepPlan) -> Tensor:
+        loss = self._planned_loss(plan)
+        loss.backward()
+        return loss
+
+    def _count_fallback(self) -> None:
+        self.compile_stats["fallbacks"] += 1
+        self._m_compile_fallbacks.inc()
+
+    def _forward_backward_compiled(self, batch) -> Tensor:
+        """Trace-once/replay-many step with automatic dynamic fallback.
+
+        Fallback triggers (each counted in ``compile/fallbacks``): tape
+        hooks installed (sanitizer/profiler — compiled kernels bake in
+        the pristine donation fast paths hooks disable), a signature
+        whose trace failed (op outside the compiled set), a replay whose
+        slots stopped matching the traced signature, and a first replay
+        whose gradients do not reproduce the dynamic tape bit for bit.
+        A *new* shape signature is not a fallback: it traces a fresh
+        program and that step trains on the dynamic tape it just traced.
+        """
+        from ..nn.compile import TraceError, trace_step
+
+        self.optimizer.zero_grad()
+        triplets = batch.group_triplets
+        plan = self.model.train_step_plan(
+            triplets[:, 0],
+            triplets[:, 1],
+            triplets[:, 2],
+            user_pairs=batch.user_pairs,
+        )
+        signature = plan.signature
+        program = self._programs.get(signature)
+        if tape_hooks_active() or program is _COMPILE_FAILED:
+            self._count_fallback()
+            return self._dynamic_step_from_plan(plan)
+        slots = plan.slot_arrays()
+        if program is None:
+            program, loss, failure = trace_step(
+                lambda: self._planned_loss(plan), slots
+            )
+            if program is None:
+                self._programs[signature] = _COMPILE_FAILED
+                self._count_fallback()
+            else:
+                program.failure = None
+                program.verified = False
+                self._programs[signature] = program
+                self.compile_stats["traces"] += 1
+                self._m_compile_traces.inc()
+            # The traced step itself trains on the dynamic tape (the
+            # graph is still live; specialization walked it first).
+            loss.backward()
+            return loss
+        if not program.verified:
+            return self._verify_first_replay(signature, program, plan, slots)
+        try:
+            value = program.replay(slots)
+        except TraceError:
+            self._programs[signature] = _COMPILE_FAILED
+            self._count_fallback()
+            return self._dynamic_step_from_plan(plan)
+        self.compile_stats["replays"] += 1
+        self._m_compile_replays.inc()
+        return Tensor(value)
+
+    def _verify_first_replay(
+        self, signature, program, plan: TrainStepPlan, slots
+    ) -> Tensor:
+        """Gate a program's first replay against the dynamic tape.
+
+        Runs the step both ways on the *same* plan and requires the loss
+        and every parameter gradient to match ``np.array_equal``.  On
+        success the replay's gradients stand (they are identical) and
+        the program is trusted for plain replays; on any mismatch the
+        dynamic results are restored and the signature is marked failed.
+        """
+        from ..nn.compile import TraceError
+
+        loss = self._dynamic_step_from_plan(plan)
+        parameters = list(self.model.parameters())
+        expected = [None if p.grad is None else p.grad.copy() for p in parameters]
+        expected_loss = loss.item()
+        try:
+            value = program.replay(slots)
+            exact = value == expected_loss and all(
+                (e is None and p.grad is None)
+                or (e is not None and p.grad is not None and np.array_equal(e, p.grad))
+                for e, p in zip(expected, parameters)
+            )
+        except TraceError:
+            exact = False
+        if not exact:
+            for parameter, grad in zip(parameters, expected):
+                parameter.grad = grad
+            self._programs[signature] = _COMPILE_FAILED
+            self._count_fallback()
+            return loss
+        program.verified = True
+        self.compile_stats["replays"] += 1
+        self._m_compile_replays.inc()
         return loss
 
     def train_epoch(self) -> float:

@@ -10,7 +10,9 @@ the equivalent differentiable-programming toolkit from scratch:
 * :mod:`repro.nn.optim` — SGD and Adam (the paper's optimizer),
 * :mod:`repro.nn.losses` — BCE (Eq. 18), BPR, and the paper's
   sigmoid-margin pairwise loss (Eq. 17),
-* :mod:`repro.nn.gradcheck` — finite-difference validation helpers.
+* :mod:`repro.nn.gradcheck` — finite-difference validation helpers,
+* :mod:`repro.nn.compile` — trace-once/replay-many compiled train steps
+  (bit-exact with the dynamic tape; see ``docs/compilation.md``).
 """
 
 from .tensor import (
@@ -26,6 +28,8 @@ from .module import Module, Parameter
 from .layers import Linear, Embedding, Dropout, Sequential, Activation, MLP
 from .optim import SGD, Adam, StepLR, ExponentialLR, clip_grad_norm, grad_l2_norm
 from . import init, losses, ops
+from . import compile  # noqa: A004 - module name mirrors the subsystem
+from .compile import CompiledProgram, TraceError, trace_step
 from .ops import (
     concat,
     stack,
@@ -76,6 +80,10 @@ __all__ = [
     "init",
     "losses",
     "ops",
+    "compile",
+    "CompiledProgram",
+    "TraceError",
+    "trace_step",
     "concat",
     "stack",
     "softmax",

@@ -11,8 +11,6 @@ from __future__ import annotations
 
 from typing import Iterable
 
-import numpy as np
-
 from .module import Parameter
 from .ops import maximum, sigmoid
 from .tensor import Tensor, as_tensor
@@ -36,9 +34,12 @@ def bce_with_logits(logits: Tensor, targets, reduction: str = "mean") -> Tensor:
     x = as_tensor(logits)
     targets = as_tensor(targets)
     # Stable identity: max(x, 0) - x*y + log(1 + exp(-|x|)), with the
-    # log-term built from primitives so it stays differentiable.
-    sign = Tensor(np.sign(x.data))
-    neg_abs_x = x * sign * -1.0  # equals -|x|, gradient flows through x
+    # log-term built from primitives so it stays differentiable.  The
+    # |x| primitive keeps the graph free of per-batch constant tensors
+    # (the old ``x * sign(x)`` idiom baked sign(x) in as a leaf), so the
+    # loss is capturable by the compiled executor; values and gradients
+    # are bit-identical to the old formulation.
+    neg_abs_x = -x.abs()
     softplus_term = (neg_abs_x.exp() + 1.0).log()
     loss = maximum(x, 0.0) - x * targets + softplus_term
     return _reduce(loss, reduction)
@@ -114,8 +115,7 @@ def l2_penalty(parameters: Iterable[Parameter]) -> Tensor:
 
 def _softplus(x: Tensor) -> Tensor:
     """Numerically stable ``log(1 + exp(x))`` built from primitives."""
-    sign = Tensor(np.sign(x.data))
-    neg_abs_x = x * sign * -1.0  # equals -|x|, differentiable through x
+    neg_abs_x = -x.abs()  # no data-dependent constant leaf: capturable
     return maximum(x, 0.0) + (neg_abs_x.exp() + 1.0).log()
 
 

@@ -697,6 +697,26 @@ class Tensor:
 
         return Tensor._make(out_data, (self,), backward)
 
+    def abs(self) -> "Tensor":
+        """Elementwise absolute value.
+
+        The subgradient at 0 is taken as 0 (``np.sign`` semantics), the
+        same convention the ``x * sign(x)`` idiom it replaces produced.
+        Having |x| as a primitive keeps stable-softplus losses free of
+        per-batch constant tensors, which is what lets the compiled
+        executor (:mod:`repro.nn.compile`) capture them.
+        """
+        out_data = np.abs(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate_exclusive(grad * np.sign(self.data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __abs__(self) -> "Tensor":
+        return self.abs()
+
     def relu(self) -> "Tensor":
         out_data = np.maximum(self.data, 0.0)
 

@@ -237,6 +237,75 @@ class TestRL005MissingAll:
             assert not only_rule(findings_for("x = 1\n", path), "RL005")
 
 
+class TestRL006TapeRegistryMutation:
+    REBIND = (
+        "__all__ = []\n"
+        "from repro.nn import Tensor\n"
+        "\n"
+        "def hijack(fn):\n"
+        "    Tensor._make = fn\n"
+    )
+
+    def test_rebinding_choke_point_flagged(self):
+        [finding] = only_rule(
+            findings_for(self.REBIND, "src/repro/obs/gadget.py"), "RL006"
+        )
+        assert finding.line == 5
+        assert finding.severity is Severity.ERROR
+        assert "install_tape_hooks" in finding.message
+
+    def test_accumulate_rebind_flagged(self):
+        source = "__all__ = []\ndef f(cls, fn):\n    cls._accumulate = fn\n"
+        [finding] = only_rule(findings_for(source, "tools/patch.py"), "RL006")
+        assert finding.line == 3
+
+    def test_registry_append_flagged(self):
+        source = (
+            "__all__ = []\n"
+            "from repro.nn.tensor import _tape_hooks\n"
+            "_tape_hooks.append(object())\n"
+        )
+        [finding] = only_rule(findings_for(source, "tools/patch.py"), "RL006")
+        assert finding.line == 3
+        assert "_tape_hooks.append" in finding.message
+
+    def test_setattr_flagged(self):
+        source = "__all__ = []\nsetattr(Tensor, '_make', lambda *a: None)\n"
+        [finding] = only_rule(findings_for(source, "tools/patch.py"), "RL006")
+        assert finding.line == 2
+
+    def test_delete_flagged(self):
+        source = "__all__ = []\ndef f(cls):\n    del cls._accumulate\n"
+        assert only_rule(findings_for(source, "tools/patch.py"), "RL006")
+
+    def test_repro_nn_itself_exempt(self):
+        assert not only_rule(
+            findings_for(self.REBIND, "src/repro/nn/tensor.py"), "RL006"
+        )
+
+    def test_calls_and_reads_clean(self):
+        source = (
+            "__all__ = []\n"
+            "from repro.nn import Tensor, install_tape_hooks, uninstall_tape_hooks\n"
+            "\n"
+            "def observe(hooks, data, parents, backward):\n"
+            "    install_tape_hooks(hooks)\n"
+            "    out = Tensor._make(data, parents, backward)\n"
+            "    pristine = Tensor._accumulate\n"
+            "    uninstall_tape_hooks(hooks)\n"
+            "    return out, pristine\n"
+        )
+        assert not only_rule(findings_for(source, "src/repro/obs/gadget.py"), "RL006")
+
+    def test_suppression_comment_honored(self):
+        source = (
+            "__all__ = []\n"
+            "def hijack(cls, fn):\n"
+            "    cls._make = fn  # repro-lint: disable=RL006\n"
+        )
+        assert not only_rule(findings_for(source, "tools/patch.py"), "RL006")
+
+
 class TestSuppression:
     def test_line_level_disable(self):
         source = (
@@ -347,6 +416,6 @@ class TestDriver:
 
     def test_rule_ids_are_stable(self):
         assert rule_ids() == [
-            "RL001", "RL002", "RL003", "RL004", "RL005",
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
             "RL101", "RL102", "RL103", "RL104", "RL105",
         ]

@@ -35,13 +35,14 @@ class CrashingTrainer(KGAGTrainer):
         return super().train_epoch()
 
 
-def _trainer(small_dataset, small_split, config, cls=KGAGTrainer):
+def _trainer(small_dataset, small_split, config, cls=KGAGTrainer, **kwargs):
     model = build_model(small_dataset, config)
     return cls(
         model,
         small_split.train,
         small_dataset.user_item,
         small_split.validation,
+        **kwargs,
     )
 
 
@@ -82,6 +83,42 @@ class TestBitExactResume:
             _assert_state_dicts_equal(
                 resumed.model.state_dict(), straight_state
             )
+
+    def test_fault_injection_with_compiled_executor(
+        self, small_dataset, small_split, resume_config, tmp_path
+    ):
+        """Kill-and-resume with ``compile=True`` stays bit-exact.
+
+        The resumed process starts with an empty program cache and
+        re-traces; by the executor's bit-exactness contract the replayed
+        steps still reproduce the uninterrupted compiled run (which in
+        turn equals the dynamic one) exactly.
+        """
+        straight = _trainer(small_dataset, small_split, resume_config, compile=True)
+        straight_history = straight.fit()
+        straight_state = straight.model.state_dict()
+        assert straight.compile_stats["replays"] > 0
+
+        for crash_at in (1, resume_config.epochs - 1):
+            ckpt_dir = tmp_path / f"compiled-crash-{crash_at}"
+            interrupted = _trainer(
+                small_dataset,
+                small_split,
+                resume_config,
+                cls=CrashingTrainer,
+                compile=True,
+            )
+            interrupted.crash_at = crash_at
+            with pytest.raises(SimulatedCrash):
+                interrupted.fit(checkpoint_dir=ckpt_dir)
+
+            resumed = _trainer(
+                small_dataset, small_split, resume_config, compile=True
+            )
+            resumed_history = resumed.fit(checkpoint_dir=ckpt_dir, resume=True)
+
+            assert resumed_history.losses == straight_history.losses, crash_at
+            _assert_state_dicts_equal(resumed.model.state_dict(), straight_state)
 
     def test_resume_restores_optimizer_step_count(
         self, small_dataset, small_split, resume_config, tmp_path

@@ -1,0 +1,260 @@
+"""Unit tests for the compiled tape executor (:mod:`repro.nn.compile`).
+
+Traces small hand-built forward functions, then proves the replayed
+gradients equal the dynamic tape's under ``np.array_equal`` — the
+executor's contract is bit-exactness, so no test here uses a tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Embedding,
+    Linear,
+    Tensor,
+    install_tape_hooks,
+    no_grad,
+    ops,
+    uninstall_tape_hooks,
+)
+from repro.nn.compile import CompiledProgram, SUPPORTED_OPS, TraceError, trace_step
+from repro.nn.losses import bce_with_logits, l2_penalty
+
+
+class _NullHooks:
+    def on_make(self, data, parents, backward):
+        pass
+
+    def on_accumulate(self, tensor, grad):
+        pass
+
+
+def _grads(parameters):
+    return [None if p.grad is None else p.grad.copy() for p in parameters]
+
+
+def _zero(parameters):
+    for p in parameters:
+        p.grad = None
+
+
+class _TinyHead:
+    """Embedding -> Linear -> tanh -> logit head over two slot arrays."""
+
+    def __init__(self, seed=0):
+        rng = np.random.default_rng(seed)
+        self.embedding = Embedding(12, 6, rng=rng)
+        self.linear = Linear(6, 6, rng=rng)
+        self.parameters = list(self.embedding.parameters()) + list(
+            self.linear.parameters()
+        )
+
+    def loss(self, rows, labels):
+        hidden = self.linear(self.embedding(rows)).tanh()
+        logits = (hidden * hidden).sum(axis=1)
+        return bce_with_logits(logits, Tensor(labels)) + 1e-3 * l2_penalty(
+            self.parameters
+        )
+
+
+def _batch(seed, n=5):
+    rng = np.random.default_rng(seed)
+    rows = np.asarray(rng.integers(0, 12, size=n), dtype=np.int64)
+    labels = np.asarray(rng.integers(0, 2, size=n), dtype=np.float64)
+    return rows, labels
+
+
+class TestTraceStep:
+    def test_trace_returns_program_and_live_loss(self):
+        head = _TinyHead()
+        rows, labels = _batch(1)
+        program, loss, failure = trace_step(
+            lambda: head.loss(rows, labels), [rows, labels]
+        )
+        assert failure is None
+        assert isinstance(program, CompiledProgram)
+        assert program.num_slots == 2
+        assert program.num_parameters == len(head.parameters)
+        assert program.num_ops > 0
+        # The traced loss is still a live tape: backward must work.
+        loss.backward()
+        assert all(p.grad is not None for p in head.parameters)
+
+    def test_replay_matches_dynamic_bit_for_bit(self):
+        head = _TinyHead()
+        rows, labels = _batch(1)
+        program, loss, _ = trace_step(lambda: head.loss(rows, labels), [rows, labels])
+        loss.backward()
+        for seed in (2, 3, 4):
+            rows, labels = _batch(seed)
+            _zero(head.parameters)
+            dynamic = head.loss(rows, labels)
+            dynamic.backward()
+            expected_loss = dynamic.item()
+            expected = _grads(head.parameters)
+            _zero(head.parameters)
+            value = program.replay([rows, labels])
+            assert value == expected_loss
+            for p, e in zip(head.parameters, expected):
+                np.testing.assert_array_equal(p.grad, e)
+
+    def test_replay_survives_parameter_data_replacement(self):
+        """load_state_dict swaps Parameter.data arrays; replay must read live."""
+        head = _TinyHead()
+        rows, labels = _batch(1)
+        program, loss, _ = trace_step(lambda: head.loss(rows, labels), [rows, labels])
+        loss.backward()
+        with no_grad():
+            for p in head.parameters:
+                p.data = p.data * 1.5  # fresh array object, same shape
+        _zero(head.parameters)
+        dynamic = head.loss(rows, labels)
+        dynamic.backward()
+        expected = _grads(head.parameters)
+        expected_loss = dynamic.item()
+        _zero(head.parameters)
+        assert program.replay([rows, labels]) == expected_loss
+        for p, e in zip(head.parameters, expected):
+            np.testing.assert_array_equal(p.grad, e)
+
+    def test_replays_counter(self):
+        head = _TinyHead()
+        rows, labels = _batch(1)
+        program, loss, _ = trace_step(lambda: head.loss(rows, labels), [rows, labels])
+        loss.backward()
+        assert program.replays == 0
+        program.replay([rows, labels])
+        program.replay([rows, labels])
+        assert program.replays == 2
+
+
+class TestFailures:
+    def test_unsupported_op_reports_failure(self):
+        x = Tensor(np.arange(4.0), requires_grad=True)
+        cond = np.array([True, False, True, False])
+
+        def forward():
+            return ops.where(Tensor(cond), x, -x).sum()
+
+        program, loss, failure = trace_step(forward, [])
+        assert program is None
+        assert "where" in failure
+        loss.backward()  # dynamic fallback still trains
+        assert x.grad is not None
+
+    def test_where_and_masked_softmax_outside_compiled_set(self):
+        assert "where" not in SUPPORTED_OPS
+        assert "masked_softmax" not in SUPPORTED_OPS
+        assert "Tensor.__matmul__" in SUPPORTED_OPS
+
+    def test_slot_shape_mismatch_raises(self):
+        head = _TinyHead()
+        rows, labels = _batch(1)
+        program, loss, _ = trace_step(lambda: head.loss(rows, labels), [rows, labels])
+        loss.backward()
+        bigger_rows, bigger_labels = _batch(2, n=9)
+        with pytest.raises(TraceError, match="slot"):
+            program.replay([bigger_rows, bigger_labels])
+
+    def test_slot_count_mismatch_raises(self):
+        head = _TinyHead()
+        rows, labels = _batch(1)
+        program, loss, _ = trace_step(lambda: head.loss(rows, labels), [rows, labels])
+        loss.backward()
+        with pytest.raises(TraceError, match="slot"):
+            program.replay([rows])
+
+    def test_parameter_shape_change_raises(self):
+        head = _TinyHead()
+        rows, labels = _batch(1)
+        program, loss, _ = trace_step(lambda: head.loss(rows, labels), [rows, labels])
+        loss.backward()
+        with no_grad():
+            head.parameters[0].data = np.zeros((3, 3))
+        with pytest.raises(TraceError, match="parameter shape"):
+            program.replay([rows, labels])
+
+    def test_trace_refused_while_hooks_active(self):
+        hooks = _NullHooks()
+        install_tape_hooks(hooks)
+        try:
+            with pytest.raises(TraceError, match="hooks"):
+                trace_step(lambda: Tensor(np.ones(2), requires_grad=True).sum(), [])
+        finally:
+            uninstall_tape_hooks(hooks)
+
+    def test_replay_refused_while_hooks_active(self):
+        head = _TinyHead()
+        rows, labels = _batch(1)
+        program, loss, _ = trace_step(lambda: head.loss(rows, labels), [rows, labels])
+        loss.backward()
+        hooks = _NullHooks()
+        install_tape_hooks(hooks)
+        try:
+            with pytest.raises(TraceError, match="hooks"):
+                program.replay([rows, labels])
+        finally:
+            uninstall_tape_hooks(hooks)
+
+    def test_non_scalar_loss_rejected(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        program, loss, failure = trace_step(lambda: x * 2.0, [])
+        assert program is None
+        assert "scalar" in failure
+
+
+class TestOpCoverage:
+    """One fused forward touching most of the compiled op set, bit-exact."""
+
+    def test_kitchen_sink_graph(self):
+        rng = np.random.default_rng(7)
+        table = Tensor(rng.normal(size=(10, 4)), requires_grad=True)
+        weight = Tensor(rng.normal(size=(4, 4)), requires_grad=True)
+        parameters = [table, weight]
+        idx = np.asarray(rng.integers(0, 10, size=6), dtype=np.int64)
+        cols = np.asarray(rng.integers(0, 4, size=(6, 3)), dtype=np.int64)
+
+        def forward():
+            gathered = table[idx]
+            projected = gathered @ weight
+            acts = ops.concat(
+                [projected.relu(), projected.tanh(), projected.sigmoid()], axis=1
+            )
+            pooled = ops.stack([acts.max(axis=1), acts.sum(axis=1)], axis=0)
+            scores = ops.row_gather(projected, cols)
+            soft = ops.softmax(scores, axis=-1)
+            logs = ops.log_softmax(scores, axis=-1)
+            mixed = ops.maximum(soft, logs.exp())
+            leaky = ops.leaky_relu(projected, 0.1)
+            spread = ops.broadcast_to(
+                pooled.sum(axis=0).reshape((1, 6)), (2, 6)
+            )
+            total = (
+                pooled.sum()
+                + mixed.sum()
+                + leaky.abs().sum()
+                + spread.sum()
+                + (projected**2).sum().log()
+                + (projected.clip(-0.5, 0.5) / 2.0).sum()
+                + (-projected.transpose()).expand_dims(0).squeeze(0).sum()
+                + ops.tile(projected.reshape((6, 4)), (2, 1)).sum()
+            )
+            return total
+
+        program, loss, failure = trace_step(forward, [idx, cols])
+        assert failure is None, failure
+        loss.backward()
+        rng2 = np.random.default_rng(8)
+        idx2 = np.asarray(rng2.integers(0, 10, size=6), dtype=np.int64)
+        cols2 = np.asarray(rng2.integers(0, 4, size=(6, 3)), dtype=np.int64)
+        _zero(parameters)
+        # replay on fresh slots == dynamic on fresh slots
+        idx[:], cols[:] = idx2, cols2  # keep array identity irrelevant
+        dynamic = forward()
+        dynamic.backward()
+        expected = _grads(parameters)
+        expected_loss = dynamic.item()
+        _zero(parameters)
+        assert program.replay([idx2, cols2]) == expected_loss
+        for p, e in zip(parameters, expected):
+            np.testing.assert_array_equal(p.grad, e)

@@ -26,19 +26,37 @@ def bench_report():
     return module
 
 
+_TINY_WORKLOAD = dict(
+    dataset={"num_users": 30, "num_items": 40, "num_groups": 12, "seed": 7},
+    model={"embedding_dim": 8, "num_layers": 1, "num_neighbors": 3, "seed": 7},
+    warmup_epochs=0,
+    train_epoch_reps=1,
+    validate_reps=1,
+    sampler_reps=1,
+    compiled_pair_reps=1,
+)
+
+
 @pytest.fixture(scope="module")
 def tiny_measurement(bench_report):
     original = dict(bench_report.WORKLOAD)
-    bench_report.WORKLOAD.update(
-        dataset={"num_users": 30, "num_items": 40, "num_groups": 12, "seed": 7},
-        model={"embedding_dim": 8, "num_layers": 1, "num_neighbors": 3, "seed": 7},
-        warmup_epochs=0,
-        train_epoch_reps=1,
-        validate_reps=1,
-        sampler_reps=1,
-    )
+    bench_report.WORKLOAD.update(_TINY_WORKLOAD)
     try:
         yield bench_report.measure()
+    finally:
+        bench_report.WORKLOAD.clear()
+        bench_report.WORKLOAD.update(original)
+
+
+@pytest.fixture(scope="module")
+def tiny_pair(bench_report):
+    original = dict(bench_report.WORKLOAD)
+    # One warmup epoch so the compiled side traces (and verifies its
+    # first replay) before the timed rep — the smoke then proves a real
+    # replay executes end to end, not just the trace.
+    bench_report.WORKLOAD.update(_TINY_WORKLOAD, warmup_epochs=2)
+    try:
+        yield bench_report.measure_compiled_pair()
     finally:
         bench_report.WORKLOAD.clear()
         bench_report.WORKLOAD.update(original)
@@ -66,6 +84,38 @@ class TestMeasure:
     def test_environment_stamp(self, tiny_measurement):
         assert tiny_measurement["numpy"]
         assert tiny_measurement["python"]
+
+
+class TestCompiledPair:
+    def test_records_both_sides(self, tiny_pair):
+        for key in ("train_epoch_dynamic", "train_epoch_compiled"):
+            timing = tiny_pair[key]
+            assert math.isfinite(timing["min_s"]) and timing["min_s"] > 0.0, key
+            assert timing["min_s"] <= timing["median_s"], key
+
+    def test_compiled_side_replayed_without_fallback(self, tiny_pair):
+        stats = tiny_pair["compile_stats"]
+        assert stats["traces"] >= 1
+        assert stats["replays"] >= 1
+        assert stats["fallbacks"] == 0
+
+    def test_program_metadata_recorded(self, tiny_pair):
+        programs = tiny_pair["programs"]
+        assert programs, "no compiled program captured"
+        for program in programs:
+            assert program["num_ops"] > 0
+            assert 0 < program["arena_bytes"] <= program["requested_bytes"]
+
+    def test_merge_pair_computes_speedup(self, bench_report):
+        report = bench_report._merge_pair(
+            {},
+            {
+                "train_epoch_dynamic": {"min_s": 0.3},
+                "train_epoch_compiled": {"min_s": 0.2},
+            },
+        )
+        assert report["speedups"]["train_epoch_compiled"] == pytest.approx(1.5)
+        assert report["pair"]["train_epoch_dynamic"]["min_s"] == 0.3
 
 
 class TestMerge:
@@ -103,3 +153,18 @@ def test_committed_report_clears_acceptance_bars():
     assert report["speedups"]["train_epoch"] >= 2.0
     assert report["speedups"]["validate"] >= 5.0
     assert report["after"]["top_ops"], "profiler top-op table missing"
+
+
+def test_committed_pr8_report_clears_acceptance_bar():
+    """The committed BENCH_PR8.json must demonstrate the PR-8 target:
+    compiled replay >=1.5x the dynamic tape on the canonical workload
+    (two trainers identical except ``compile=True``), with every timed
+    compiled step a pure replay (zero fallbacks)."""
+    path = REPO_ROOT / "BENCH_PR8.json"
+    report = json.loads(path.read_text())
+    assert {"workload", "pair", "speedups"} <= set(report)
+    assert report["speedups"]["train_epoch_compiled"] >= 1.5
+    pair = report["pair"]
+    assert pair["compile_stats"]["fallbacks"] == 0
+    assert pair["compile_stats"]["replays"] >= 1
+    assert pair["programs"], "compiled program metadata missing"

@@ -27,6 +27,7 @@ PUBLIC_MODULES = [
     "repro.nn",
     "repro.nn.tensor",
     "repro.nn.ops",
+    "repro.nn.compile",
     "repro.nn.module",
     "repro.nn.layers",
     "repro.nn.optim",

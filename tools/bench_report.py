@@ -33,6 +33,17 @@ Benchmarks
 ``sampler_build``
     ``NeighborSampler`` table construction (stratified and uniform) —
     the vectorised builder.
+
+PR-8 compiled pair
+------------------
+``--record compiled-pair`` (default output ``BENCH_PR8.json``) times a
+second comparison on the *same* canonical workload: two trainers built
+identically except for ``KGAGTrainer(compile=True)``.  Warmup epochs
+absorb the trace and the verified first replay, so the timed compiled
+epochs are pure replays of the captured program.  The acceptance bar
+(``tests/test_bench_smoke.py``) fails if the committed report's
+``speedups.train_epoch_compiled`` drops below 1.5x or if any step fell
+back to the dynamic tape.
 """
 
 from __future__ import annotations
@@ -60,10 +71,11 @@ WORKLOAD = {
     "validate_reps": 7,
     "sampler_reps": 5,
     "evaluate_k": 5,
+    "compiled_pair_reps": 9,
 }
 
 
-def _build_world():
+def _build_world(**trainer_flags):
     from repro.core import KGAG, KGAGConfig, KGAGTrainer
     from repro.data import MovieLensLikeConfig, movielens_like, split_interactions
 
@@ -82,7 +94,11 @@ def _build_world():
         config,
     )
     trainer = KGAGTrainer(
-        model, split.train, dataset.user_item, group_validation=split.validation
+        model,
+        split.train,
+        dataset.user_item,
+        group_validation=split.validation,
+        **trainer_flags,
     )
     return dataset, split, trainer
 
@@ -165,6 +181,59 @@ def measure() -> dict:
     return result
 
 
+def measure_compiled_pair() -> dict:
+    """Time the compiled-vs-dynamic train-step pair (PR 8).
+
+    Both sides run ``KGAGTrainer.train_epoch`` on the canonical
+    workload; the trainers are constructed identically except for
+    ``compile=True``, so the ratio isolates exactly what that flag buys
+    (trace-once/replay-many tape execution, including the per-step plan
+    build both sides share).  Warmup epochs absorb the one-time trace
+    and the bit-exactness-verified first replay; every timed compiled
+    epoch is a pure replay — confirmed by requiring zero recorded
+    fallbacks.
+    """
+    reps = WORKLOAD["compiled_pair_reps"]
+    measured: dict = {
+        "commit": _git_commit(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+    for side, flags in (("dynamic", {}), ("compiled", {"compile": True})):
+        _, _, trainer = _build_world(**flags)
+        for _ in range(WORKLOAD["warmup_epochs"]):
+            trainer.train_epoch()
+        measured[f"train_epoch_{side}"] = _time_reps(trainer.train_epoch, reps)
+        if flags:
+            measured["compile_stats"] = dict(trainer.compile_stats)
+            programs = [
+                program
+                for program in trainer._programs.values()
+                if getattr(program, "num_ops", None)
+            ]
+            measured["programs"] = [
+                {
+                    "num_ops": program.num_ops,
+                    "arena_bytes": program.arena_nbytes,
+                    "requested_bytes": program.requested_nbytes,
+                }
+                for program in programs
+            ]
+    return measured
+
+
+def _merge_pair(report: dict, measured: dict) -> dict:
+    report.setdefault("workload", WORKLOAD)
+    report["pair"] = measured
+    dynamic = measured["train_epoch_dynamic"]["min_s"]
+    compiled = measured["train_epoch_compiled"]["min_s"]
+    report.setdefault("speedups", {})["train_epoch_compiled"] = round(
+        dynamic / compiled, 3
+    )
+    return report
+
+
 def _git_commit() -> str:
     try:
         out = subprocess.run(
@@ -204,29 +273,44 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--record",
-        choices=("before", "after"),
+        choices=("before", "after", "compiled-pair"),
         default="after",
-        help="which side of the comparison this run measures",
+        help="which comparison this run measures: a before/after side of "
+        "the PR-4 report, or the PR-8 compiled-vs-dynamic pair",
     )
     parser.add_argument(
         "--output",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR4.json",
-        help="report file to merge into",
+        default=None,
+        help="report file to merge into (default: BENCH_PR4.json for "
+        "before/after, BENCH_PR8.json for compiled-pair)",
     )
     args = parser.parse_args(argv)
+    if args.output is None:
+        name = "BENCH_PR8.json" if args.record == "compiled-pair" else "BENCH_PR4.json"
+        args.output = REPO_ROOT / name
 
-    measured = measure()
     report = {}
     if args.output.exists():
         report = json.loads(args.output.read_text())
-    report = _merge(report, args.record, measured)
+    if args.record == "compiled-pair":
+        measured = measure_compiled_pair()
+        report = _merge_pair(report, measured)
+        print(
+            f"[compiled-pair] train_epoch dynamic "
+            f"{measured['train_epoch_dynamic']['min_s']:.4f}s  compiled "
+            f"{measured['train_epoch_compiled']['min_s']:.4f}s (min)  "
+            f"-> {args.output}"
+        )
+    else:
+        measured = measure()
+        report = _merge(report, args.record, measured)
+        print(
+            f"[{args.record}] train_epoch {measured['train_epoch']['min_s']:.4f}s  "
+            f"validate {measured['validate']['min_s']:.4f}s (min)  -> {args.output}"
+        )
     args.output.write_text(json.dumps(report, indent=1) + "\n")
 
-    print(
-        f"[{args.record}] train_epoch {measured['train_epoch']['min_s']:.4f}s  "
-        f"validate {measured['validate']['min_s']:.4f}s (min)  -> {args.output}"
-    )
     for key, ratio in report.get("speedups", {}).items():
         print(f"  speedup {key}: {ratio:.2f}x")
     return 0
