@@ -3,7 +3,7 @@
 PYTHON ?= python
 PROFILE ?= default
 
-.PHONY: install dev test lint docs-check ckpt-smoke race-smoke stream-smoke verify analysis-report obs-report bench bench-calibrated bench-report bench-report-compile bench-smoke bench-stream serve-smoke examples experiments clean
+.PHONY: install dev test lint docs-check ckpt-smoke race-smoke stream-smoke par-smoke verify analysis-report obs-report bench bench-calibrated bench-report bench-report-compile bench-report-parallel bench-smoke bench-stream serve-smoke examples experiments clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -32,7 +32,11 @@ race-smoke:
 stream-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.stream.smoke
 
-verify: test lint docs-check ckpt-smoke race-smoke stream-smoke
+# Train at workers=2 -> assert no leaked shm, determinism, metrics parity.
+par-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.core.par_smoke
+
+verify: test lint docs-check ckpt-smoke race-smoke stream-smoke par-smoke
 
 analysis-report:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis.report
@@ -53,6 +57,10 @@ bench-report:
 # Compiled-vs-dynamic train-step pair -> BENCH_PR8.json.
 bench-report-compile:
 	PYTHONPATH=src $(PYTHON) tools/bench_report.py --record compiled-pair
+
+# Worker-scaling curve (1/2/4/8 workers) -> BENCH_PR9.json.
+bench-report-parallel:
+	PYTHONPATH=src $(PYTHON) tools/bench_report.py --record parallel
 
 # Delta-to-serve latency breakdown -> BENCH_STREAM.json.
 bench-stream:

@@ -37,15 +37,22 @@ RL103  Lock-order violation: nested ``with`` statements define a
        paths can deadlock.  Reported on every edge participating in a
        cycle.
 RL104  ``threading.Thread`` / ``ThreadPoolExecutor`` (or Timer /
-       ProcessPoolExecutor) created with no reachable ``join()`` /
-       ``shutdown()`` — in the enclosing function, or anywhere in the
-       enclosing class when the object is stored on ``self``.
-       Returning the object hands the obligation to the caller.
+       Process / ProcessPoolExecutor) created with no reachable
+       ``join()`` / ``shutdown()`` — in the enclosing function, or
+       anywhere in the enclosing class when the object is stored on
+       ``self``.  Returning the object hands the obligation to the
+       caller.
 RL105  Blocking call while holding a lock: ``time.sleep``, ``open()``,
        ``Future.result()``, zero-argument ``.join()``, or
        ``.wait()`` / ``.acquire()`` on anything other than the held
        lock itself (``Condition.wait`` on the held condition releases
        it, so it is exempt).
+RL107  ``shared_memory.SharedMemory`` created or attached with no
+       reachable ``close()`` — plus ``unlink()`` when ``create=True`` —
+       in the enclosing function, or anywhere in the enclosing class
+       when the segment is stored on ``self``.  Returning the segment
+       hands the obligation to the caller.  Leaked POSIX segments
+       outlive the process.
 
 The annotation parser is shared with the runtime lockset detector
 (:mod:`repro.analysis.racecheck`), so one ``# guarded-by:`` comment
@@ -72,6 +79,7 @@ __all__ = [
     "LockOrderRule",
     "UnjoinedThreadRule",
     "BlockingCallUnderLockRule",
+    "SharedMemoryLifecycleRule",
     "CONCURRENCY_RULES",
 ]
 
@@ -529,7 +537,13 @@ class UnjoinedThreadRule(Rule):
     severity = Severity.ERROR
     description = "Thread/Executor created without a reachable join/shutdown"
 
-    _FACTORIES = {"Thread", "Timer", "ThreadPoolExecutor", "ProcessPoolExecutor"}
+    _FACTORIES = {
+        "Thread",
+        "Timer",
+        "Process",
+        "ThreadPoolExecutor",
+        "ProcessPoolExecutor",
+    }
     _RELEASES = {"join", "shutdown"}
 
     def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
@@ -707,10 +721,119 @@ class BlockingCallUnderLockRule(Rule):
         return None
 
 
+# ---------------------------------------------------------------------------
+# RL107 — shared-memory segments without a reachable close/unlink
+# ---------------------------------------------------------------------------
+
+
+class SharedMemoryLifecycleRule(Rule):
+    id = "RL107"
+    severity = Severity.ERROR
+    description = "SharedMemory segment without a reachable close()/unlink()"
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if self._segment_name(node.func) is None:
+                continue
+            creating = self._creates(node)
+            required = {"close", "unlink"} if creating else {"close"}
+            missing = self._missing_releases(node, parents, tree, required)
+            if missing:
+                verbs = "/".join(f"`.{name}()`" for name in sorted(missing))
+                kind = "created" if creating else "attached"
+                yield self.finding(
+                    node,
+                    path,
+                    f"`SharedMemory` segment is {kind} here but no {verbs} "
+                    "is reachable from this scope — a leaked POSIX segment "
+                    "outlives the process (store it on `self` and release "
+                    "it in a close method, or return it to the caller)",
+                )
+
+    @staticmethod
+    def _segment_name(func: ast.expr) -> str | None:
+        if isinstance(func, ast.Name) and func.id == "SharedMemory":
+            return func.id
+        if isinstance(func, ast.Attribute) and func.attr == "SharedMemory":
+            return func.attr
+        return None
+
+    @staticmethod
+    def _creates(node: ast.Call) -> bool:
+        # ``create=True`` (or any non-literal-False value, conservatively)
+        # means this process owns the segment and must unlink it too.
+        for keyword in node.keywords:
+            if keyword.arg == "create":
+                value = keyword.value
+                if isinstance(value, ast.Constant):
+                    return bool(value.value)
+                return True
+        return False
+
+    def _missing_releases(
+        self, node: ast.Call, parents, tree: ast.Module, required: set[str]
+    ) -> set[str]:
+        chain = []
+        cursor: ast.AST | None = node
+        while cursor is not None:
+            chain.append(cursor)
+            cursor = parents.get(cursor)
+        # Handing the segment to the caller transfers the obligation.
+        if any(isinstance(link, ast.Return) for link in chain):
+            return set()
+        assigned_to_self = any(
+            isinstance(link, (ast.Assign, ast.AnnAssign))
+            and any(
+                _self_attr(target) is not None
+                for target in (
+                    link.targets if isinstance(link, ast.Assign) else [link.target]
+                )
+            )
+            for link in chain
+        )
+        functions = [
+            link
+            for link in chain
+            if isinstance(link, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        scopes = list(functions)
+        if assigned_to_self:
+            scopes.extend(
+                link for link in chain if isinstance(link, ast.ClassDef)
+            )
+        if not functions:
+            scopes.append(tree)
+        missing = set(required)
+        for scope in scopes:
+            missing -= self._releases_in(scope)
+            if not missing:
+                return set()
+        return missing
+
+    @staticmethod
+    def _releases_in(scope: ast.AST) -> set[str]:
+        found = set()
+        for node in ast.walk(scope):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("close", "unlink")
+            ):
+                found.add(node.func.attr)
+        return found
+
+
 CONCURRENCY_RULES: tuple[Rule, ...] = (
     GuardedAccessRule(),
     CheckThenActRule(),
     LockOrderRule(),
     UnjoinedThreadRule(),
     BlockingCallUnderLockRule(),
+    SharedMemoryLifecycleRule(),
 )

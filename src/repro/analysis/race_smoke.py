@@ -4,8 +4,10 @@
 target) hammers the thread-shared serving and observability objects —
 :class:`~repro.obs.metrics.MetricsRegistry`, :class:`~repro.obs.trace.
 Tracer`, :class:`~repro.serve.cache.ScoreCache`, :class:`~repro.serve.
-engine.MicroBatcher`, :class:`~repro.serve.fallback.ResilientScorer`
-and :class:`~repro.serve.fallback.CircuitBreaker` — from N concurrent
+engine.MicroBatcher`, :class:`~repro.serve.fallback.ResilientScorer`,
+:class:`~repro.serve.fallback.CircuitBreaker` and the parallel
+trainer's reduction counters
+(:class:`~repro.core.parallel.ParallelStats`) — from N concurrent
 threads, twice: once bare (the zero-overhead baseline) and once with
 every object tracked by :class:`~repro.analysis.racecheck.RaceDetector`.
 The run fails (exit 1) if the detector reports any lockset violation,
@@ -28,6 +30,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core.parallel import ParallelStats
 from ..obs.metrics import LATENCY_MS_BUCKETS, MetricsRegistry
 from ..obs.trace import Tracer
 from ..serve.cache import ScoreCache
@@ -86,11 +89,14 @@ def _build_stack():
     resilient = ResilientScorer(
         primary, fallback, deadline_ms=None, breaker=breaker
     )
-    return registry, counter, histogram, tracer, cache, batcher, resilient, breaker
+    parallel_stats = ParallelStats()
+    return (registry, counter, histogram, tracer, cache, batcher, resilient,
+            breaker, parallel_stats)
 
 
 def _worker(stack, worker_id: int, iterations: int) -> None:
-    registry, counter, histogram, tracer, cache, batcher, resilient, breaker = stack
+    (registry, counter, histogram, tracer, cache, batcher, resilient,
+     breaker, parallel_stats) = stack
     for i in range(iterations):
         group = (worker_id * 31 + i) % 64
         with tracer.span("request"):
@@ -101,11 +107,16 @@ def _worker(stack, worker_id: int, iterations: int) -> None:
             if vector is None:
                 answer = resilient.scores(group)
                 cache.put(key, answer.scores)
+        # The parallel trainer's reduction counters: writer (record) and
+        # reader (snapshot) racing, as a metric exporter would.
+        parallel_stats.record_round(batches=4, sparse_rows=i % 32)
         if i % 16 == 0:
             registry.snapshot()
             breaker.allow()
             resilient.stats()
             cache.stats()
+            parallel_stats.record_epoch()
+            parallel_stats.snapshot()
 
 
 def run_stress(
@@ -113,11 +124,12 @@ def run_stress(
 ) -> StressResult:
     """Run the stress workload; ``detect`` wraps every object in tracking."""
     stack = _build_stack()
-    registry, counter, histogram, tracer, cache, batcher, resilient, breaker = stack
+    (registry, counter, histogram, tracer, cache, batcher, resilient,
+     breaker, parallel_stats) = stack
     detector = RaceDetector(capture_stacks=capture_stacks)
     if detect:
         for obj in (registry, counter, histogram, tracer, cache,
-                    batcher, resilient, breaker):
+                    batcher, resilient, breaker, parallel_stats):
             detector.track(obj)
     workers = [
         threading.Thread(

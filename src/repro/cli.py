@@ -151,6 +151,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a JSONL run log (per-epoch loss/validation, diagnostics "
         "snapshots, final metrics) to this path",
     )
+    train.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="data-parallel training processes over shared-memory parameter "
+        "tables (repro.core.parallel); 1 = the sequential trainer",
+    )
 
     # evaluate ----------------------------------------------------------------
     evaluate = subparsers.add_parser("evaluate", help="evaluate a checkpoint")
@@ -330,6 +338,7 @@ def _cmd_train(args) -> int:
         run_log = JsonlRunLog(args.metrics_out)
         probe = split.train.pairs[: min(128, len(split.train.pairs))]
         diagnostics = DiagnosticsRecorder(model, probe[:, 0], probe[:, 1])
+    trainer = None
     try:
         trainer = KGAGTrainer(
             model,
@@ -339,6 +348,7 @@ def _cmd_train(args) -> int:
             metrics=registry,
             run_log=run_log,
             diagnostics=diagnostics,
+            workers=args.workers,
         )
         history = trainer.fit(
             verbose=not args.quiet,
@@ -349,6 +359,8 @@ def _cmd_train(args) -> int:
         )
         metrics = trainer.evaluate(split.test)
     finally:
+        if trainer is not None:
+            trainer.close()
         if run_log is not None:
             run_log.close()
     path = save_checkpoint(model, args.out, config=config)

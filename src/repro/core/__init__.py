@@ -8,6 +8,8 @@
 * :class:`KGAGTrainer` — Adam mini-batch training with early stopping,
 * :class:`TrainState` / :class:`CheckpointManager` — crash-safe
   checkpoints with bit-exact resume,
+* :mod:`repro.core.parallel` — data-parallel workers over shared-memory
+  parameter tables (``KGAGTrainer(workers=N)``),
 * :class:`GroupRecommender` — serving API with attention explanations.
 """
 

@@ -72,7 +72,12 @@ class TrainState:
         :meth:`~repro.nn.optim.Optimizer.state_dict` snapshot.
     rng_states:
         ``{"trainer": ..., "loader": {...}}`` generator snapshots (the
-        loader entry nests its two negative samplers).
+        loader entry nests its two negative samplers).  A parallel
+        trainer (``workers > 1``) extends the registry with a
+        ``"workers"`` entry — ``{"count": N, "streams": [...]}``, one
+        loader-stream snapshot per worker (``None`` for a worker whose
+        shard is empty) — so the per-worker shuffle and negative-sampling
+        streams resume bit-exactly too.
     history:
         ``TrainingHistory`` as a plain dict (JSON-serializable).
     patience_left:
@@ -102,14 +107,22 @@ class TrainState:
         from ..nn.serialization import _config_to_dict
 
         best = trainer._best_state
+        rng_states = {
+            "trainer": generator_state(trainer.rng),
+            "loader": trainer.loader.rng_state(),
+        }
+        state_fn = getattr(trainer, "worker_rng_states", None)
+        worker_streams = state_fn() if state_fn is not None else None
+        if worker_streams is not None:
+            rng_states["workers"] = {
+                "count": int(trainer.workers),
+                "streams": worker_streams,
+            }
         return cls(
             epoch=int(epoch),
             model_state=trainer.model.state_dict(),
             optimizer_state=trainer.optimizer.state_dict(),
-            rng_states={
-                "trainer": generator_state(trainer.rng),
-                "loader": trainer.loader.rng_state(),
-            },
+            rng_states=rng_states,
             history=dataclasses.asdict(trainer.history),
             patience_left=int(trainer._patience_left),
             best_state={k: v.copy() for k, v in best.items()} if best else None,
@@ -133,6 +146,17 @@ class TrainState:
             raise CheckpointError(f"incompatible train state: {error}") from error
         set_generator_state(trainer.rng, self.rng_states["trainer"])
         trainer.loader.set_rng_state(self.rng_states["loader"])
+        workers = self.rng_states.get("workers")
+        trainer_workers = int(getattr(trainer, "workers", 1))
+        if workers is not None and trainer_workers > 1:
+            if int(workers.get("count", -1)) != trainer_workers:
+                raise CheckpointError(
+                    f"checkpoint captured {workers.get('count')} worker RNG "
+                    f"streams, trainer runs {trainer_workers} workers — the "
+                    f"parallel schedule is only reproducible at the original "
+                    f"worker count"
+                )
+            trainer.set_worker_rng_states(list(workers["streams"]))
         history = dict(self.history)
         trainer.history = TrainingHistory(
             losses=[float(x) for x in history.get("losses", [])],

@@ -119,6 +119,18 @@ class KGAGTrainer:
         matrix; otherwise fall back to the tape path under ``no_grad``.
         Rankings are identical; raw scores match to ~1e-9 (BLAS
         reassociation in the batched engine kernels).
+    workers:
+        Number of data-parallel training processes
+        (:mod:`repro.core.parallel`).  ``workers=1`` (the default) is
+        today's sequential step loop, untouched and bit-exact.  With
+        ``workers=N`` the first parallel epoch forks N workers around a
+        shared-memory parameter store; each epoch splits the batch
+        schedule across fixed row shards and applies one merged sparse
+        optimizer step per round of N batches.  Deterministic at a fixed
+        worker count, but *not* bit-exact with the sequential schedule
+        (fewer, averaged optimizer steps; sparse-Adam moments).  Call
+        :meth:`close` (or use the trainer as a context manager) to stop
+        the workers and release the shared segments.
     """
 
     def __init__(
@@ -134,7 +146,10 @@ class KGAGTrainer:
         fused: bool = True,
         tape_free_eval: bool = True,
         compile: bool = False,
+        workers: int = 1,
     ):
+        if int(workers) < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.model = model
         self.config = model.config
         self.group_train = group_train
@@ -155,6 +170,9 @@ class KGAGTrainer:
         self.fused = bool(fused)
         self.tape_free_eval = bool(tape_free_eval)
         self.compile = bool(compile)
+        self.workers = int(workers)
+        self._pool = None
+        self._restored_worker_states: list | None = None
         self.compile_stats = {"traces": 0, "replays": 0, "fallbacks": 0}
         self._programs: dict[tuple[int, int], object] = {}
         self.untouched_parameters: list[str] = []
@@ -391,16 +409,83 @@ class KGAGTrainer:
         return loss
 
     def train_epoch(self) -> float:
-        """One pass over the training data; returns the mean batch loss."""
+        """One pass over the training data; returns the mean batch loss.
+
+        With ``workers > 1`` the pass runs data-parallel through the
+        worker pool (created lazily on the first parallel epoch);
+        otherwise it is the sequential step loop.
+        """
         self.model.train()
         epoch_start = time.perf_counter() if self.metrics.enabled else 0.0
-        losses = [self.train_step(batch) for batch in self.loader.epoch()]
+        if self.workers > 1:
+            losses = self._pool_handle().train_epoch()
+            self._m_steps.inc(len(losses))
+        else:
+            losses = [self.train_step(batch) for batch in self.loader.epoch()]
         mean_loss = float(np.mean(losses))
         self._m_epochs.inc()
         if self.metrics.enabled:
             self._m_epoch_seconds.observe(time.perf_counter() - epoch_start)
             self._m_loss.set(mean_loss)
         return mean_loss
+
+    # ------------------------------------------------------------------
+    # data-parallel pool (repro.core.parallel)
+    # ------------------------------------------------------------------
+    def _pool_handle(self):
+        """The live worker pool, created on first use."""
+        if self._pool is None:
+            # Imported lazily: sequential training must not pull in the
+            # multiprocessing machinery.
+            from .parallel import WorkerPool
+
+            self._pool = WorkerPool(self, self.workers)
+            if self._restored_worker_states is not None:
+                self._pool.set_rng_states(self._restored_worker_states)
+                self._restored_worker_states = None
+        return self._pool
+
+    def worker_rng_states(self) -> list | None:
+        """Per-worker RNG stream snapshots, or ``None`` when sequential."""
+        if self.workers <= 1:
+            return None
+        if self._pool is not None:
+            return self._pool.rng_states()["streams"]
+        if self._restored_worker_states is not None:
+            return list(self._restored_worker_states)
+        from .parallel import initial_worker_rng_states
+
+        return initial_worker_rng_states(self, self.workers)
+
+    def set_worker_rng_states(self, streams: list) -> None:
+        """Restore per-worker streams (checkpoint resume)."""
+        if self.workers <= 1:
+            raise ValueError("sequential trainer has no worker RNG streams")
+        if len(streams) != self.workers:
+            raise ValueError(
+                f"checkpoint holds {len(streams)} worker streams, "
+                f"trainer runs {self.workers} workers"
+            )
+        if self._pool is not None:
+            self._pool.set_rng_states(list(streams))
+        else:
+            self._restored_worker_states = list(streams)
+
+    def close(self) -> None:
+        """Stop the worker pool (if any) and release its shared memory.
+
+        Idempotent and a no-op for sequential trainers; after closing,
+        the next parallel epoch forks a fresh pool.
+        """
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            pool.close()
+
+    def __enter__(self) -> "KGAGTrainer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def validate(self, k: int = 5) -> dict[str, float]:
         """hit@k / rec@k on the validation split."""

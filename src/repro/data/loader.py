@@ -66,6 +66,12 @@ class MixedBatchLoader:
         Negatives per user positive for the log-loss head.
     rng:
         Seeded generator (shuffling + negative sampling).
+    group_rows, user_rows:
+        Optional row indices into the tables' ``pairs`` arrays.  When
+        given, the loader iterates only those rows (a data-parallel
+        worker's shard) while the negative samplers still see the *full*
+        tables, so a shard never draws another shard's positive as a
+        negative.
     """
 
     def __init__(
@@ -75,28 +81,43 @@ class MixedBatchLoader:
         batch_size: int = 128,
         negatives_per_positive: int = 1,
         rng: np.random.Generator | None = None,
+        group_rows: np.ndarray | None = None,
+        user_rows: np.ndarray | None = None,
     ):
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
-        if group_train.num_interactions == 0:
-            raise ValueError("group training table is empty")
         self.group_train = group_train
         self.user_train = user_train
+        self._group_rows = (
+            None if group_rows is None else np.asarray(group_rows, dtype=np.int64)
+        )
+        self._user_rows = (
+            None if user_rows is None else np.asarray(user_rows, dtype=np.int64)
+        )
+        num_group = (
+            group_train.num_interactions
+            if self._group_rows is None
+            else self._group_rows.size
+        )
+        num_user = (
+            user_train.num_interactions
+            if self._user_rows is None
+            else self._user_rows.size
+        )
+        if num_group == 0:
+            raise ValueError("group training table is empty")
+        self._num_group_rows = num_group
         self.batch_size = batch_size
         self.rng = ensure_rng(rng)
         self.group_negatives = NegativeSampler(group_train, rng=self.rng)
         self.user_negatives = NegativeSampler(user_train, rng=self.rng)
         self.negatives_per_positive = negatives_per_positive
         # User rows per group row so one epoch covers both tables.
-        self._user_ratio = (
-            user_train.num_interactions / group_train.num_interactions
-            if user_train.num_interactions
-            else 0.0
-        )
+        self._user_ratio = num_user / num_group if num_user else 0.0
 
     def num_batches(self) -> int:
         """Batches per epoch."""
-        return int(np.ceil(self.group_train.num_interactions / self.batch_size))
+        return int(np.ceil(self._num_group_rows / self.batch_size))
 
     def rng_state(self) -> dict:
         """Snapshot of every generator the loader draws from.
@@ -120,7 +141,11 @@ class MixedBatchLoader:
     def epoch(self) -> Iterator[MixedBatch]:
         """Yield one epoch of mixed batches."""
         group_pairs = self.group_train.pairs
+        if self._group_rows is not None:
+            group_pairs = group_pairs[self._group_rows]
         user_pairs = self.user_train.pairs
+        if self._user_rows is not None:
+            user_pairs = user_pairs[self._user_rows]
         user_batch_size = max(1, int(round(self.batch_size * self._user_ratio)))
 
         user_iter = (

@@ -79,6 +79,19 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    def step_rows(self, updates: list) -> None:
+        """Apply one step from merged gradient payloads (parallel trainer).
+
+        ``updates`` aligns with ``self.parameters``; each entry is
+        ``None`` (skip), ``("dense", grad)``, or ``("rows", rows, values)``
+        — the sparse form touches only the listed rows of the parameter
+        *and of the optimizer's per-row state buffers*.  Sparse-Adam
+        semantics: untouched rows' moments neither decay nor step, so a
+        sparse step is intentionally not equivalent to a dense step with
+        zero-filled gradients (see docs/parallelism.md).
+        """
+        raise NotImplementedError
+
     # -- checkpointing ------------------------------------------------------
     def state_dict(self) -> dict:
         """Snapshot of the optimizer's mutable state.
@@ -176,6 +189,37 @@ class SGD(Optimizer):
                     grad = velocity
                 parameter.data -= self.lr * grad
 
+    def step_rows(self, updates: list) -> None:
+        if len(updates) != len(self.parameters):
+            raise ValueError(
+                f"got {len(updates)} updates for {len(self.parameters)} parameters"
+            )
+        with no_grad():
+            for parameter, velocity, entry in zip(
+                self.parameters, self._velocity, updates
+            ):
+                if entry is None:
+                    continue
+                if entry[0] == "dense":
+                    grad = entry[1]
+                    if self.weight_decay:
+                        grad = grad + self.weight_decay * parameter.data
+                    if self.momentum:
+                        velocity *= self.momentum
+                        velocity += grad
+                        grad = velocity
+                    parameter.data -= self.lr * grad
+                else:
+                    _, rows, values = entry
+                    if self.weight_decay:
+                        values = values + self.weight_decay * parameter.data[rows]
+                    if self.momentum:
+                        velocity[rows] = self.momentum * velocity[rows] + values
+                        values = velocity[rows]
+                    # In-place subtract keeps the (possibly shared-memory)
+                    # parameter buffer's identity.
+                    parameter.data[rows] -= self.lr * values
+
     def _scalar_state(self) -> dict:
         return {
             "lr": self.lr,
@@ -237,6 +281,46 @@ class Adam(Optimizer):
                 m_hat = m / bias1
                 v_hat = v / bias2
                 parameter.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def step_rows(self, updates: list) -> None:
+        if len(updates) != len(self.parameters):
+            raise ValueError(
+                f"got {len(updates)} updates for {len(self.parameters)} parameters"
+            )
+        self._step_count += 1
+        t = self._step_count
+        bias1 = 1.0 - self.beta1**t
+        bias2 = 1.0 - self.beta2**t
+        with no_grad():
+            for parameter, m, v, entry in zip(
+                self.parameters, self._m, self._v, updates
+            ):
+                if entry is None:
+                    continue
+                if entry[0] == "dense":
+                    grad = entry[1]
+                    if self.weight_decay:
+                        grad = grad + self.weight_decay * parameter.data
+                    m *= self.beta1
+                    m += (1.0 - self.beta1) * grad
+                    v *= self.beta2
+                    v += (1.0 - self.beta2) * grad**2
+                    m_hat = m / bias1
+                    v_hat = v / bias2
+                    parameter.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+                else:
+                    _, rows, values = entry
+                    if self.weight_decay:
+                        values = values + self.weight_decay * parameter.data[rows]
+                    m_rows = self.beta1 * m[rows] + (1.0 - self.beta1) * values
+                    v_rows = self.beta2 * v[rows] + (1.0 - self.beta2) * values**2
+                    m[rows] = m_rows
+                    v[rows] = v_rows
+                    # In-place row subtract keeps the (possibly
+                    # shared-memory) parameter buffer's identity.
+                    parameter.data[rows] -= (
+                        self.lr * (m_rows / bias1) / (np.sqrt(v_rows / bias2) + self.eps)
+                    )
 
     def _scalar_state(self) -> dict:
         return {

@@ -1,4 +1,4 @@
-"""Concurrency-rule tests (RL101–RL105) on planted violations.
+"""Concurrency-rule tests (RL101–RL105, RL107) on planted violations.
 
 Every racy fixture lives in a source *string* (never on disk), so the
 repo-wide self-lint gate stays clean while each rule is exercised
@@ -492,6 +492,135 @@ class TestRL104UnjoinedThread:
         """
         assert only_rule(findings_for(source), "RL104") == []
 
+    def test_process_without_join_flagged(self):
+        source = """
+            from multiprocessing import Process
+            __all__ = []
+
+            def fire():
+                Process(target=print).start()
+        """
+        [finding] = only_rule(findings_for(source), "RL104")
+        assert "Process" in finding.message
+
+    def test_process_pool_stored_on_self_with_class_join_clean(self):
+        source = """
+            from multiprocessing import Process
+
+            class Pool:
+                def __init__(self, n):
+                    self._processes = [Process(target=print) for _ in range(n)]
+
+                def close(self):
+                    for process in self._processes:
+                        process.join(timeout=1.0)
+        """
+        assert only_rule(findings_for(source), "RL104") == []
+
+
+class TestRL107SharedMemoryLifecycle:
+    def test_created_segment_without_release_flagged(self):
+        source = """
+            from multiprocessing import shared_memory
+            __all__ = []
+
+            def leak():
+                segment = shared_memory.SharedMemory(create=True, size=64)
+                return segment.name
+        """
+        [finding] = only_rule(findings_for(source), "RL107")
+        assert "unlink" in finding.message
+
+    def test_created_segment_with_close_but_no_unlink_flagged(self):
+        source = """
+            from multiprocessing import shared_memory
+            __all__ = []
+
+            def leak():
+                segment = shared_memory.SharedMemory(create=True, size=64)
+                segment.close()
+        """
+        [finding] = only_rule(findings_for(source), "RL107")
+        assert "`.unlink()`" in finding.message
+        assert "`.close()`" not in finding.message
+
+    def test_created_segment_fully_released_clean(self):
+        source = """
+            from multiprocessing import shared_memory
+            __all__ = []
+
+            def tidy():
+                segment = shared_memory.SharedMemory(create=True, size=64)
+                try:
+                    pass
+                finally:
+                    segment.close()
+                    segment.unlink()
+        """
+        assert only_rule(findings_for(source), "RL107") == []
+
+    def test_attached_segment_needs_close_only(self):
+        source = """
+            from multiprocessing import shared_memory
+            __all__ = []
+
+            def attach(name):
+                segment = shared_memory.SharedMemory(name=name)
+                segment.close()
+        """
+        assert only_rule(findings_for(source), "RL107") == []
+
+    def test_attached_segment_without_close_flagged(self):
+        source = """
+            from multiprocessing import shared_memory
+            __all__ = []
+
+            def attach(name):
+                segment = shared_memory.SharedMemory(name=name)
+                return segment.buf[0]
+        """
+        [finding] = only_rule(findings_for(source), "RL107")
+        assert "attached" in finding.message
+
+    def test_returned_segment_transfers_obligation(self):
+        source = """
+            from multiprocessing import shared_memory
+            __all__ = []
+
+            def make():
+                return shared_memory.SharedMemory(create=True, size=64)
+        """
+        assert only_rule(findings_for(source), "RL107") == []
+
+    def test_stored_on_self_with_class_release_clean(self):
+        source = """
+            from multiprocessing import shared_memory
+
+            class Store:
+                def __init__(self, sizes):
+                    self._segments = [
+                        shared_memory.SharedMemory(create=True, size=size)
+                        for size in sizes
+                    ]
+
+                def close(self):
+                    for segment in self._segments:
+                        segment.close()
+                        segment.unlink()
+        """
+        assert only_rule(findings_for(source), "RL107") == []
+
+    def test_stored_on_self_without_release_flagged(self):
+        source = """
+            from multiprocessing import shared_memory
+
+            class Store:
+                def __init__(self):
+                    self._segment = shared_memory.SharedMemory(create=True, size=64)
+        """
+        [finding] = only_rule(findings_for(source), "RL107")
+        assert "SharedMemory" in finding.message
+
 
 class TestRL105BlockingUnderLock:
     def test_sleep_under_lock_flagged(self):
@@ -602,7 +731,7 @@ class TestRL105BlockingUnderLock:
 class TestDriverIntegration:
     def test_concurrency_rules_registered(self):
         assert [rule.id for rule in CONCURRENCY_RULES] == [
-            "RL101", "RL102", "RL103", "RL104", "RL105",
+            "RL101", "RL102", "RL103", "RL104", "RL105", "RL107",
         ]
 
     def test_select_restricts_to_one_rule(self, tmp_path):
@@ -622,6 +751,6 @@ class TestDriverIntegration:
 
         src = pathlib.Path(__file__).resolve().parents[2] / "src"
         result = lint_paths(
-            [src], select=["RL101", "RL102", "RL103", "RL104", "RL105"]
+            [src], select=["RL101", "RL102", "RL103", "RL104", "RL105", "RL107"]
         )
         assert result.findings == [], [f.render() for f in result.findings]

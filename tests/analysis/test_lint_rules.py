@@ -417,5 +417,5 @@ class TestDriver:
     def test_rule_ids_are_stable(self):
         assert rule_ids() == [
             "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
-            "RL101", "RL102", "RL103", "RL104", "RL105",
+            "RL101", "RL102", "RL103", "RL104", "RL105", "RL107",
         ]

@@ -48,6 +48,40 @@ def tiny_measurement(bench_report):
         bench_report.WORKLOAD.update(original)
 
 
+_TINY_PARALLEL = {
+    "dataset": {
+        "num_users": 30,
+        "num_items": 40,
+        "num_groups": 12,
+        "observed_interaction_fraction": 0.2,
+        "seed": 7,
+    },
+    "model": {
+        "embedding_dim": 8,
+        "num_layers": 1,
+        "num_neighbors": 3,
+        "batch_size": 16,
+        "seed": 7,
+    },
+    "split_rng_seed": 7,
+    "workers": [1, 2],
+    # One warmup epoch so every point's compiled executor traces before
+    # the timed rep.
+    "warmup_epochs": 1,
+    "reps": 1,
+}
+
+
+@pytest.fixture(scope="module")
+def tiny_parallel(bench_report):
+    original = bench_report.WORKLOAD["parallel"]
+    bench_report.WORKLOAD["parallel"] = _TINY_PARALLEL
+    try:
+        yield bench_report.measure_parallel()
+    finally:
+        bench_report.WORKLOAD["parallel"] = original
+
+
 @pytest.fixture(scope="module")
 def tiny_pair(bench_report):
     original = dict(bench_report.WORKLOAD)
@@ -118,6 +152,34 @@ class TestCompiledPair:
         assert report["pair"]["train_epoch_dynamic"]["min_s"] == 0.3
 
 
+class TestParallelCurve:
+    def test_records_every_worker_point(self, tiny_parallel):
+        curve = tiny_parallel["train_epoch_workers"]
+        assert sorted(curve) == ["1", "2"]
+        for workers, timing in curve.items():
+            assert math.isfinite(timing["min_s"]) and timing["min_s"] > 0.0, workers
+            assert timing["min_s"] <= timing["median_s"], workers
+
+    def test_stamps_cpu_count(self, tiny_parallel):
+        assert tiny_parallel["cpu_count"] >= 1
+
+    def test_merge_parallel_computes_speedups_vs_one_worker(self, bench_report):
+        report = bench_report._merge_parallel(
+            {},
+            {
+                "train_epoch_workers": {
+                    "1": {"min_s": 1.0},
+                    "2": {"min_s": 0.5},
+                    "4": {"min_s": 0.4},
+                }
+            },
+        )
+        speedups = report["speedups"]
+        assert speedups["train_epoch_workers2"] == pytest.approx(2.0)
+        assert speedups["train_epoch_workers4"] == pytest.approx(2.5)
+        assert "train_epoch_workers1" not in speedups
+
+
 class TestMerge:
     def test_speedups_need_both_sides(self, bench_report):
         report = bench_report._merge({}, "after", {"train_epoch": {"min_s": 1.0}})
@@ -168,3 +230,17 @@ def test_committed_pr8_report_clears_acceptance_bar():
     assert pair["compile_stats"]["fallbacks"] == 0
     assert pair["compile_stats"]["replays"] >= 1
     assert pair["programs"], "compiled program metadata missing"
+
+
+def test_committed_pr9_report_clears_acceptance_bar():
+    """The committed BENCH_PR9.json must demonstrate the PR-9 target:
+    >=1.8x train-epoch speedup at ``workers=4`` over the 1-worker path
+    on the worker-scaling workload (every point ``compile=True``), with
+    the full 1/2/4/8 curve and the machine's core count recorded."""
+    path = REPO_ROOT / "BENCH_PR9.json"
+    report = json.loads(path.read_text())
+    assert {"workload", "parallel", "speedups"} <= set(report)
+    assert report["speedups"]["train_epoch_workers4"] >= 1.8
+    curve = report["parallel"]["train_epoch_workers"]
+    assert sorted(curve, key=int) == ["1", "2", "4", "8"]
+    assert report["parallel"]["cpu_count"] >= 1

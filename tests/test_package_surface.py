@@ -58,6 +58,8 @@ PUBLIC_MODULES = [
     "repro.core.trainer",
     "repro.core.checkpoint",
     "repro.core.ckpt_smoke",
+    "repro.core.parallel",
+    "repro.core.par_smoke",
     "repro.core.predict",
     "repro.core.diagnostics",
     "repro.baselines",

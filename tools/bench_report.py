@@ -44,12 +44,30 @@ epochs are pure replays of the captured program.  The acceptance bar
 (``tests/test_bench_smoke.py``) fails if the committed report's
 ``speedups.train_epoch_compiled`` drops below 1.5x or if any step fell
 back to the dynamic tape.
+
+PR-9 worker-scaling curve
+-------------------------
+``--record parallel`` (default output ``BENCH_PR9.json``) times one
+training epoch at each worker count in ``WORKLOAD["parallel"]
+["workers"]`` on a sparse, embedding-heavy workload (large entity
+table, tiny batches) where the per-step dense Adam update and
+full-table L2 dominate.  Every point uses ``compile=True`` so the
+curve isolates what ``workers=N`` buys on top of the compiled
+executor: N-batch rounds amortise the optimiser step, the sparse
+row-payload path replaces dense moment updates, and workers skip the
+full-table L2 term (the parent folds it onto touched rows only).  The
+report stamps ``cpu_count`` — the committed curve comes from a
+single-core container, so the speedup is algorithmic (fewer, sparser
+updates), not core-parallelism.  The acceptance bar
+(``tests/test_bench_smoke.py``) fails if ``speedups
+.train_epoch_workers4`` drops below 1.8x.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import statistics
 import subprocess
@@ -72,6 +90,29 @@ WORKLOAD = {
     "sampler_reps": 5,
     "evaluate_k": 5,
     "compiled_pair_reps": 9,
+    # The PR-9 worker-scaling workload: a large entity table with tiny
+    # batches, where dense optimiser/regulariser work per step dwarfs
+    # the forward/backward and the sparse parallel path pays off.
+    "parallel": {
+        "dataset": {
+            "num_users": 100,
+            "num_items": 24000,
+            "num_groups": 2,
+            "observed_interaction_fraction": 0.005,
+            "seed": 7,
+        },
+        "model": {
+            "embedding_dim": 96,
+            "num_layers": 2,
+            "num_neighbors": 4,
+            "batch_size": 8,
+            "seed": 7,
+        },
+        "split_rng_seed": 7,
+        "workers": [1, 2, 4, 8],
+        "warmup_epochs": 1,
+        "reps": 3,
+    },
 }
 
 
@@ -223,6 +264,84 @@ def measure_compiled_pair() -> dict:
     return measured
 
 
+def _build_parallel_world(workers: int):
+    from repro.core import KGAG, KGAGConfig, KGAGTrainer
+    from repro.data import MovieLensLikeConfig, movielens_like, split_interactions
+
+    spec = WORKLOAD["parallel"]
+    dataset = movielens_like("rand", MovieLensLikeConfig(**spec["dataset"]))
+    split = split_interactions(
+        dataset.group_item, rng=np.random.default_rng(spec["split_rng_seed"])
+    )
+    config = KGAGConfig(**spec["model"])
+    model = KGAG(
+        dataset.kg,
+        dataset.num_users,
+        dataset.num_items,
+        dataset.user_item.pairs,
+        dataset.groups,
+        config,
+    )
+    return KGAGTrainer(
+        model,
+        split.train,
+        dataset.user_item,
+        group_validation=split.validation,
+        workers=workers,
+        compile=True,
+    )
+
+
+def measure_parallel() -> dict:
+    """Time one training epoch at each worker count (PR 9).
+
+    Every point runs ``KGAGTrainer(workers=w, compile=True)`` on the
+    ``WORKLOAD["parallel"]`` world, freshly built per point so no state
+    leaks between worker counts.  ``cpu_count`` is stamped because the
+    curve's meaning depends on it: on a single core the speedup is
+    purely algorithmic (rounds amortise the optimiser step, sparse row
+    payloads replace dense Adam moment sweeps, workers skip the
+    full-table L2 term).
+    """
+    spec = WORKLOAD["parallel"]
+    measured: dict = {
+        "commit": _git_commit(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "train_epoch_workers": {},
+    }
+    for workers in spec["workers"]:
+        trainer = _build_parallel_world(workers)
+        try:
+            for _ in range(spec["warmup_epochs"]):
+                trainer.train_epoch()
+            timed = _time_reps(trainer.train_epoch, spec["reps"])
+        finally:
+            trainer.close()
+        measured["train_epoch_workers"][str(workers)] = timed
+        print(
+            f"[parallel] workers={workers}  train_epoch "
+            f"{timed['min_s']:.4f}s (min of {timed['reps']})"
+        )
+    return measured
+
+
+def _merge_parallel(report: dict, measured: dict) -> dict:
+    report.setdefault("workload", WORKLOAD)
+    report["parallel"] = measured
+    curve = measured["train_epoch_workers"]
+    base = curve["1"]["min_s"]
+    speedups = report.setdefault("speedups", {})
+    for workers, timed in curve.items():
+        if workers != "1":
+            speedups[f"train_epoch_workers{workers}"] = round(
+                base / timed["min_s"], 3
+            )
+    return report
+
+
 def _merge_pair(report: dict, measured: dict) -> dict:
     report.setdefault("workload", WORKLOAD)
     report["pair"] = measured
@@ -273,27 +392,36 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--record",
-        choices=("before", "after", "compiled-pair"),
+        choices=("before", "after", "compiled-pair", "parallel"),
         default="after",
         help="which comparison this run measures: a before/after side of "
-        "the PR-4 report, or the PR-8 compiled-vs-dynamic pair",
+        "the PR-4 report, the PR-8 compiled-vs-dynamic pair, or the PR-9 "
+        "worker-scaling curve",
     )
     parser.add_argument(
         "--output",
         type=Path,
         default=None,
         help="report file to merge into (default: BENCH_PR4.json for "
-        "before/after, BENCH_PR8.json for compiled-pair)",
+        "before/after, BENCH_PR8.json for compiled-pair, BENCH_PR9.json "
+        "for parallel)",
     )
     args = parser.parse_args(argv)
     if args.output is None:
-        name = "BENCH_PR8.json" if args.record == "compiled-pair" else "BENCH_PR4.json"
+        name = {
+            "compiled-pair": "BENCH_PR8.json",
+            "parallel": "BENCH_PR9.json",
+        }.get(args.record, "BENCH_PR4.json")
         args.output = REPO_ROOT / name
 
     report = {}
     if args.output.exists():
         report = json.loads(args.output.read_text())
-    if args.record == "compiled-pair":
+    if args.record == "parallel":
+        measured = measure_parallel()
+        report = _merge_parallel(report, measured)
+        print(f"[parallel] curve recorded -> {args.output}")
+    elif args.record == "compiled-pair":
         measured = measure_compiled_pair()
         report = _merge_pair(report, measured)
         print(
