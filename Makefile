@@ -3,7 +3,7 @@
 PYTHON ?= python
 PROFILE ?= default
 
-.PHONY: install dev test lint docs-check ckpt-smoke race-smoke stream-smoke par-smoke verify analysis-report obs-report bench bench-calibrated bench-report bench-report-compile bench-report-parallel bench-smoke bench-stream serve-smoke examples experiments clean
+.PHONY: install dev test lint docs-check ckpt-smoke race-smoke stream-smoke par-smoke load-smoke verify analysis-report obs-report bench bench-calibrated bench-report bench-report-compile bench-report-parallel bench-smoke bench-stream bench-load serve-smoke examples experiments clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -36,7 +36,11 @@ stream-smoke:
 par-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.core.par_smoke
 
-verify: test lint docs-check ckpt-smoke race-smoke stream-smoke par-smoke
+# 2-worker mmap pool -> bounded burst -> assert 429 shedding + parity + no leaks.
+load-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.serve.load_smoke
+
+verify: test lint docs-check ckpt-smoke race-smoke stream-smoke par-smoke load-smoke
 
 analysis-report:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis.report
@@ -65,6 +69,10 @@ bench-report-parallel:
 # Delta-to-serve latency breakdown -> BENCH_STREAM.json.
 bench-stream:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_stream.py
+
+# Closed-loop QPS/latency curve over 1/2/4 pool workers -> BENCH_SERVE.json.
+bench-load:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_load.py
 
 # Correctness-only pass over every benchmark body (no timing loops).
 bench-smoke:

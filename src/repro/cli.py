@@ -205,6 +205,44 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--batch-wait-ms", type=float, default=2.0)
     serve.add_argument("--seed", type=int, default=0, help="split seed")
     serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="pre-forked serving processes sharing the port; >1 requires "
+        "--index (the artifact is memory-mapped into every worker)",
+    )
+    serve.add_argument(
+        "--scorer-threads",
+        type=int,
+        default=4,
+        help="deadline-executor threads per process (pools keep this small)",
+    )
+    serve.add_argument(
+        "--mmap",
+        action="store_true",
+        help="open the --index artifact memory-mapped (implied by --workers>1)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=0,
+        help="admission control: concurrent scoring requests per process "
+        "(0 disables admission control)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        help="admission control: waiters beyond --max-inflight before "
+        "shedding with 429",
+    )
+    serve.add_argument(
+        "--queue-timeout-ms",
+        type=float,
+        default=100.0,
+        help="admission control: longest a queued request waits for a permit",
+    )
+    serve.add_argument(
         "--metrics-out",
         help="write a final registry snapshot (JSONL) to this path on shutdown",
     )
@@ -529,6 +567,62 @@ def _train_state_for(checkpoint: str, dataset, split, model):
     return TrainState.capture(trainer, epoch=-1)
 
 
+def _serve_admission(args):
+    if args.max_inflight <= 0:
+        return None
+    from .serve import AdmissionConfig
+
+    return AdmissionConfig(
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        queue_timeout_ms=args.queue_timeout_ms,
+    )
+
+
+def _cmd_serve_pool(args) -> int:
+    """``serve --workers N``: pre-forked pool over one mmap'd artifact."""
+    import time
+
+    from .serve import ServingPool
+
+    pool = ServingPool(
+        args.index,
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        service_config=dict(
+            cache_capacity=args.cache_size,
+            deadline_ms=args.deadline_ms,
+            batch_wait_ms=args.batch_wait_ms,
+            scorer_threads=args.scorer_threads,
+        ),
+        admission=_serve_admission(args),
+    )
+    print(
+        f"serving index {pool.version} on {pool.url} with {args.workers} "
+        f"mmap-shared workers (/recommend /explain /healthz /stats /metrics; "
+        f"Ctrl-C to stop)"
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down pool")
+    finally:
+        if args.metrics_out:
+            try:
+                stats = pool.stats()
+            except RuntimeError:
+                stats = None
+            if stats is not None:
+                with open(args.metrics_out, "a", encoding="utf-8") as handle:
+                    json.dump({"kind": "pool_stats", **stats["aggregate"]}, handle)
+                    handle.write("\n")
+                print(f"pool stats written to {args.metrics_out}")
+        pool.close()
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from .serve import EmbeddingIndex, RecommendationServer, RecommendationService, build_index
 
@@ -540,8 +634,23 @@ def _cmd_serve(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.workers > 1:
+        if not args.index:
+            print(
+                "serve --workers needs a prebuilt --index artifact "
+                "(build one with `python -m repro build-index`)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.watch_deltas:
+            print(
+                "serve --watch-deltas is single-process; drop --workers",
+                file=sys.stderr,
+            )
+            return 2
+        return _cmd_serve_pool(args)
     if args.index:
-        index = EmbeddingIndex.load(args.index)
+        index = EmbeddingIndex.load(args.index, mmap=args.mmap)
     elif args.data and args.checkpoint:
         dataset, split, model = _restore(args)
         index = build_index(
@@ -562,6 +671,8 @@ def _cmd_serve(args) -> int:
         deadline_ms=args.deadline_ms,
         batch_wait_ms=args.batch_wait_ms,
         metrics=registry,
+        scorer_threads=args.scorer_threads,
+        admission=_serve_admission(args),
     )
     if args.watch_deltas:
         from .stream import DeltaFeedWatcher, OnlineUpdater

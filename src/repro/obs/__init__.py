@@ -40,6 +40,8 @@ from .metrics import (
     NULL_REGISTRY,
     DEFAULT_BUCKETS,
     LATENCY_MS_BUCKETS,
+    merge_snapshots,
+    quantile_from_snapshot,
 )
 from .profiler import OpProfile, TapeProfiler
 from .trace import NullTracer, NULL_TRACER, Span, Tracer
@@ -60,4 +62,6 @@ __all__ = [
     "NULL_TRACER",
     "Span",
     "Tracer",
+    "merge_snapshots",
+    "quantile_from_snapshot",
 ]

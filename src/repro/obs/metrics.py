@@ -50,6 +50,8 @@ __all__ = [
     "JsonlRunLog",
     "DEFAULT_BUCKETS",
     "LATENCY_MS_BUCKETS",
+    "merge_snapshots",
+    "quantile_from_snapshot",
 ]
 
 # Prometheus' classic seconds-oriented ladder; histogram callers with
@@ -490,3 +492,73 @@ def _jsonable(value):
     if hasattr(value, "item"):
         return value.item()
     return str(value)
+
+
+def merge_snapshots(snapshots: Sequence[dict]) -> dict[str, dict]:
+    """Merge per-process registry snapshots into a single fleet view.
+
+    Counters and gauges add their values; histograms add ``count``,
+    ``sum`` and their per-bucket counts — the snapshot stores
+    *cumulative* bucket counts, which stay cumulative under element-wise
+    addition, so the merged record still feeds
+    :func:`quantile_from_snapshot` directly.  Records of the same name
+    must agree on ``kind``.
+
+    The obvious caveat applies to non-additive gauges (uptime, cache
+    size ratios): summing them is well-defined but rarely meaningful, so
+    fleet reports should read those per-process.
+    """
+    merged: dict[str, dict] = {}
+    for snapshot in snapshots:
+        for name, record in snapshot.items():
+            if not record:
+                continue
+            current = merged.get(name)
+            if current is None:
+                copied = dict(record)
+                if record.get("kind") == "histogram":
+                    copied["buckets"] = dict(record.get("buckets", {}))
+                merged[name] = copied
+                continue
+            if current.get("kind") != record.get("kind"):
+                raise ValueError(
+                    f"instrument {name!r} has mixed kinds across snapshots "
+                    f"({current.get('kind')!r} vs {record.get('kind')!r})"
+                )
+            if record.get("kind") == "histogram":
+                current["count"] += record.get("count", 0)
+                current["sum"] += record.get("sum", 0.0)
+                buckets = current["buckets"]
+                for edge, cumulative in record.get("buckets", {}).items():
+                    buckets[edge] = buckets.get(edge, 0) + cumulative
+            else:
+                current["value"] = current.get("value", 0.0) + record.get("value", 0.0)
+    return merged
+
+
+def quantile_from_snapshot(record: dict, q: float) -> float:
+    """Quantile estimate from a histogram snapshot's cumulative buckets.
+
+    Returns the smallest bucket upper edge whose cumulative count covers
+    rank ``q * count`` (the Prometheus ``histogram_quantile``
+    upper-bound convention) — exact percentiles need the sample window,
+    which does not survive cross-process aggregation, so fleet-level
+    latency reports use this estimator instead.  Samples that landed in
+    the ``+Inf`` overflow bucket report the largest finite edge.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+    if not record or record.get("kind") != "histogram" or not record.get("count"):
+        return 0.0
+    target = q * record["count"]
+    edges = sorted(
+        (float("inf") if key == "+Inf" else float(key), cumulative)
+        for key, cumulative in record.get("buckets", {}).items()
+    )
+    last_finite = 0.0
+    for edge, cumulative in edges:
+        if edge != float("inf"):
+            last_finite = edge
+        if cumulative >= target:
+            return last_finite if edge == float("inf") else edge
+    return last_finite

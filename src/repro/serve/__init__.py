@@ -17,13 +17,20 @@ online.
   popularity fallback;
 * :mod:`~repro.serve.server` — the stdlib HTTP JSON API
   (``/recommend``, ``/explain``, ``/healthz``, ``/stats``);
+* :mod:`~repro.serve.admission` — per-endpoint admission control
+  (bounded in-flight permits, bounded queue, 429 load shedding);
+* :mod:`~repro.serve.pool` — :class:`ServingPool`: N pre-forked worker
+  processes sharing one memory-mapped index artifact and one port;
 * :mod:`~repro.serve.smoke` — the end-to-end smoke check behind
-  ``make serve-smoke``.
+  ``make serve-smoke``;
+* :mod:`~repro.serve.load_smoke` — the multi-process + load-shedding
+  drill behind ``make load-smoke``.
 
 Build an index with ``python -m repro build-index`` and serve it with
 ``python -m repro serve``; see ``docs/serving.md``.
 """
 
+from .admission import AdmissionConfig, AdmissionController, ShedError
 from .cache import CacheStats, ScoreCache
 from .engine import (
     LiveModelIndex,
@@ -34,9 +41,13 @@ from .engine import (
 )
 from .fallback import CircuitBreaker, FallbackAnswer, ResilientScorer
 from .index import EmbeddingIndex, build_index
+from .pool import ServingPool, reuse_port_available
 from .server import RecommendationServer, RecommendationService, ServiceError
 
 __all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "ShedError",
     "CacheStats",
     "ScoreCache",
     "LiveModelIndex",
@@ -49,6 +60,8 @@ __all__ = [
     "ResilientScorer",
     "EmbeddingIndex",
     "build_index",
+    "ServingPool",
+    "reuse_port_available",
     "RecommendationServer",
     "RecommendationService",
     "ServiceError",

@@ -1,0 +1,210 @@
+"""Per-endpoint admission control: bounded in-flight work, bounded queue.
+
+The circuit breaker in :mod:`repro.serve.fallback` protects the server
+from a *slow model*; it does nothing against *too many clients*.  Under
+overload a ``ThreadingHTTPServer`` happily accepts every connection and
+spawns a thread per request, so latency grows without bound while every
+request still runs to completion — the worst possible failure mode for a
+closed-loop caller that would rather retry later.
+
+:class:`AdmissionController` puts a hard ceiling on concurrency instead:
+
+* at most ``max_inflight`` requests execute at once;
+* at most ``max_queue`` more may wait, each for at most
+  ``queue_timeout_ms``;
+* everything beyond that is *shed* immediately with
+  :class:`ShedError`, which the HTTP layer renders as ``429 Too Many
+  Requests`` plus a ``Retry-After`` hint.
+
+Shedding is deliberately cheap (one lock acquisition, no model work), so
+an overloaded worker spends its cycles on the requests it admitted.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "ShedError",
+    "build_controllers",
+]
+
+
+class ShedError(Exception):
+    """Raised when admission control rejects a request (HTTP 429).
+
+    Deliberately *not* a :class:`~repro.serve.server.ServiceError`: a
+    shed request is not a client mistake, and the HTTP layer attaches a
+    ``Retry-After`` header that plain 4xx errors do not carry.
+    """
+
+    status = 429
+
+    def __init__(self, message: str, retry_after: float, reason: str):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+        self.reason = str(reason)
+
+    @property
+    def retry_after_header(self) -> str:
+        """``Retry-After`` value: whole seconds, at least 1."""
+        return str(max(1, int(round(self.retry_after))))
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Knobs for one endpoint's :class:`AdmissionController`.
+
+    ``max_inflight`` bounds concurrently executing requests;
+    ``max_queue`` bounds how many more may wait for a permit;
+    ``queue_timeout_ms`` bounds how long each waiter will wait before
+    being shed; ``retry_after_s`` is the hint sent with 429 responses.
+    """
+
+    max_inflight: int = 8
+    max_queue: int = 16
+    queue_timeout_ms: float = 100.0
+    retry_after_s: float = 1.0
+
+    def __post_init__(self):
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        if self.queue_timeout_ms < 0:
+            raise ValueError("queue_timeout_ms must be >= 0")
+
+
+class _Permit:
+    """Context manager returned by :meth:`AdmissionController.admit`."""
+
+    __slots__ = ("_controller", "_released")
+
+    def __init__(self, controller: "AdmissionController"):
+        self._controller = controller
+        self._released = False
+
+    def __enter__(self) -> "_Permit":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._controller.release()
+
+
+class AdmissionController:
+    """Bounded in-flight permits with a bounded, time-limited wait queue."""
+
+    def __init__(self, config: AdmissionConfig | None = None):
+        self.config = config or AdmissionConfig()
+        self._cond = threading.Condition()
+        self._inflight = 0  # guarded-by: _cond
+        self._queued = 0  # guarded-by: _cond
+        self._admitted_total = 0  # guarded-by: _cond
+        self._shed_queue_full = 0  # guarded-by: _cond
+        self._shed_timeout = 0  # guarded-by: _cond
+
+    # -- properties -------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        with self._cond:
+            return self._inflight
+
+    @property
+    def queued(self) -> int:
+        with self._cond:
+            return self._queued
+
+    # -- permit protocol --------------------------------------------------
+    def admit(self) -> _Permit:
+        """Acquire a permit (or raise :class:`ShedError`); release via ``with``."""
+        self.acquire()
+        return _Permit(self)
+
+    def acquire(self) -> None:
+        config = self.config
+        with self._cond:
+            if self._inflight < config.max_inflight:
+                self._inflight += 1
+                self._admitted_total += 1
+                return
+            if self._queued >= config.max_queue:
+                self._shed_queue_full += 1
+                raise ShedError(
+                    f"server at capacity ({config.max_inflight} in flight, "
+                    f"{self._queued} queued)",
+                    retry_after=config.retry_after_s,
+                    reason="queue_full",
+                )
+            self._queued += 1
+            try:
+                deadline = time.monotonic() + config.queue_timeout_ms / 1000.0
+                while self._inflight >= config.max_inflight:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        self._shed_timeout += 1
+                        raise ShedError(
+                            f"queued longer than {config.queue_timeout_ms:g}ms "
+                            f"waiting for a permit",
+                            retry_after=config.retry_after_s,
+                            reason="timeout",
+                        )
+                self._inflight += 1
+                self._admitted_total += 1
+            finally:
+                self._queued -= 1
+
+    def release(self) -> None:
+        with self._cond:
+            self._inflight -= 1
+            self._cond.notify()
+
+    # -- reporting --------------------------------------------------------
+    def stats(self) -> dict:
+        with self._cond:
+            return {
+                "max_inflight": self.config.max_inflight,
+                "max_queue": self.config.max_queue,
+                "inflight": self._inflight,
+                "queued": self._queued,
+                "admitted_total": self._admitted_total,
+                "shed_queue_full": self._shed_queue_full,
+                "shed_timeout": self._shed_timeout,
+                "shed_total": self._shed_queue_full + self._shed_timeout,
+            }
+
+
+def build_controllers(
+    admission: AdmissionConfig | dict | None,
+    endpoints: tuple[str, ...] = ("recommend", "explain"),
+) -> dict[str, AdmissionController]:
+    """Normalize an admission spec into per-endpoint controllers.
+
+    Accepts ``None`` (admission disabled), a single
+    :class:`AdmissionConfig` applied to every scoring endpoint, or a
+    mapping of endpoint name to config for asymmetric limits.  Health and
+    introspection endpoints are never gated: an overloaded server must
+    still answer ``/healthz`` honestly.
+    """
+    if admission is None:
+        return {}
+    if isinstance(admission, AdmissionConfig):
+        return {endpoint: AdmissionController(admission) for endpoint in endpoints}
+    controllers = {}
+    for endpoint, config in admission.items():
+        if endpoint not in endpoints:
+            raise ValueError(
+                f"unknown admission endpoint {endpoint!r} "
+                f"(gated endpoints: {', '.join(endpoints)})"
+            )
+        if config is not None:
+            controllers[endpoint] = AdmissionController(config)
+    return controllers

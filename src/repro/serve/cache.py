@@ -35,6 +35,7 @@ class CacheStats:
     size: int
     capacity: int
     swap_invalidations: int = 0
+    retirements: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -48,6 +49,7 @@ class CacheStats:
             "evictions": self.evictions,
             "invalidations": self.invalidations,
             "swap_invalidations": self.swap_invalidations,
+            "retirements": self.retirements,
             "size": self.size,
             "capacity": self.capacity,
             "hit_rate": round(self.hit_rate, 4),
@@ -75,6 +77,7 @@ class ScoreCache:
         self._evictions = 0  # guarded-by: _lock
         self._invalidations = 0  # guarded-by: _lock
         self._swap_invalidations = 0  # guarded-by: _lock
+        self._retirements = 0  # guarded-by: _lock
 
     def get(self, key) -> np.ndarray | None:
         """Cached vector for ``key``, refreshing recency; None on miss."""
@@ -118,6 +121,21 @@ class ScoreCache:
                 self._swap_invalidations += 1
             return dropped
 
+    def retire(self, version) -> int:
+        """Drop only the entries keyed to ``version``; returns the count.
+
+        Finer-grained than :meth:`invalidate`: after a pool-wide
+        hot-swap is fully acknowledged, the parent retires the *old*
+        version everywhere while entries already warmed against the new
+        version survive.
+        """
+        with self._lock:
+            stale = [key for key in self._store if key[1] == version]
+            for key in stale:
+                del self._store[key]
+            self._retirements += len(stale)
+            return len(stale)
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._store)
@@ -137,4 +155,5 @@ class ScoreCache:
                 size=len(self._store),
                 capacity=self.capacity,
                 swap_invalidations=self._swap_invalidations,
+                retirements=self._retirements,
             )

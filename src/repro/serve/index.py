@@ -21,7 +21,10 @@ cached score vector.
 from __future__ import annotations
 
 import hashlib
+import io
+import json
 import threading
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -66,10 +69,81 @@ def _compute_fingerprint(arrays: dict, metadata: dict) -> str:
     digest = hashlib.sha256()
     for name in sorted(arrays):
         digest.update(name.encode("utf-8"))
-        digest.update(np.ascontiguousarray(arrays[name]).tobytes())
+        array = np.asarray(arrays[name])
+        if array.flags.c_contiguous:
+            # Byte-identical to ``tobytes()`` for C-contiguous data, but
+            # streams straight from the buffer — a memory-mapped artifact
+            # is verified without materializing its tables on the heap.
+            digest.update(array.data)
+        else:
+            digest.update(np.ascontiguousarray(array).tobytes())
     stable = {k: v for k, v in metadata.items() if k != "fingerprint"}
     digest.update(repr(sorted(stable.items())).encode("utf-8"))
     return digest.hexdigest()[:16]
+
+
+def _mmap_npz_arrays(path: Path) -> dict[str, np.ndarray]:
+    """Zero-copy views over every member of an uncompressed ``.npz``.
+
+    ``np.savez`` stores members uncompressed (``ZIP_STORED``), so each
+    ``.npy`` payload sits contiguously in the file.  The whole archive is
+    mapped once (``np.memmap``) and each array becomes an ndarray view at
+    its payload offset: N server processes mapping the same artifact
+    share a single page-cache copy instead of N heap copies.
+    """
+    raw = np.memmap(path, dtype=np.uint8, mode="r")
+    arrays: dict[str, np.ndarray] = {}
+    try:
+        with zipfile.ZipFile(path) as archive:
+            for info in archive.infolist():
+                name = info.filename
+                if name.endswith(".npy"):
+                    name = name[: -len(".npy")]
+                if info.compress_type != zipfile.ZIP_STORED:
+                    raise IndexError_(
+                        f"{path}: member {name!r} is compressed; only "
+                        f"uncompressed archives (np.savez) can be "
+                        f"memory-mapped"
+                    )
+                # Local file header: 30 fixed bytes, then name + extra.
+                # The extra field can differ from the central directory's
+                # copy, so read the lengths from the local header itself.
+                base = info.header_offset
+                if bytes(raw[base : base + 4]) != b"PK\x03\x04":
+                    raise zipfile.BadZipFile(f"bad local header for {name!r}")
+                name_len = int(raw[base + 26]) | (int(raw[base + 27]) << 8)
+                extra_len = int(raw[base + 28]) | (int(raw[base + 29]) << 8)
+                data_start = base + 30 + name_len + extra_len
+                head = io.BytesIO(bytes(raw[data_start : data_start + 4096]))
+                version = np.lib.format.read_magic(head)
+                if version == (1, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_1_0(head)
+                elif version == (2, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_2_0(head)
+                else:
+                    raise IndexError_(
+                        f"{path}: member {name!r} uses npy format "
+                        f"{version}; cannot memory-map"
+                    )
+                if dtype.hasobject:
+                    raise IndexError_(
+                        f"{path}: member {name!r} holds Python objects; "
+                        f"cannot memory-map"
+                    )
+                arrays[name] = np.ndarray(
+                    shape,
+                    dtype=dtype,
+                    buffer=raw,
+                    offset=data_start + head.tell(),
+                    order="F" if fortran else "C",
+                )
+    except IndexError_:
+        raise
+    except (zipfile.BadZipFile, ValueError, TypeError, OSError, EOFError) as error:
+        raise IndexError_(
+            f"corrupt or truncated index archive {path}: {error}"
+        ) from error
+    return arrays
 
 
 class IndexError_(CheckpointError):
@@ -95,7 +169,7 @@ class EmbeddingIndex:
     constructor.
     """
 
-    def __init__(self, arrays: dict[str, np.ndarray], metadata: dict):
+    def __init__(self, arrays: dict[str, np.ndarray], metadata: dict, *, copy: bool = True):
         for name in _REQUIRED_ARRAYS:
             if name not in arrays:
                 raise IndexError_(f"index is missing required array {name!r}")
@@ -107,9 +181,19 @@ class EmbeddingIndex:
             )
         self._arrays = {}
         for name, array in arrays.items():
-            frozen = np.asarray(array).copy()
-            frozen.setflags(write=False)
+            if copy:
+                frozen = np.asarray(array).copy()
+                frozen.setflags(write=False)
+            else:
+                # ``copy=False`` keeps memory-mapped views as-is so the
+                # backing pages stay shared across processes.  Views of a
+                # read-only mmap are already non-writeable; freeze any
+                # that are not.
+                frozen = np.asarray(array)
+                if frozen.flags.writeable:
+                    frozen.setflags(write=False)
             self._arrays[name] = frozen
+        self.mmapped = not copy
         self.metadata = dict(metadata)
         self.version = self.metadata.get("fingerprint") or self._fingerprint()
         self.metadata["fingerprint"] = self.version
@@ -309,7 +393,7 @@ class EmbeddingIndex:
         return atomic_write_npz(path, payload)
 
     @classmethod
-    def load(cls, path: str | Path) -> "EmbeddingIndex":
+    def load(cls, path: str | Path, *, mmap: bool = False) -> "EmbeddingIndex":
         """Load an index previously written by :meth:`save`.
 
         The stored content fingerprint is verified *before* the index is
@@ -317,9 +401,29 @@ class EmbeddingIndex:
         archive with no fingerprint, or whose recomputed digest differs,
         raises :class:`IndexError_` — so a half-written or hand-edited
         swap candidate can never be installed into a server.
+
+        With ``mmap=True`` the arrays are zero-copy views over a single
+        read-only memory map of the archive.  The fingerprint check
+        streams over the mapped pages, so verification never materializes
+        the tables, and N worker processes opening the same artifact
+        share one page-cache copy.  The digest is computed the same way
+        in both modes, so heap and mmap loads of one file always agree on
+        ``version``.
         """
         path = resolve_npz_path(path)
-        arrays, metadata = read_npz_archive(path, metadata_key=_METADATA_KEY)
+        if mmap:
+            arrays = _mmap_npz_arrays(path)
+            if _METADATA_KEY not in arrays:
+                raise IndexError_(f"{path} is not a serving index (no metadata)")
+            blob = arrays.pop(_METADATA_KEY)
+            try:
+                metadata = json.loads(blob.tobytes().decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as error:
+                raise IndexError_(
+                    f"{path}: metadata blob is not valid JSON: {error}"
+                ) from error
+        else:
+            arrays, metadata = read_npz_archive(path, metadata_key=_METADATA_KEY)
         if metadata is None:
             raise IndexError_(f"{path} is not a serving index (no metadata)")
         stored = metadata.get("fingerprint")
@@ -334,7 +438,7 @@ class EmbeddingIndex:
                 f"{path} fingerprint mismatch (stored {stored}, computed "
                 f"{actual}): artifact corrupted or edited"
             )
-        return cls(arrays, metadata)
+        return cls(arrays, metadata, copy=not mmap)
 
     def describe(self) -> dict:
         """Human-readable summary (the ``build-index`` CLI prints this)."""
@@ -352,6 +456,7 @@ class EmbeddingIndex:
             "query_independent": self.entity_final is not None,
             "seen_pairs": int(self.seen_pairs.shape[0]),
             "bytes": int(sum(a.nbytes for a in self._arrays.values())),
+            "mmapped": bool(self.mmapped),
         }
 
 

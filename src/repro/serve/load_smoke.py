@@ -1,0 +1,243 @@
+"""Multi-process serving smoke drill: pool correctness under a load burst.
+
+Run as ``python -m repro.serve.load_smoke`` (the ``make load-smoke``
+target, part of ``make verify``).  The drill:
+
+1. builds a tiny index artifact and computes single-process reference
+   answers from it;
+2. starts a 2-worker :class:`~repro.serve.pool.ServingPool` (mmap-shared
+   index) with deliberately tight admission limits
+   (``max_inflight=1, max_queue=0``);
+3. asserts serial requests are admitted and match the single-process
+   answers, and that ``/healthz`` reports the pool honestly;
+4. fires a bounded concurrent burst and asserts the overflow was shed
+   with ``429`` + ``Retry-After`` while admitted requests still
+   succeeded, and that the fleet counters agree;
+5. hot-swaps the pool onto a second artifact and asserts the new
+   version serves;
+6. closes the pool and asserts **zero leaked worker processes**.
+
+Exit code 0 means multi-process serving, admission control and the
+coordinated hot-swap are wired correctly end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+__all__ = ["run_load_smoke", "main"]
+
+
+def _get_json(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        payload = json.loads(response.read().decode("utf-8"))
+    if not isinstance(payload, dict):
+        raise AssertionError(f"{url} did not return a JSON object")
+    return payload
+
+
+def _burst(url: str, threads: int, per_thread: int) -> list[tuple[int, str, dict]]:
+    """Fire a concurrent GET burst; returns (status, body, headers) triples."""
+    results: list[tuple[int, str, dict]] = []
+    results_lock = threading.Lock()
+
+    def client() -> None:
+        for _ in range(per_thread):
+            try:
+                with urllib.request.urlopen(url, timeout=10) as response:
+                    record = (
+                        response.status,
+                        response.read().decode("utf-8"),
+                        dict(response.headers),
+                    )
+            except urllib.error.HTTPError as error:
+                record = (
+                    error.code,
+                    error.read().decode("utf-8"),
+                    dict(error.headers),
+                )
+            with results_lock:
+                results.append(record)
+
+    workers = [threading.Thread(target=client) for _ in range(threads)]
+    for thread in workers:
+        thread.start()
+    for thread in workers:
+        thread.join()
+    return results
+
+
+def run_load_smoke(verbose: bool = True) -> dict:
+    """Build + pool-serve + burst + swap + close; returns the evidence."""
+    import multiprocessing
+
+    from ..core import KGAG, KGAGConfig
+    from ..data import MovieLensLikeConfig, movielens_like, split_interactions
+    from ..rng import ensure_rng
+    from .admission import AdmissionConfig
+    from .index import EmbeddingIndex, build_index
+    from .pool import ServingPool
+    from .server import RecommendationService
+
+    dataset = movielens_like(
+        "rand",
+        MovieLensLikeConfig(num_users=30, num_items=64, num_groups=16, seed=7),
+    )
+    split = split_interactions(dataset.group_item, rng=ensure_rng(7))
+    model = KGAG(
+        dataset.kg,
+        dataset.num_users,
+        dataset.num_items,
+        dataset.user_item.pairs,
+        dataset.groups,
+        KGAGConfig(
+            embedding_dim=8,
+            num_layers=1,
+            num_neighbors=2,
+            seed=7,
+            uniform_neighbor_weights=True,
+        ),
+    )
+    index = build_index(
+        model, train_interactions=split.train, user_interactions=dataset.user_item
+    )
+    # A second artifact with a different fingerprint (no seen-item mask)
+    # for the pool-wide hot-swap leg.
+    swapped = build_index(model, user_interactions=dataset.user_item)
+    assert swapped.version != index.version
+
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact = index.save(Path(tmp) / "index.npz")
+        swap_artifact = swapped.save(Path(tmp) / "index2.npz")
+
+        # Single-process reference answers, computed from the *same*
+        # artifact in the same (mmap) mode the workers use — deadline
+        # disabled so the answers are deterministic.
+        reference_service = RecommendationService(
+            EmbeddingIndex.load(artifact, mmap=True),
+            cache_capacity=0,
+            deadline_ms=None,
+            batch_wait_ms=0.0,
+        )
+        try:
+            reference = {
+                group: reference_service.recommend(group, k=5)["items"]
+                for group in range(index.num_groups)
+            }
+        finally:
+            reference_service.close()
+
+        pool = ServingPool(
+            artifact,
+            workers=2,
+            monitor_interval=0.05,
+            # A non-zero batching window gives every admitted request a
+            # real service time (the coalescing wait), so the burst
+            # below actually contends for the single in-flight permit.
+            # Batching never changes scores, so answers still match the
+            # unbatched reference.
+            # (Caching is off so the burst can't short-circuit through
+            # warmed entries; the coordinated-retire path has its own
+            # tests.)
+            service_config=dict(
+                cache_capacity=0,
+                deadline_ms=None,
+                batch_wait_ms=5.0,
+                scorer_threads=2,
+            ),
+            admission=AdmissionConfig(
+                max_inflight=1, max_queue=0, queue_timeout_ms=50.0, retry_after_s=1.0
+            ),
+        )
+        try:
+            assert pool.alive_workers() == 2, pool.alive_workers()
+
+            # 1) Serial requests fit inside max_inflight=1 and must match
+            #    the single-process engine.
+            for group in range(index.num_groups):
+                payload = _get_json(f"{pool.url}/recommend?group={group}&k=5")
+                assert payload["index_version"] == index.version, payload
+                assert payload["items"] == reference[group], (
+                    group,
+                    payload["items"],
+                    reference[group],
+                )
+
+            health = _get_json(f"{pool.url}/healthz")
+            assert health["status"] == "ok", health
+            assert health["pool"]["alive"] == 2, health
+
+            # 2) Bounded burst: 8 concurrent clients against
+            #    max_inflight=1/no queue per worker must shed some
+            #    requests and serve others.
+            burst = _burst(f"{pool.url}/recommend?group=1&k=5", threads=8, per_thread=3)
+            served = [r for r in burst if r[0] == 200]
+            shed = [r for r in burst if r[0] == 429]
+            assert len(served) + len(shed) == len(burst), burst
+            assert served, "burst produced no successful responses"
+            assert shed, "burst produced no 429s despite max_inflight=1"
+            for status, body, headers in shed:
+                retry_after = headers.get("Retry-After")
+                assert retry_after and int(retry_after) >= 1, headers
+                assert "error" in json.loads(body), body
+            for status, body, headers in served:
+                assert json.loads(body)["items"] == reference[1], body
+
+            stats = pool.stats()
+            aggregate = stats["aggregate"]
+            assert aggregate["responding"] == 2, aggregate
+            assert aggregate["shed"] >= len(shed), (aggregate, len(shed))
+            assert aggregate["requests"] >= index.num_groups + len(served), aggregate
+
+            # 3) Coordinated hot-swap: every worker acks the new version.
+            report = pool.reload(swap_artifact)
+            assert report["new_version"] == swapped.version, report
+            assert report["workers"] == 2, report
+            after = _get_json(f"{pool.url}/recommend?group=1&k=5")
+            assert after["index_version"] == swapped.version, after
+
+            pids = pool.worker_pids()
+        finally:
+            pool.close()
+
+        # 4) Zero leaked worker processes.
+        leaked = multiprocessing.active_children()
+        assert not leaked, f"leaked worker processes: {leaked}"
+        for pid in pids:
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                continue
+            raise AssertionError(f"worker pid {pid} survived pool.close()")
+
+    evidence = {
+        "served": len(served),
+        "shed": len(shed),
+        "aggregate": aggregate,
+        "swap": report,
+    }
+    if verbose:
+        print(
+            f"load-smoke OK — 2 workers on one mmap'd index: "
+            f"{len(served)} served, {len(shed)} shed with Retry-After, "
+            f"hot-swap {report['old_version']} -> {report['new_version']}, "
+            f"0 leaked processes"
+        )
+    return evidence
+
+
+def main(argv=None) -> int:
+    """CLI entry point for ``python -m repro.serve.load_smoke``."""
+    run_load_smoke(verbose=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,19 +27,25 @@ numpy.
 from __future__ import annotations
 
 import json
+import logging
+import socket
 import threading
 import time
+from contextlib import nullcontext
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 import numpy as np
 
 from ..obs.metrics import LATENCY_MS_BUCKETS, MetricsRegistry
+from .admission import AdmissionConfig, ShedError, build_controllers
 from .cache import ScoreCache
 from .engine import MicroBatcher, RankingEngine
 from .fallback import CircuitBreaker, ResilientScorer
 
 __all__ = ["ServiceError", "RecommendationService", "RecommendationServer"]
+
+_LOGGER = logging.getLogger("repro.serve.server")
 
 
 class ServiceError(ValueError):
@@ -76,6 +82,19 @@ class RecommendationService:
         histogram live in the registry, and callback gauges mirror
         component-owned state (batcher, breaker, index version), so
         ``/stats`` and ``/metrics`` render from a single source.
+    scorer_threads:
+        Worker threads in the resilient scorer's deadline executor.  A
+        multi-process pool runs several services on one box, so each
+        keeps this small; a lone server can afford the default.
+    admission:
+        Optional per-endpoint admission control: an
+        :class:`~repro.serve.admission.AdmissionConfig` applied to both
+        scoring endpoints, or a ``{endpoint: config}`` mapping.  ``None``
+        (the default) disables admission control entirely.
+    health_extra:
+        Optional zero-argument callable merged into the ``/healthz``
+        payload — the pool injects worker identity and fleet liveness
+        here (and may override ``status`` to ``degraded``).
     """
 
     def __init__(
@@ -88,6 +107,9 @@ class RecommendationService:
         breaker: CircuitBreaker | None = None,
         primary_override=None,
         metrics: MetricsRegistry | None = None,
+        scorer_threads: int = 4,
+        admission: AdmissionConfig | dict | None = None,
+        health_extra=None,
     ):
         self._index_lock = threading.Lock()
         self._index = index  # guarded-by: _index_lock
@@ -102,7 +124,10 @@ class RecommendationService:
             self._fallback_scores,
             deadline_ms=deadline_ms,
             breaker=breaker,
+            max_workers=scorer_threads,
         )
+        self.admission = build_controllers(admission)
+        self._health_extra = health_extra
         self._started = time.monotonic()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._m_requests = self.metrics.counter(
@@ -110,6 +135,14 @@ class RecommendationService:
         )
         self._m_client_errors = self.metrics.counter(
             "serve/client_errors_total", help="requests rejected with HTTP 4xx"
+        )
+        self._m_internal_errors = self.metrics.counter(
+            "serve/internal_errors_total",
+            help="unexpected exceptions answered with HTTP 500",
+        )
+        self._m_shed = self.metrics.counter(
+            "serve/shed_total",
+            help="requests shed by admission control (HTTP 429)",
         )
         # Same 2048-sample window the old hand-rolled deque used, so the
         # /stats percentiles are byte-identical after the migration.
@@ -161,6 +194,17 @@ class RecommendationService:
             fn=lambda: time.monotonic() - self._started,
             help="seconds since service construction",
         )
+        for endpoint, controller in sorted(self.admission.items()):
+            self.metrics.gauge(
+                f"serve/admission/{endpoint}/inflight",
+                fn=lambda c=controller: c.inflight,
+                help=f"admitted {endpoint} requests currently executing",
+            )
+            self.metrics.gauge(
+                f"serve/admission/{endpoint}/queued",
+                fn=lambda c=controller: c.queued,
+                help=f"{endpoint} requests waiting for a permit",
+            )
         if self.cache is not None:
             self.metrics.gauge(
                 "serve/cache_entries",
@@ -214,9 +258,29 @@ class RecommendationService:
             )
         return group_id
 
+    def _admitted(self, endpoint: str):
+        """Admission permit for one endpoint (no-op context when ungated).
+
+        Shed requests are counted here, in the service layer, so
+        non-HTTP callers (tests, embedded use) feed the same
+        ``serve/shed_total`` counter as the server.
+        """
+        controller = self.admission.get(endpoint)
+        if controller is None:
+            return nullcontext()
+        try:
+            return controller.admit()
+        except ShedError:
+            self._m_shed.inc()
+            raise
+
     # -- API operations ---------------------------------------------------
     def recommend(self, group_id: int, k: int = 5, exclude_seen: bool = True) -> dict:
         """Top-K answer for one group, degrading gracefully."""
+        with self._admitted("recommend"):
+            return self._recommend(group_id, k, exclude_seen)
+
+    def _recommend(self, group_id: int, k: int, exclude_seen: bool) -> dict:
         group_id = self._check_group(group_id)
         if k <= 0:
             raise ServiceError("k must be positive")
@@ -257,6 +321,10 @@ class RecommendationService:
 
     def explain(self, group_id: int, item_id: int) -> dict:
         """Attention decomposition endpoint payload."""
+        with self._admitted("explain"):
+            return self._explain(group_id, item_id)
+
+    def _explain(self, group_id: int, item_id: int) -> dict:
         group_id = self._check_group(group_id)
         item_id = int(item_id)
         num_items = self.index.num_items
@@ -283,12 +351,19 @@ class RecommendationService:
         }
 
     def healthz(self) -> dict:
-        """Liveness payload."""
-        return {
+        """Liveness payload.
+
+        Never gated by admission control: an overloaded or degraded
+        server must keep answering its probes honestly.
+        """
+        payload = {
             "status": "ok",
             "index_version": self.index.version,
             "uptime_s": round(time.monotonic() - self._started, 3),
         }
+        if self._health_extra is not None:
+            payload.update(self._health_extra() or {})
+        return payload
 
     def stats(self) -> dict:
         """Counters for dashboards and the serving benchmark.
@@ -319,11 +394,18 @@ class RecommendationService:
                 "swaps": int(self._m_index_swaps.value),
             },
         }
+        payload["internal_errors"] = int(self._m_internal_errors.value)
+        payload["shed"] = int(self._m_shed.value)
+        if self.admission:
+            payload["admission"] = {
+                endpoint: controller.stats()
+                for endpoint, controller in sorted(self.admission.items())
+            }
         if self.cache is not None:
             payload["cache"] = self.cache.stats().as_dict()
         return payload
 
-    def reload_index(self, index) -> dict:
+    def reload_index(self, index, *, drop_cache: bool = True) -> dict:
         """Swap in a new index and invalidate every cached score.
 
         The service and engine references flip under one lock, so a
@@ -331,12 +413,19 @@ class RecommendationService:
         never a mix.  In-flight requests keep scoring against the index
         they captured; version-qualified cache keys keep their entries
         from leaking across the reload.
+
+        ``drop_cache=False`` leaves the cache alone — the pool's
+        coordinated hot-swap uses it so old-version entries can keep
+        serving in-flight requests until every worker has acked, then
+        retires exactly that version via :meth:`ScoreCache.retire`.
         """
         with self._index_lock:
             old_version = self._index.version
             self._index = index
             self.engine.index = index
-        dropped = self.cache.invalidate(swap=True) if self.cache is not None else 0
+        dropped = 0
+        if drop_cache and self.cache is not None:
+            dropped = self.cache.invalidate(swap=True)
         self._m_index_swaps.inc()
         return {
             "old_version": old_version,
@@ -346,6 +435,9 @@ class RecommendationService:
 
     def note_client_error(self) -> None:
         self._m_client_errors.inc()
+
+    def note_internal_error(self) -> None:
+        self._m_internal_errors.inc()
 
     def close(self) -> None:
         """Stop accepting new scoring work (idempotent).
@@ -363,6 +455,18 @@ class _Handler(BaseHTTPRequestHandler):
     """Routes HTTP requests to the :class:`RecommendationService`."""
 
     server_version = "repro-serve/1.0"
+    # HTTP/1.1 keep-alive: a closed-loop client reuses one connection
+    # instead of paying a TCP handshake and a handler-thread spawn per
+    # request — the difference between ~500 and ~1000 qps on this stack.
+    protocol_version = "HTTP/1.1"
+    # Responses are written as two small sends (headers, then body);
+    # without TCP_NODELAY, Nagle + delayed-ACK stalls every keep-alive
+    # response by tens of milliseconds.  This is a *handler* class
+    # attribute — socketserver reads it in setup(), not off the server.
+    disable_nagle_algorithm = True
+    # An idle keep-alive connection must not pin its handler thread
+    # forever.
+    timeout = 60
 
     # Populated by RecommendationServer via a subclass attribute.
     service: RecommendationService
@@ -370,11 +474,15 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass  # keep pytest / smoke output clean
 
-    def _send_json(self, payload: dict, status: int = 200) -> None:
+    def _send_json(
+        self, payload: dict, status: int = 200, headers: dict | None = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -393,7 +501,17 @@ class _Handler(BaseHTTPRequestHandler):
         }
 
     def _body_params(self) -> dict:
-        length = int(self.headers.get("Content-Length") or 0)
+        raw_length = self.headers.get("Content-Length") or "0"
+        try:
+            length = int(raw_length)
+        except (TypeError, ValueError):
+            # A malformed header is the client's mistake: 400, not an
+            # uncaught ValueError tearing down the connection.
+            raise ServiceError(
+                f"invalid Content-Length header {raw_length!r}"
+            ) from None
+        if length < 0:
+            raise ServiceError(f"invalid Content-Length header {raw_length!r}")
         if not length:
             return {}
         try:
@@ -430,9 +548,29 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             else:
                 self._send_json({"error": f"unknown route {route}"}, status=404)
+        except ShedError as error:
+            # Load shed: tell the client when to come back.
+            self._send_json(
+                {"error": str(error), "reason": error.reason},
+                status=error.status,
+                headers={"Retry-After": error.retry_after_header},
+            )
         except ServiceError as error:
             self.service.note_client_error()
             self._send_json({"error": str(error)}, status=error.status)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client hung up mid-response; there is nobody to answer.
+            self.close_connection = True
+        except Exception:
+            # Anything else is a server bug: answer a JSON 500 and count
+            # it, instead of leaking a traceback through the stdlib
+            # handler and resetting the connection.
+            self.service.note_internal_error()
+            _LOGGER.exception("unhandled error serving %s", self.path)
+            try:
+                self._send_json({"error": "internal server error"}, status=500)
+            except OSError:
+                self.close_connection = True
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         self._dispatch(self._params())
@@ -443,6 +581,17 @@ class _Handler(BaseHTTPRequestHandler):
         except ServiceError as error:
             self.service.note_client_error()
             self._send_json({"error": str(error)}, status=error.status)
+            return
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+            return
+        except Exception:
+            self.service.note_internal_error()
+            _LOGGER.exception("unhandled error parsing a request body")
+            try:
+                self._send_json({"error": "internal server error"}, status=500)
+            except OSError:
+                self.close_connection = True
             return
         self._dispatch(params)
 
@@ -458,13 +607,27 @@ def _as_int(params: dict, name: str, default: int | None = None) -> int:
         raise ServiceError(f"parameter {name!r} must be an integer") from None
 
 
+_TRUE_LITERALS = ("1", "true", "yes", "on")
+_FALSE_LITERALS = ("0", "false", "no", "off")
+
+
 def _as_bool(params: dict, name: str, default: bool) -> bool:
     if name not in params:
         return default
     value = params[name]
     if isinstance(value, bool):
         return value
-    return str(value).lower() in ("1", "true", "yes", "on")
+    literal = str(value).strip().lower()
+    if literal in _TRUE_LITERALS:
+        return True
+    if literal in _FALSE_LITERALS:
+        return False
+    # A typo (?exclude_seen=ture) must not silently flip semantics.
+    raise ServiceError(
+        f"parameter {name!r} must be one of "
+        f"{'/'.join(_TRUE_LITERALS)} or {'/'.join(_FALSE_LITERALS)}, "
+        f"got {str(value)!r}"
+    )
 
 
 class RecommendationServer:
@@ -478,13 +641,56 @@ class RecommendationServer:
         Bind address; ``port=0`` picks an ephemeral port (the bound port
         is available as :attr:`port` — used by tests and the smoke
         target).
+    sock:
+        Optional pre-bound socket to serve on instead of binding
+        ``host:port`` — how pool workers adopt their ``SO_REUSEPORT``
+        listener (or an inherited shared one).  May be bound-only or
+        already listening; activation listens either way.
+    reuse_port:
+        Set ``SO_REUSEPORT`` before binding, so several servers (in
+        several processes) can share one port and let the kernel balance
+        connections across them.
+    backlog:
+        Listen backlog (defaults to the stdlib's 5; the pool raises it
+        so connection bursts queue in the kernel instead of failing).
     """
 
-    def __init__(self, service: RecommendationService, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        service: RecommendationService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        sock: socket.socket | None = None,
+        reuse_port: bool = False,
+        backlog: int | None = None,
+    ):
         handler = type("BoundHandler", (_Handler,), {"service": service})
         self.service = service
-        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd = ThreadingHTTPServer((host, port), handler, bind_and_activate=False)
         self._httpd.daemon_threads = True
+        # A wedged handler thread must not also wedge shutdown:
+        # server_close() would otherwise join every connection thread.
+        self._httpd.block_on_close = False
+        if backlog is not None:
+            self._httpd.request_queue_size = int(backlog)
+        if sock is not None:
+            self._httpd.socket.close()
+            self._httpd.socket = sock
+            bound_host, bound_port = sock.getsockname()[:2]
+            self._httpd.server_address = (bound_host, bound_port)
+            self._httpd.server_name = bound_host
+            self._httpd.server_port = bound_port
+            self._httpd.server_activate()
+        else:
+            if reuse_port:
+                if not hasattr(socket, "SO_REUSEPORT"):
+                    raise OSError("SO_REUSEPORT is not available on this platform")
+                self._httpd.socket.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
+                )
+            self._httpd.server_bind()
+            self._httpd.server_activate()
         self._thread: threading.Thread | None = None
 
     @property
@@ -509,14 +715,34 @@ class RecommendationServer:
         self._thread.start()
         return self
 
-    def stop(self) -> None:
-        """Shut down the listener and the service worker pool."""
-        self._httpd.shutdown()
-        self._httpd.server_close()
+    def stop(self, timeout: float = 5.0) -> bool:
+        """Shut down the listener and the service worker pool.
+
+        Returns ``True`` when the serve thread actually exited within
+        ``timeout`` seconds and ``False`` when it did not — a hung
+        handler used to leave a live daemon thread behind a silently
+        "stopped" server.  A timed-out join is also logged, and the
+        abandoned thread is left daemonized so interpreter exit is not
+        blocked.  The listener socket and the service are closed either
+        way.
+        """
+        clean = True
         if self._thread is not None:
-            self._thread.join(timeout=5)
+            thread = self._thread
+            self._httpd.shutdown()
+            thread.join(timeout=timeout)
+            if thread.is_alive():
+                _LOGGER.warning(
+                    "serve thread %r did not exit within %.1fs "
+                    "(a handler is wedged); abandoning the daemon thread",
+                    thread.name,
+                    timeout,
+                )
+                clean = False
             self._thread = None
+        self._httpd.server_close()
         self.service.close()
+        return clean
 
     def serve_forever(self) -> None:
         """Blocking serve loop (the ``repro serve`` CLI entry point)."""

@@ -197,3 +197,110 @@ class TestJsonlRunLog:
         with JsonlRunLog(path) as log:
             log.emit("epoch", epoch=0)
         assert json.loads(path.read_text())["epoch"] == 0
+
+
+class TestMergeSnapshots:
+    """Fleet aggregation: per-process snapshots -> one merged view."""
+
+    @staticmethod
+    def _snapshot(requests, latencies):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(requests)
+        registry.gauge("load").set(float(requests))
+        hist = registry.histogram("latency", buckets=(1.0, 5.0, 10.0))
+        for value in latencies:
+            hist.observe(value)
+        return registry.snapshot()
+
+    def test_counters_and_gauges_sum(self):
+        from repro.obs import merge_snapshots
+
+        merged = merge_snapshots(
+            [self._snapshot(3, []), self._snapshot(4, [])]
+        )
+        assert merged["requests"]["value"] == 7
+        assert merged["load"]["value"] == 7.0
+
+    def test_histograms_merge_count_sum_and_cumulative_buckets(self):
+        from repro.obs import merge_snapshots
+
+        merged = merge_snapshots(
+            [
+                self._snapshot(0, [0.5, 3.0]),
+                self._snapshot(0, [0.5, 99.0]),
+            ]
+        )
+        record = merged["latency"]
+        assert record["count"] == 4
+        assert record["sum"] == pytest.approx(103.0)
+        # Cumulative counts stay cumulative under element-wise addition.
+        assert record["buckets"]["1.0"] == 2
+        assert record["buckets"]["5.0"] == 3
+        assert record["buckets"]["10.0"] == 3
+        assert record["buckets"]["+Inf"] == 4
+
+    def test_mixed_kinds_rejected(self):
+        from repro.obs import merge_snapshots
+
+        a = MetricsRegistry()
+        a.counter("x").inc()
+        b = MetricsRegistry()
+        b.gauge("x").set(1.0)
+        with pytest.raises(ValueError, match="mixed kinds"):
+            merge_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_empty_input_merges_to_empty(self):
+        from repro.obs import merge_snapshots
+
+        assert merge_snapshots([]) == {}
+        assert merge_snapshots([{}, {}]) == {}
+
+
+class TestQuantileFromSnapshot:
+    @staticmethod
+    def _record(latencies):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency", buckets=(1.0, 5.0, 10.0))
+        for value in latencies:
+            hist.observe(value)
+        return registry.snapshot()["latency"]
+
+    def test_returns_covering_bucket_upper_edge(self):
+        from repro.obs import quantile_from_snapshot
+
+        record = self._record([0.5, 0.7, 3.0, 4.0])
+        assert quantile_from_snapshot(record, 0.50) == 1.0
+        assert quantile_from_snapshot(record, 0.99) == 5.0
+
+    def test_overflow_bucket_reports_largest_finite_edge(self):
+        from repro.obs import quantile_from_snapshot
+
+        record = self._record([99.0, 250.0])
+        assert quantile_from_snapshot(record, 0.99) == 10.0
+
+    def test_empty_or_foreign_records_report_zero(self):
+        from repro.obs import quantile_from_snapshot
+
+        assert quantile_from_snapshot({}, 0.5) == 0.0
+        assert quantile_from_snapshot(self._record([]), 0.5) == 0.0
+        counter_record = {"kind": "counter", "value": 3}
+        assert quantile_from_snapshot(counter_record, 0.5) == 0.0
+
+    def test_quantile_range_validated(self):
+        from repro.obs import quantile_from_snapshot
+
+        with pytest.raises(ValueError, match="quantile"):
+            quantile_from_snapshot(self._record([1.0]), 1.5)
+
+    def test_merged_snapshot_feeds_quantiles_directly(self):
+        from repro.obs import merge_snapshots, quantile_from_snapshot
+
+        merged = merge_snapshots(
+            [self._wrap([0.5] * 9), self._wrap([7.0])]
+        )
+        assert quantile_from_snapshot(merged["latency"], 0.50) == 1.0
+        assert quantile_from_snapshot(merged["latency"], 0.99) == 10.0
+
+    @classmethod
+    def _wrap(cls, latencies):
+        return {"latency": cls._record(latencies)}

@@ -66,6 +66,28 @@ class TestSafety:
         np.testing.assert_array_equal(cache.get((3, "v2")), _vec(2))
 
 
+class TestRetire:
+    def test_retire_drops_only_the_named_version(self):
+        cache = ScoreCache(8)
+        cache.put((0, "v1"), _vec(1))
+        cache.put((1, "v1"), _vec(2))
+        cache.put((0, "v2"), _vec(3))
+        assert cache.retire("v1") == 2
+        assert (0, "v1") not in cache
+        assert (1, "v1") not in cache
+        np.testing.assert_array_equal(cache.get((0, "v2")), _vec(3))
+        stats = cache.stats()
+        assert stats.retirements == 2
+        assert stats.as_dict()["retirements"] == 2
+
+    def test_retire_unknown_version_is_a_noop(self):
+        cache = ScoreCache(4)
+        cache.put((0, "v1"), _vec(1))
+        assert cache.retire("nope") == 0
+        assert len(cache) == 1
+        assert cache.stats().retirements == 0
+
+
 class TestInvalidation:
     def test_invalidate_drops_everything(self):
         cache = ScoreCache(4)

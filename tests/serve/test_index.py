@@ -106,3 +106,115 @@ class TestPersistence:
         del arrays["neighbor_entities"]
         with pytest.raises(IndexError_, match="neighbor_entities"):
             EmbeddingIndex(arrays, dict(index.metadata))
+
+
+class TestMmap:
+    """``load(mmap=True)``: zero-copy views, shared page cache, integrity."""
+
+    @pytest.fixture()
+    def artifact(self, index, tmp_path):
+        return index.save(tmp_path / "model.index")
+
+    def test_mmap_roundtrip_matches_heap_load(self, index, artifact):
+        mapped = EmbeddingIndex.load(artifact, mmap=True)
+        assert mapped.version == index.version
+        assert mapped.mmapped is True
+        assert mapped.describe()["mmapped"] is True
+        np.testing.assert_array_equal(
+            mapped.entity_embeddings, index.entity_embeddings
+        )
+        np.testing.assert_array_equal(mapped.group_members, index.group_members)
+
+    def test_mmap_arrays_are_views_over_one_map(self, artifact):
+        mapped = EmbeddingIndex.load(artifact, mmap=True)
+        # Every array is a zero-copy view whose backing buffer is the
+        # memory map of the archive — not a heap copy.
+        for name, array in mapped._arrays.items():
+            assert isinstance(array.base, np.memmap), name
+            assert not array.flags.writeable, name
+        with pytest.raises(ValueError):
+            mapped.entity_embeddings[0, 0] = 1.0
+
+    def test_heap_load_is_not_mmapped(self, artifact):
+        loaded = EmbeddingIndex.load(artifact)
+        assert loaded.mmapped is False
+        assert loaded.describe()["mmapped"] is False
+
+    def test_two_mmap_loads_serve_identical_answers(self, artifact):
+        from repro.serve import RecommendationService
+
+        answers = []
+        for _ in range(2):
+            service = RecommendationService(
+                EmbeddingIndex.load(artifact, mmap=True),
+                cache_capacity=0,
+                deadline_ms=None,
+                batch_wait_ms=0.0,
+            )
+            try:
+                answers.append(service.recommend(0, k=5)["items"])
+            finally:
+                service.close()
+        assert answers[0] == answers[1]
+
+    def test_mmap_serving_parity_with_heap(self, artifact):
+        # mmap views may be unaligned, which can route the dot products
+        # through a different BLAS kernel: scores agree to rounding, and
+        # the ranked item lists agree outright on this workload.
+        from repro.serve import RecommendationService
+
+        payloads = {}
+        for mode in (False, True):
+            service = RecommendationService(
+                EmbeddingIndex.load(artifact, mmap=mode),
+                cache_capacity=0,
+                deadline_ms=None,
+                batch_wait_ms=0.0,
+            )
+            try:
+                payloads[mode] = service.recommend(1, k=5)["items"]
+            finally:
+                service.close()
+        assert [i["item"] for i in payloads[False]] == [
+            i["item"] for i in payloads[True]
+        ]
+        for heap_item, mapped_item in zip(payloads[False], payloads[True]):
+            assert heap_item["score"] == pytest.approx(
+                mapped_item["score"], rel=1e-12
+            )
+
+    def test_mmap_seen_items_parity(self, index, artifact):
+        mapped = EmbeddingIndex.load(artifact, mmap=True)
+        for group in range(index.num_groups):
+            np.testing.assert_array_equal(
+                mapped.seen_items(group), index.seen_items(group)
+            )
+
+    def test_corrupt_payload_rejected_without_materializing(self, artifact):
+        import zipfile
+
+        with zipfile.ZipFile(artifact) as archive:
+            info = archive.getinfo("entity_embeddings.npy")
+        # Flip one byte inside the member's array payload (past the
+        # local file header and the npy header).
+        blob = bytearray(artifact.read_bytes())
+        offset = info.header_offset + 200
+        blob[offset] ^= 0xFF
+        artifact.write_bytes(bytes(blob))
+        with pytest.raises(IndexError_, match="fingerprint"):
+            EmbeddingIndex.load(artifact, mmap=True)
+
+    def test_truncated_archive_rejected(self, artifact):
+        blob = artifact.read_bytes()
+        artifact.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(IndexError_):
+            EmbeddingIndex.load(artifact, mmap=True)
+
+    def test_compressed_archive_rejected(self, index, tmp_path):
+        # np.savez_compressed members cannot be mapped zero-copy; the
+        # loader must say so instead of silently decompressing to heap.
+        path = tmp_path / "compressed.npz"
+        arrays = {name: np.asarray(arr) for name, arr in index._arrays.items()}
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(IndexError_):
+            EmbeddingIndex.load(path, mmap=True)

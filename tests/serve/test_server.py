@@ -1,6 +1,9 @@
 """HTTP serving: endpoints, caching source, error handling, degradation."""
 
+import http.client
 import json
+import logging
+import threading
 import urllib.error
 import urllib.request
 
@@ -13,6 +16,7 @@ from repro.serve import (
     RecommendationService,
     ServiceError,
 )
+from repro.serve.server import _as_bool
 
 
 @pytest.fixture()
@@ -242,3 +246,181 @@ class TestHTTP:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             _get(f"{server.url}/nope")
         assert excinfo.value.code == 404
+
+
+def _raw_post(server, headers, body=b""):
+    """POST /recommend with verbatim headers (urllib would fix them up)."""
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
+    try:
+        conn.putrequest("POST", "/recommend", skip_accept_encoding=True)
+        for name, value in headers.items():
+            conn.putheader(name, value)
+        conn.endheaders()
+        if body:
+            conn.send(body)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        conn.close()
+
+
+class TestHardening:
+    """Regression tests for the HTTP-edge sweep: each one fails on the
+    pre-fix handler (uncaught ValueError tearing down the connection,
+    silent boolean coercion, traceback-leaking 500s, lying ``stop``)."""
+
+    # -- bugfix 1: malformed Content-Length --------------------------------
+    def test_malformed_content_length_is_400(self, server):
+        status, payload = _raw_post(server, {"Content-Length": "abc"})
+        assert status == 400
+        assert "Content-Length" in payload["error"]
+        # The connection answered JSON instead of resetting, and the
+        # mistake was counted as the client's.
+        assert server.service.stats()["client_errors"] == 1
+
+    def test_negative_content_length_is_400(self, server):
+        status, payload = _raw_post(server, {"Content-Length": "-5"})
+        assert status == 400
+        assert "Content-Length" in payload["error"]
+
+    def test_valid_post_still_works_after_malformed_one(self, server):
+        _raw_post(server, {"Content-Length": "abc"})
+        body = json.dumps({"group": 0, "k": 2}).encode()
+        status, payload = _raw_post(
+            server,
+            {"Content-Type": "application/json", "Content-Length": str(len(body))},
+            body,
+        )
+        assert status == 200
+        assert len(payload["items"]) == 2
+
+    # -- bugfix 2: unexpected exceptions -----------------------------------
+    def test_internal_error_is_json_500_and_counted(self, server):
+        def raiser():
+            raise RuntimeError("injected stats failure")
+
+        server.service.stats = raiser  # instance attribute shadows the method
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"{server.url}/stats")
+        finally:
+            del server.service.stats
+        error = excinfo.value
+        assert error.code == 500
+        assert json.loads(error.read())["error"] == "internal server error"
+        registry = server.service.metrics
+        assert registry.get("serve/internal_errors_total").value == 1.0
+        # The counter is visible through /metrics exposition.
+        request = urllib.request.Request(f"{server.url}/metrics")
+        with urllib.request.urlopen(request, timeout=10) as response:
+            body = response.read().decode("utf-8")
+        assert "serve_internal_errors_total 1" in body
+        # And reported by /stats once the method is back.
+        _, stats = _get(f"{server.url}/stats")
+        assert stats["internal_errors"] == 1
+
+    # -- bugfix 3: boolean parameter vocabulary ----------------------------
+    def test_as_bool_accepted_vocabulary_is_pinned(self):
+        for literal in ("1", "true", "yes", "on", "TRUE", " Yes "):
+            assert _as_bool({"x": literal}, "x", default=False) is True
+        for literal in ("0", "false", "no", "off", "OFF", " False "):
+            assert _as_bool({"x": literal}, "x", default=True) is False
+        assert _as_bool({}, "x", default=True) is True
+        assert _as_bool({"x": True}, "x", default=False) is True
+
+    def test_as_bool_rejects_unknown_literals(self):
+        for literal in ("ture", "2", "", "y", "None"):
+            with pytest.raises(ServiceError, match="must be one of"):
+                _as_bool({"x": literal}, "x", default=True)
+
+    def test_boolean_typo_is_400_not_silent_false(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{server.url}/recommend?group=0&k=3&exclude_seen=ture")
+        assert excinfo.value.code == 400
+        assert "exclude_seen" in json.loads(excinfo.value.read())["error"]
+
+    # -- keep-alive (load-path hardening) ----------------------------------
+    def test_keep_alive_serves_sequential_requests_on_one_connection(self, server):
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        try:
+            for _ in range(2):
+                conn.request("GET", "/recommend?group=0&k=2")
+                response = conn.getresponse()
+                assert response.status == 200
+                assert json.loads(response.read())["items"]
+        finally:
+            conn.close()
+
+
+class TestStopContract:
+    """Bugfix 4: ``stop`` must report whether the serve thread exited."""
+
+    def test_clean_stop_returns_true(self, index):
+        svc = RecommendationService(index, deadline_ms=None, batch_wait_ms=0.0)
+        server = RecommendationServer(svc, port=0).start()
+        _get(f"{server.url}/healthz")
+        assert server.stop(timeout=5.0) is True
+
+    def test_stop_before_start_does_not_block(self, index):
+        svc = RecommendationService(index, deadline_ms=None, batch_wait_ms=0.0)
+        server = RecommendationServer(svc, port=0)
+        # Pre-fix, shutdown() on a never-served server blocks forever.
+        assert server.stop(timeout=1.0) is True
+
+    def test_timed_out_join_is_reported_and_logged(self, index, caplog):
+        svc = RecommendationService(index, deadline_ms=None, batch_wait_ms=0.0)
+        server = RecommendationServer(svc, port=0).start()
+        real = server._thread
+        release = threading.Event()
+        hung = threading.Thread(target=release.wait, name="wedged", daemon=True)
+        hung.start()
+        server._thread = hung  # simulate a serve thread that will not exit
+        try:
+            with caplog.at_level(logging.WARNING, logger="repro.serve.server"):
+                assert server.stop(timeout=0.2) is False
+            assert any("did not exit" in rec.message for rec in caplog.records)
+        finally:
+            release.set()
+            hung.join(timeout=5.0)
+            real.join(timeout=5.0)
+
+    def test_stop_with_wedged_handler_does_not_hang(self, index):
+        svc = RecommendationService(index, deadline_ms=None, batch_wait_ms=0.0)
+        server = RecommendationServer(svc, port=0).start()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def blocked_healthz():
+            entered.set()
+            release.wait()
+            return {"status": "ok"}
+
+        svc.healthz = blocked_healthz  # instance attribute shadows the method
+
+        def client():
+            try:
+                urllib.request.urlopen(f"{server.url}/healthz", timeout=30)
+            except OSError:
+                pass  # the connection dies with the server; that's fine
+
+        client_thread = threading.Thread(target=client, daemon=True)
+        client_thread.start()
+        assert entered.wait(5.0), "handler never reached the blocked healthz"
+
+        outcome = {}
+
+        def stopper():
+            outcome["clean"] = server.stop(timeout=1.0)
+
+        stop_thread = threading.Thread(target=stopper, daemon=True)
+        stop_thread.start()
+        stop_thread.join(timeout=10.0)
+        try:
+            # Pre-fix, server_close() joins the wedged handler thread and
+            # stop() never returns at all.
+            assert not stop_thread.is_alive(), "stop() wedged on a blocked handler"
+            assert "clean" in outcome
+        finally:
+            release.set()
+            client_thread.join(timeout=5.0)
+            stop_thread.join(timeout=5.0)

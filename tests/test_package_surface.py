@@ -83,7 +83,10 @@ PUBLIC_MODULES = [
     "repro.serve.cache",
     "repro.serve.fallback",
     "repro.serve.server",
+    "repro.serve.admission",
+    "repro.serve.pool",
     "repro.serve.smoke",
+    "repro.serve.load_smoke",
     "repro.stream",
     "repro.stream.delta",
     "repro.stream.grow",
